@@ -1,0 +1,43 @@
+//! Simulator throughput: cycles of wormhole simulation per second for
+//! deterministic and adaptive relations (E1/E2 workloads).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ebda_routing::classic::DimensionOrder;
+use ebda_routing::{Topology, TurnRouting};
+use noc_sim::{simulate, SimConfig, TrafficPattern};
+use std::hint::black_box;
+
+fn short_cfg(rate: f64) -> SimConfig {
+    SimConfig {
+        injection_rate: rate,
+        warmup: 100,
+        measurement: 400,
+        drain: 500,
+        deadlock_threshold: 400,
+        ..SimConfig::default()
+    }
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_8x8");
+    g.sample_size(10);
+    let topo = Topology::mesh(&[8, 8]);
+    let xy = DimensionOrder::xy();
+    let dyxy = TurnRouting::from_design("dyxy", &ebda_core::catalog::fig7b_dyxy()).unwrap();
+
+    g.bench_function("xy-rate0.05", |b| {
+        b.iter(|| simulate(black_box(&topo), &xy, &short_cfg(0.05)))
+    });
+    g.bench_function("dyxy-rate0.05", |b| {
+        b.iter(|| simulate(black_box(&topo), &dyxy, &short_cfg(0.05)))
+    });
+    let mut transpose = short_cfg(0.05);
+    transpose.traffic = TrafficPattern::Transpose;
+    g.bench_function("dyxy-transpose", |b| {
+        b.iter(|| simulate(black_box(&topo), &dyxy, &transpose))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

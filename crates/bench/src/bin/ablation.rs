@@ -1,0 +1,130 @@
+//! Ablation studies over the design choices DESIGN.md calls out:
+//!
+//! * **A1 — the partition-count knob** (Section 5.3.2): the same four
+//!   channels as 2, 3 and 4 partitions, simulated at fixed load — fewer
+//!   partitions ⇒ more adaptiveness ⇒ later saturation.
+//! * **A2 — arrangement ordering**: plain Arrangement 1 vs the
+//!   region-covering ordering across VC budgets — ordering decides whether
+//!   Algorithm 1's output is fully adaptive.
+//! * **A3 — allocator selection policy**: rotating first-fit vs
+//!   congestion-aware most-credits for the fully adaptive design.
+//! * **A4 — buffer policy**: multi-packet vs single-packet (Duato
+//!   Assumption 3) buffers for a partially adaptive design.
+
+use ebda_core::adaptiveness::is_fully_adaptive;
+use ebda_core::algorithm1::{partition_network, partition_network_region_covering};
+use ebda_core::PartitionSeq;
+use ebda_routing::{Topology, TurnRouting};
+use noc_sim::{simulate, BufferPolicy, Selection, SimConfig, TrafficPattern};
+
+fn run(
+    seq: &PartitionSeq,
+    topo: &Topology,
+    rate: f64,
+    selection: Selection,
+    policy: BufferPolicy,
+) -> noc_sim::SimResult {
+    let relation = TurnRouting::from_design("ablation", seq).expect("valid design");
+    let cfg = SimConfig {
+        injection_rate: rate,
+        traffic: TrafficPattern::Transpose,
+        selection,
+        buffer_policy: policy,
+        warmup: 500,
+        measurement: 2_000,
+        drain: 2_500,
+        deadlock_threshold: 1_500,
+        ..SimConfig::default()
+    };
+    simulate(topo, &relation, &cfg)
+}
+
+fn main() {
+    let topo = Topology::mesh(&[8, 8]);
+
+    println!("A1: partition count (same 4 channels), transpose traffic");
+    println!("{:<42} {:>11} {:>11}", "design", "lat@0.03", "lat@0.06");
+    for (label, spec) in [
+        ("2 partitions (west-first, max adaptive)", "X- | X+ Y+ Y-"),
+        ("3 partitions (Table 2 row 1)", "X+ Y+ | X- | Y-"),
+        ("4 partitions (XY, deterministic)", "X+ | X- | Y+ | Y-"),
+    ] {
+        let seq = PartitionSeq::parse(spec).expect("static design");
+        let a = run(
+            &seq,
+            &topo,
+            0.03,
+            Selection::RotatingFirstFit,
+            BufferPolicy::MultiPacket,
+        );
+        let b = run(
+            &seq,
+            &topo,
+            0.06,
+            Selection::RotatingFirstFit,
+            BufferPolicy::MultiPacket,
+        );
+        println!(
+            "{:<42} {:>11.1} {:>11.1}",
+            label, a.avg_latency, b.avg_latency
+        );
+        assert!(a.outcome.is_deadlock_free() && b.outcome.is_deadlock_free());
+    }
+
+    println!("\nA2: arrangement ordering vs full adaptiveness (Algorithm 1)");
+    println!(
+        "{:<14} {:>14} {:>18}",
+        "VC budget", "plain", "region-covering"
+    );
+    for vcs in [vec![1u8, 2], vec![2, 2], vec![2, 2, 4], vec![3, 2, 3]] {
+        let n = vcs.len();
+        let plain = partition_network(&vcs).expect("algorithm 1");
+        let region = partition_network_region_covering(&vcs).expect("algorithm 1");
+        println!(
+            "{:<14} {:>14} {:>18}",
+            format!("{vcs:?}"),
+            if is_fully_adaptive(&plain, n) {
+                "fully adpt"
+            } else {
+                "partial"
+            },
+            if is_fully_adaptive(&region, n) {
+                "fully adpt"
+            } else {
+                "partial"
+            },
+        );
+    }
+
+    println!("\nA3: allocator selection for the fully adaptive 6-channel design");
+    let dyxy = ebda_core::catalog::fig7b_dyxy();
+    println!("{:<24} {:>11} {:>11}", "policy", "lat@0.04", "lat@0.08");
+    for (label, sel) in [
+        ("rotating first-fit", Selection::RotatingFirstFit),
+        ("most-credits (DyXY)", Selection::MostCredits),
+    ] {
+        let a = run(&dyxy, &topo, 0.04, sel, BufferPolicy::MultiPacket);
+        let b = run(&dyxy, &topo, 0.08, sel, BufferPolicy::MultiPacket);
+        println!(
+            "{:<24} {:>11.1} {:>11.1}",
+            label, a.avg_latency, b.avg_latency
+        );
+        assert!(a.outcome.is_deadlock_free() && b.outcome.is_deadlock_free());
+    }
+
+    println!("\nA4: buffer policy for west-first");
+    let wf = ebda_core::catalog::p3_west_first();
+    println!("{:<24} {:>11} {:>11}", "policy", "lat@0.03", "lat@0.06");
+    for (label, policy) in [
+        ("multi-packet (EbDa)", BufferPolicy::MultiPacket),
+        ("single-packet (Duato)", BufferPolicy::SinglePacket),
+    ] {
+        let a = run(&wf, &topo, 0.03, Selection::RotatingFirstFit, policy);
+        let b = run(&wf, &topo, 0.06, Selection::RotatingFirstFit, policy);
+        println!(
+            "{:<24} {:>11.1} {:>11.1}",
+            label, a.avg_latency, b.avg_latency
+        );
+        assert!(a.outcome.is_deadlock_free() && b.outcome.is_deadlock_free());
+    }
+}

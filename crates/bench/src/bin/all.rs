@@ -1,0 +1,50 @@
+//! Runs every table/figure regeneration binary in sequence — the one-shot
+//! EXPERIMENTS.md reproduction driver.
+//!
+//! Usage: `cargo run --release -p ebda-bench --bin all`
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "scalability",
+        "census",
+        "vc_study",
+        "ablation",
+        "simulate",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe directory")
+        .to_path_buf();
+    let mut failed = Vec::new();
+    for bin in bins {
+        println!("\n=============== {bin} ===============");
+        let status = Command::new(exe_dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failed.push(bin);
+        }
+    }
+    println!("\n=====================================");
+    if failed.is_empty() {
+        println!("all {} experiments reproduced successfully", bins.len());
+    } else {
+        println!("FAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

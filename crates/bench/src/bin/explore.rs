@@ -1,0 +1,88 @@
+//! Design-space exploration (Section 5.3 operationalized): enumerate the
+//! partitioning options a VC budget admits, classify each design's regions
+//! and rank by adaptiveness — the table a designer would actually consult.
+//!
+//! Usage: `cargo run -p ebda-bench --bin explore [-- <vcs like 1,2>]`
+
+use ebda_cdg::{verify_design, Topology};
+use ebda_core::adaptiveness::{adaptiveness_profile, region_classes, RegionClass};
+use ebda_core::algorithm2::{derive_all, transition_reorderings};
+use ebda_core::sets::{arrangement1, arrangement2, arrangement3};
+use ebda_core::{extract_turns, PartitionSeq};
+use std::collections::BTreeSet;
+
+fn main() {
+    let vcs: Vec<u8> = std::env::args()
+        .nth(1)
+        .map(|s| {
+            s.split(',')
+                .map(|t| t.trim().parse().expect("VC counts are small integers"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 1]);
+    assert_eq!(vcs.len(), 2, "the explorer ranks 2D designs");
+    println!("exploring 2D designs with {vcs:?} VCs per dimension\n");
+
+    // Collect candidates from every arrangement + derivation + reordering.
+    let mut seen = BTreeSet::new();
+    let mut designs: Vec<PartitionSeq> = Vec::new();
+    let push = |seq: PartitionSeq, seen: &mut BTreeSet<String>, out: &mut Vec<PartitionSeq>| {
+        if seen.insert(seq.canonical_string()) {
+            out.push(seq);
+        }
+    };
+    let mut arrangements = vec![arrangement1(&vcs).expect("valid budget")];
+    arrangements.extend(arrangement2(&vcs).expect("valid budget"));
+    arrangements.extend(arrangement3(&vcs).expect("valid budget"));
+    for arr in arrangements {
+        for seq in derive_all(arr).expect("algorithm 2") {
+            for alt in transition_reorderings(&seq) {
+                push(alt, &mut seen, &mut designs);
+            }
+        }
+    }
+    if vcs == [1, 1] {
+        for seq in ebda_core::exceptional::exceptional_partitionings(2).expect("2^n options") {
+            push(seq, &mut seen, &mut designs);
+        }
+    }
+
+    // Evaluate each candidate.
+    let topo = Topology::mesh(&[5, 5]);
+    let mut rows = Vec::new();
+    for seq in &designs {
+        let ex = extract_turns(seq).expect("valid design");
+        let report = verify_design(&topo, seq).expect("valid design");
+        assert!(report.is_deadlock_free(), "{seq}: {report}");
+        let channels = seq.channels();
+        let profile = adaptiveness_profile(ex.turn_set(), &channels, 4, 2);
+        let classes = region_classes(ex.turn_set(), &channels, 4, 2);
+        let fully = classes
+            .iter()
+            .filter(|(_, c)| *c == RegionClass::FullyAdaptive)
+            .count();
+        rows.push((
+            seq.to_string(),
+            seq.len(),
+            ex.turn_set().counts().ninety,
+            fully,
+            profile.sum as f64 / profile.pairs as f64,
+        ));
+    }
+    rows.sort_by(|a, b| b.4.partial_cmp(&a.4).expect("finite averages"));
+
+    println!(
+        "{:<52} {:>5} {:>6} {:>10} {:>10}",
+        "design", "parts", "90deg", "full-adpt", "avg paths"
+    );
+    println!("{:-<88}", "");
+    for (design, parts, ninety, fully, avg) in &rows {
+        println!("{design:<52} {parts:>5} {ninety:>6} {fully:>8}/4 {avg:>10.2}");
+    }
+    println!(
+        "\n{} distinct designs, all verified deadlock-free on a 5x5 mesh;\n\
+         fewer partitions => more 90-degree turns => higher adaptiveness\n\
+         (Section 5.3's knob, ranked)",
+        rows.len()
+    );
+}

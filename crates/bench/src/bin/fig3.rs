@@ -1,0 +1,26 @@
+//! Regenerates Figure 3: a missing direction breaks the cycle — the
+//! partition `{X+ X- Y-}` permits exactly the WS, SE, ES and SW turns.
+
+use ebda_bench::compass_turn;
+use ebda_cdg::{verify_design, Topology};
+use ebda_core::{extract_turns, PartitionSeq, TurnKind};
+
+fn main() {
+    let seq = PartitionSeq::parse("X+ X- Y-").expect("static design");
+    println!("partition: {seq}  (every direction but North)");
+    let ex = extract_turns(&seq).expect("valid design");
+    let ninety: Vec<String> = ex
+        .turn_set()
+        .of_kind(TurnKind::Ninety)
+        .map(compass_turn)
+        .collect();
+    println!("allowed 90-degree turns: {}", ninety.join(", "));
+    assert_eq!(ninety.len(), 4, "paper: WS, SE, ES, SW");
+    for expected in ["W1S1", "S1E1", "E1S1", "S1W1"] {
+        assert!(ninety.contains(&expected.to_string()), "missing {expected}");
+    }
+    let report = verify_design(&Topology::mesh(&[6, 6]), &seq).expect("valid");
+    assert!(report.is_deadlock_free());
+    println!("verified: {report}");
+    println!("paper match: the formed turns by X+, X-, Y- are WS, SE, ES, SW — reproduced");
+}

@@ -1,0 +1,130 @@
+//! Regenerates the Section 2 scalability argument: brute-force turn-model
+//! verification explodes as `4^c`, while EbDa constructs a verified design
+//! directly.
+//!
+//! Reproduces (a) the Glass & Ni counts the paper cites (16 combinations,
+//! 12 deadlock-free, 3 unique under symmetry), (b) the combination-count
+//! table (with the paper's quoted values for comparison), and (c) a wall-
+//! clock comparison of brute force vs EbDa construction.
+
+use ebda_cdg::turn_model::{
+    abstract_cycle_count, combination_count, deadlock_free_combinations,
+    deadlock_free_combinations_2d, unique_up_to_symmetry,
+};
+use ebda_cdg::{verify_design, Topology};
+use ebda_core::algorithm1::partition_network;
+use std::time::Instant;
+
+fn main() {
+    // (a) The exhaustive 2D check.
+    let t0 = Instant::now();
+    let free = deadlock_free_combinations_2d(6);
+    let brute_time = t0.elapsed();
+    let unique = unique_up_to_symmetry(&free);
+    println!("2D turn-model enumeration on a 6x6 mesh:");
+    println!("  combinations checked : 16");
+    println!(
+        "  deadlock-free        : {} (paper/Glass & Ni: 12)",
+        free.len()
+    );
+    println!(
+        "  unique under symmetry: {unique} (paper: 3 — west-first, north-last, negative-first)"
+    );
+    assert_eq!(free.len(), 12);
+    assert_eq!(unique, 3);
+
+    // (a') The same enumeration in 3D: already 4^6 = 4096 combinations.
+    let t0 = Instant::now();
+    let free3 = deadlock_free_combinations(3, 4);
+    let brute3_time = t0.elapsed();
+    println!("\n3D turn-model enumeration on a 4x4x4 mesh:");
+    println!("  combinations checked : 4096 (4^6)");
+    println!("  deadlock-free        : {}", free3.len());
+    println!(
+        "  wall clock           : {brute3_time:.2?} (2D took {brute_time:.2?}) — the growth Section 2 warns about"
+    );
+    println!(
+        "  unique under the 48-element cube symmetry group: 9 (this repo's\n\
+         \x20 measurement — the 3D analogue of Glass & Ni's 3; see\n\
+         \x20 turn_model::unique_turn_sets_up_to_symmetry)"
+    );
+
+    // (a'') The 2D-with-VCs space: 65,536 combinations (sampled).
+    let t0 = Instant::now();
+    let (checked, free_vc) = ebda_cdg::turn_model::sample_deadlock_free_2d_vc(2, 5, 2_000, 0xEBDA);
+    println!(
+        "\n2D + 1 VC per dimension (the paper's 65,536 = 4^8 space), sampled:\n\
+         \x20 {checked} random combinations checked in {:.2?}: {free_vc} deadlock-free\n\
+         \x20 (random prohibitions are almost never jointly safe with VCs —\n\
+         \x20 the safe fraction collapses from 12/16, making hand search hopeless)",
+        t0.elapsed()
+    );
+
+    // (b) Combination counts as the network grows.
+    println!("\nverification-space size 4^c (c = abstract cycles):");
+    println!(
+        "{:<28} {:>8} {:>24} {:>20}",
+        "configuration", "cycles", "combinations", "paper quotes"
+    );
+    let rows: &[(&str, &[u8], &str)] = &[
+        ("2D, no VC", &[1, 1], "16 (4^2)"),
+        ("2D, +1 VC per dim", &[2, 2], "65,536 (4^8)"),
+        ("3D, no VC", &[1, 1, 1], "29,696 (4^6) [sic]"),
+        ("3D, +1 VC per dim", &[2, 2, 2], "> 8 billion"),
+        ("4D, +1 VC per dim", &[2, 2, 2, 2], "-"),
+    ];
+    for (name, vcs, quote) in rows {
+        let c = abstract_cycle_count(vcs);
+        let combos = combination_count(vcs)
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "overflow".into());
+        println!("{name:<28} {c:>8} {combos:>24} {quote:>20}");
+    }
+    println!(
+        "  note: the paper's 3D-no-VC quote (29,696) disagrees with its own\n\
+        formula 4^6 = 4,096; we report the formula value (see EXPERIMENTS.md)."
+    );
+
+    // (c) EbDa constructs the design directly — no enumeration.
+    println!("\nEbDa construction + Dally verification vs brute-force enumeration:");
+    let topo = Topology::mesh(&[6, 6]);
+    for vcs in [&[1u8, 1][..], &[2, 2], &[1, 2], &[3, 3]] {
+        let t0 = Instant::now();
+        let seq = partition_network(vcs).expect("algorithm 1");
+        let report = verify_design(&topo, &seq).expect("valid");
+        let ebda_time = t0.elapsed();
+        assert!(report.is_deadlock_free());
+        println!(
+            "  vcs {:?}: EbDa designed+verified in {:.2?} (brute force would check {} combos; the no-VC case took {:.2?} for 16)",
+            vcs,
+            ebda_time,
+            combination_count(vcs)
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "4^{c} (overflow)".into()),
+            brute_time,
+        );
+    }
+    println!(
+        "\nshape match: EbDa is one construction + one linear CDG check; the\n\
+         turn-model route multiplies the same CDG check by 4^c combinations."
+    );
+
+    // (d) Certification: reconstructing EbDa certificates from raw turn
+    // sets agrees exactly with brute force in 2D and is sound-but-
+    // incomplete in 3D.
+    let universe2 = ebda_core::parse_channels("X+ X- Y+ Y-").expect("static");
+    let mut certified2 = 0;
+    for combo in ebda_cdg::turn_model::combinations_2d() {
+        if ebda_core::certify::certify(&universe2, &combo.allowed).is_ok() {
+            certified2 += 1;
+        }
+    }
+    println!(
+        "\nEbDa certification (turn set -> partitioning certificate):\n\
+         2D: {certified2}/16 combinations certifiable = exactly the 12 deadlock-free ones\n\
+         3D: 32/176 deadlock-free combinations certifiable, 0 unsound\n\
+             (sound but incomplete at channel-class granularity; see\n\
+             tests/certification.rs and EXPERIMENTS.md)"
+    );
+    assert_eq!(certified2, 12);
+}

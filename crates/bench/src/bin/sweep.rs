@@ -1,0 +1,89 @@
+//! Full latency/throughput sweep across designs, traffic patterns and
+//! injection rates, emitted as CSV for plotting — the data series behind
+//! the extension experiments E1/E2.
+//!
+//! Usage: `cargo run --release -p ebda-bench --bin sweep [out.csv]`
+//! (defaults to stdout). Columns:
+//! `design,traffic,rate,policy,avg_latency,p99_latency,throughput,balance_cv,outcome`
+
+use ebda_routing::classic::{DimensionOrder, DuatoFullyAdaptive};
+use ebda_routing::{RoutingRelation, Topology, TurnRouting};
+use noc_sim::{simulate, BufferPolicy, SimConfig, TrafficPattern};
+use std::io::Write;
+
+fn main() {
+    let mut out: Box<dyn Write> = match std::env::args().nth(1) {
+        Some(path) => Box::new(std::fs::File::create(path).expect("create output file")),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    writeln!(
+        out,
+        "design,traffic,rate,policy,avg_latency,p99_latency,throughput,balance_cv,outcome"
+    )
+    .expect("write header");
+
+    let topo = Topology::mesh(&[8, 8]);
+    let designs: Vec<(&str, Box<dyn RoutingRelation>)> = vec![
+        ("xy", Box::new(DimensionOrder::xy())),
+        (
+            "west-first",
+            Box::new(TurnRouting::from_design("wf", &ebda_core::catalog::p3_west_first()).unwrap()),
+        ),
+        (
+            "odd-even",
+            Box::new(TurnRouting::from_design("oe", &ebda_core::catalog::odd_even()).unwrap()),
+        ),
+        (
+            "ebda-dyxy",
+            Box::new(TurnRouting::from_design("fa", &ebda_core::catalog::fig7b_dyxy()).unwrap()),
+        ),
+        ("duato", Box::new(DuatoFullyAdaptive::new(2))),
+    ];
+    let traffics = [
+        ("uniform", TrafficPattern::Uniform),
+        ("transpose", TrafficPattern::Transpose),
+        ("bitcomp", TrafficPattern::BitComplement),
+    ];
+    let rates = [0.005, 0.01, 0.02, 0.03, 0.05, 0.08, 0.12];
+
+    for (name, relation) in &designs {
+        for (tname, traffic) in &traffics {
+            for &rate in &rates {
+                for (pname, policy) in [
+                    ("multi", BufferPolicy::MultiPacket),
+                    ("single", BufferPolicy::SinglePacket),
+                ] {
+                    let cfg = SimConfig {
+                        injection_rate: rate,
+                        traffic: traffic.clone(),
+                        buffer_policy: policy,
+                        warmup: 500,
+                        measurement: 2_000,
+                        drain: 2_500,
+                        deadlock_threshold: 1_200,
+                        ..SimConfig::default()
+                    };
+                    let r = simulate(&topo, relation.as_ref(), &cfg);
+                    let outcome = if r.outcome.is_deadlock_free() {
+                        if r.measured_delivered == r.measured_injected {
+                            "ok"
+                        } else {
+                            "saturated"
+                        }
+                    } else {
+                        "deadlock"
+                    };
+                    writeln!(
+                        out,
+                        "{name},{tname},{rate},{pname},{:.2},{},{:.4},{:.3},{outcome}",
+                        r.avg_latency,
+                        r.latency_percentile(99.0).unwrap_or(0),
+                        r.throughput,
+                        r.channel_balance_cv().unwrap_or(f64::NAN),
+                    )
+                    .expect("write row");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Regenerates Table 4: the allowable turns of the Odd-Even turn model,
+//! derived from the EbDa partitioning `PA = {X- Ye*} → PB = {X+ Yo*}`.
+
+use ebda_bench::compass_turn;
+use ebda_cdg::{verify_design, Topology};
+use ebda_core::extract::Justification;
+use ebda_core::{catalog, extract_turns, TurnKind, TurnSet};
+
+fn row(ts: &TurnSet, kind: Option<TurnKind>) -> String {
+    ts.iter()
+        .filter(|t| kind.is_none_or(|k| t.kind() == k))
+        .map(compass_turn)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn main() {
+    let seq = catalog::odd_even();
+    println!("Odd-Even as an EbDa partitioning: {seq}");
+    let ex = extract_turns(&seq).expect("valid design");
+
+    let pa90 = ex.turns_for(Justification::Theorem1 { partition: 0 });
+    let pa_u = ex.turns_for(Justification::Theorem2 { partition: 0 });
+    let pb90 = ex.turns_for(Justification::Theorem1 { partition: 1 });
+    let pb_u = ex.turns_for(Justification::Theorem2 { partition: 1 });
+    let tr = ex.turns_for(Justification::Theorem3 { from: 0, to: 1 });
+
+    println!("\nTable 4: allowable turns in Odd-Even");
+    println!("{:-<78}", "");
+    println!(
+        "{:<16} | {:<34} | U- & I-turns",
+        "extracting", "90-degree turns"
+    );
+    println!("{:-<78}", "");
+    println!(
+        "{:<16} | {:<34} | {}",
+        "in PA",
+        row(&pa90, None),
+        row(&pa_u, None)
+    );
+    println!(
+        "{:<16} | {:<34} | {}",
+        "in PB",
+        row(&pb90, None),
+        row(&pb_u, None)
+    );
+    println!(
+        "{:<16} | {:<34} | {}",
+        "transition",
+        row(&tr, Some(TurnKind::Ninety)),
+        format!(
+            "{} {}",
+            row(&tr, Some(TurnKind::UTurn)),
+            row(&tr, Some(TurnKind::ITurn))
+        )
+    );
+    println!("{:-<78}", "");
+
+    let c = ex.turn_set().counts();
+    println!(
+        "{} 90-degree turns in total (the paper: 12, split into odd/even \
+         columns; adaptiveness level of west-first)",
+        c.ninety
+    );
+    assert_eq!(c.ninety, 12);
+    assert_eq!(pa90.len(), 4);
+    assert_eq!(pb90.len(), 4);
+    assert_eq!(tr.of_kind(TurnKind::Ninety).count(), 4);
+
+    // Verify on meshes of both radix parities.
+    for radix in [5usize, 6] {
+        let report = verify_design(&Topology::mesh(&[radix, radix]), &seq).expect("valid");
+        assert!(report.is_deadlock_free(), "{report}");
+        println!("verified deadlock-free on {radix}x{radix}: {report}");
+    }
+}

@@ -1,0 +1,69 @@
+//! VC budget study — the paper's opening claim ("VCs can be also used to
+//! improve network performance and throughput through sharing resources
+//! and providing alternative paths") made measurable: for growing VC
+//! budgets, build the region-covering Algorithm 1 design and measure
+//! latency and saturation.
+
+use ebda_core::adaptiveness::is_fully_adaptive;
+use ebda_core::algorithm1::partition_network_region_covering;
+use ebda_routing::{Topology, TurnRouting};
+use noc_sim::{saturation_rate, simulate, SimConfig, TrafficPattern};
+
+fn main() {
+    let topo = Topology::mesh(&[8, 8]);
+    let base = SimConfig {
+        traffic: TrafficPattern::Transpose,
+        warmup: 500,
+        measurement: 2_000,
+        drain: 2_500,
+        deadlock_threshold: 1_500,
+        ..SimConfig::default()
+    };
+    println!("region-covering designs by VC budget, transpose traffic, 8x8 mesh");
+    println!(
+        "{:<10} {:>9} {:>13} {:>11} {:>11} {:>11}",
+        "VCs", "channels", "adaptiveness", "lat@0.03", "lat@0.06", "saturation"
+    );
+    println!("{:-<70}", "");
+    for vcs in [[1u8, 1], [1, 2], [2, 2], [2, 3], [3, 3]] {
+        let seq = partition_network_region_covering(&vcs).expect("algorithm 1");
+        let relation = TurnRouting::from_design("study", &seq).expect("valid design");
+        let adaptive = if is_fully_adaptive(&seq, 2) {
+            "full"
+        } else {
+            "partial"
+        };
+        let lat = |rate: f64| {
+            let cfg = SimConfig {
+                injection_rate: rate,
+                ..base.clone()
+            };
+            let r = simulate(&topo, &relation, &cfg);
+            assert!(r.outcome.is_deadlock_free(), "{r}");
+            if r.measured_delivered == r.measured_injected {
+                format!("{:.1}", r.avg_latency)
+            } else {
+                "sat".to_string()
+            }
+        };
+        let sat = saturation_rate(&topo, &relation, &base, 0.005, 0.4, 0.01)
+            .map(|s| format!("{s:.3}"))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<10} {:>9} {:>13} {:>11} {:>11} {:>11}",
+            format!("{vcs:?}"),
+            seq.channel_count(),
+            adaptive,
+            lat(0.03),
+            lat(0.06),
+            sat
+        );
+    }
+    println!(
+        "\nshape: the jump from [1,1] to the Section-4 minimum [1,2] is where\n\
+         the payoff lives — full adaptiveness, lower latency and a higher\n\
+         saturation point; beyond the minimum, extra VCs mostly add buffering\n\
+         (the paper's Fig. 6e point: VCs inside a partition do not raise\n\
+         adaptiveness)."
+    );
+}

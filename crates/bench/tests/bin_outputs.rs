@@ -1,0 +1,93 @@
+//! Snapshot tests of the table/figure regeneration binaries: each must
+//! exit cleanly and print the paper-matching key lines. This pins the
+//! reproduction outputs against regressions.
+
+use std::process::Command;
+
+fn run(bin: &str, exe: &str) -> String {
+    let out = Command::new(exe)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn table1_reports_twelve_options() {
+    let text = run("table1", env!("CARGO_BIN_EXE_table1"));
+    assert!(text.contains("12 options generated, 12 distinct"));
+    assert!(text.contains("X1+ X1- Y1+ -> Y1-"));
+    assert!(text.contains("X1- Y1- -> X1+ Y1+")); // negative-first column 3
+}
+
+#[test]
+fn table2_and_table3_enumerate() {
+    let t2 = run("table2", env!("CARGO_BIN_EXE_table2"));
+    assert!(t2.contains("all 36 three-partition options verified"));
+    let t3 = run("table3", env!("CARGO_BIN_EXE_table3"));
+    assert!(t3.contains("all 24 orderings verified deadlock-free"));
+    assert!(t3.contains("reproduces XY routing (4 90-degree turns)"));
+}
+
+#[test]
+fn table4_prints_the_odd_even_rows() {
+    let text = run("table4", env!("CARGO_BIN_EXE_table4"));
+    assert!(text.contains("12 90-degree turns in total"));
+    // The paper's PA row: WNe, WSe, NeW, SeW in compass notation.
+    assert!(text.contains("W1Ne1"), "missing PA turns in: {text}");
+}
+
+#[test]
+fn table5_prints_thirty_turns() {
+    let text = run("table5", env!("CARGO_BIN_EXE_table5"));
+    assert!(text.contains("30 90-degree turns total (paper: 30)"));
+    assert!(text.contains("verified deadlock-free on the partially connected"));
+}
+
+#[test]
+fn figures_print_their_paper_matches() {
+    for (bin, exe, needle) in [
+        ("fig3", env!("CARGO_BIN_EXE_fig3"), "E1S1, W1S1, S1E1, S1W1"),
+        ("fig4", env!("CARGO_BIN_EXE_fig4"), "U-turns (9)"),
+        (
+            "fig5",
+            env!("CARGO_BIN_EXE_fig5"),
+            "north-last algorithm [18] — reproduced",
+        ),
+        (
+            "fig6",
+            env!("CARGO_BIN_EXE_fig6"),
+            "no adaptiveness — reproduced",
+        ),
+        (
+            "fig7",
+            env!("CARGO_BIN_EXE_fig7"),
+            "6 = (n+1)*2^(n-1) is the minimum",
+        ),
+        ("fig8", env!("CARGO_BIN_EXE_fig8"), "100 90-degree turns"),
+        (
+            "fig9",
+            env!("CARGO_BIN_EXE_fig9"),
+            "PC[X2* Z3+ Y1-]; PD[X3* Z3- Y2-]} — reproduced",
+        ),
+    ] {
+        let text = run(bin, exe);
+        assert!(
+            text.contains(needle),
+            "{bin} output missing {needle:?}:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn scalability_reports_the_counts() {
+    let text = run("scalability", env!("CARGO_BIN_EXE_scalability"));
+    assert!(text.contains("deadlock-free        : 12 (paper/Glass & Ni: 12)"));
+    assert!(text.contains("unique under symmetry: 3"));
+    assert!(text.contains("deadlock-free        : 176"));
+    assert!(text.contains("12/16 combinations certifiable"));
+}

@@ -1,0 +1,200 @@
+//! Cycle detection for dependency graphs: iterative three-colour DFS with a
+//! cycle witness, and Tarjan's strongly connected components.
+
+/// Finds a directed cycle in an adjacency-list graph, returning the node
+/// indices along the cycle (first node repeated implicitly), or `None` for
+/// acyclic graphs.
+///
+/// Runs an iterative DFS (no recursion — CDGs of large tori can be deep).
+///
+/// ```
+/// use ebda_cdg::cycle::find_cycle;
+/// let g = vec![vec![1], vec![2], vec![0u32]]; // 0 -> 1 -> 2 -> 0
+/// let cycle = find_cycle(&g).unwrap();
+/// assert_eq!(cycle.len(), 3);
+/// assert!(find_cycle(&vec![vec![1], vec![2], vec![]]).is_none());
+/// ```
+pub fn find_cycle(edges: &[Vec<u32>]) -> Option<Vec<u32>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let n = edges.len();
+    let mut color = vec![Color::White; n];
+    let mut parent = vec![u32::MAX; n];
+    // Stack holds (node, next-successor-index).
+    let mut stack: Vec<(u32, usize)> = Vec::new();
+    for start in 0..n as u32 {
+        if color[start as usize] != Color::White {
+            continue;
+        }
+        color[start as usize] = Color::Gray;
+        stack.push((start, 0));
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let succs = &edges[node as usize];
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                match color[s as usize] {
+                    Color::White => {
+                        parent[s as usize] = node;
+                        color[s as usize] = Color::Gray;
+                        stack.push((s, 0));
+                    }
+                    Color::Gray => {
+                        // Found a back edge node -> s: walk parents back.
+                        let mut cycle = vec![node];
+                        let mut cur = node;
+                        while cur != s {
+                            cur = parent[cur as usize];
+                            cycle.push(cur);
+                        }
+                        cycle.reverse();
+                        return Some(cycle);
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[node as usize] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Tarjan's strongly connected components (iterative), in reverse
+/// topological order. Singleton components without self-loops are included.
+pub fn tarjan_scc(edges: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    let n = edges.len();
+    let mut index = vec![u32::MAX; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut sccs = Vec::new();
+    // Explicit DFS state: (node, successor cursor).
+    let mut work: Vec<(u32, usize)> = Vec::new();
+
+    for start in 0..n as u32 {
+        if index[start as usize] != u32::MAX {
+            continue;
+        }
+        work.push((start, 0));
+        index[start as usize] = next_index;
+        low[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+
+        while let Some(&mut (node, ref mut cursor)) = work.last_mut() {
+            let succs = &edges[node as usize];
+            if *cursor < succs.len() {
+                let s = succs[*cursor];
+                *cursor += 1;
+                if index[s as usize] == u32::MAX {
+                    index[s as usize] = next_index;
+                    low[s as usize] = next_index;
+                    next_index += 1;
+                    stack.push(s);
+                    on_stack[s as usize] = true;
+                    work.push((s, 0));
+                } else if on_stack[s as usize] {
+                    low[node as usize] = low[node as usize].min(index[s as usize]);
+                }
+            } else {
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    low[parent as usize] = low[parent as usize].min(low[node as usize]);
+                }
+                if low[node as usize] == index[node as usize] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let v = stack.pop().expect("tarjan stack underflow");
+                        on_stack[v as usize] = false;
+                        comp.push(v);
+                        if v == node {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// Returns the strongly connected components with more than one node (or a
+/// self-loop) — the deadlock-capable knots of a CDG.
+pub fn cyclic_components(edges: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    tarjan_scc(edges)
+        .into_iter()
+        .filter(|comp| comp.len() > 1 || edges[comp[0] as usize].contains(&comp[0]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(find_cycle(&[]).is_none());
+        assert!(find_cycle(&[vec![]]).is_none());
+        // Self-loop is a cycle of length 1.
+        let c = find_cycle(&[vec![0]]).unwrap();
+        assert_eq!(c, vec![0]);
+    }
+
+    #[test]
+    fn dag_has_no_cycle() {
+        // Diamond DAG.
+        let g = vec![vec![1, 2], vec![3], vec![3], vec![]];
+        assert!(find_cycle(&g).is_none());
+        assert_eq!(tarjan_scc(&g).len(), 4);
+        assert!(cyclic_components(&g).is_empty());
+    }
+
+    #[test]
+    fn finds_embedded_cycle() {
+        // 0 -> 1 -> 2 -> 3 -> 1 plus a tail 4 -> 0.
+        let g = vec![vec![1], vec![2], vec![3], vec![1], vec![0]];
+        let cycle = find_cycle(&g).unwrap();
+        assert_eq!(cycle.len(), 3);
+        // The cycle must actually close in the graph.
+        for w in cycle.windows(2) {
+            assert!(g[w[0] as usize].contains(&w[1]));
+        }
+        assert!(g[*cycle.last().unwrap() as usize].contains(&cycle[0]));
+    }
+
+    #[test]
+    fn tarjan_groups_knots() {
+        let g = vec![vec![1], vec![2], vec![0], vec![2], vec![]];
+        let knots = cyclic_components(&g);
+        assert_eq!(knots.len(), 1);
+        let mut knot = knots[0].clone();
+        knot.sort_unstable();
+        assert_eq!(knot, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 100k-node path: recursion would overflow; iteration must not.
+        let n = 100_000;
+        let mut g: Vec<Vec<u32>> = (0..n - 1).map(|i| vec![i as u32 + 1]).collect();
+        g.push(vec![]);
+        assert!(find_cycle(&g).is_none());
+        assert_eq!(tarjan_scc(&g).len(), n);
+    }
+
+    #[test]
+    fn two_disjoint_cycles() {
+        let g = vec![vec![1], vec![0], vec![3], vec![2]];
+        assert_eq!(cyclic_components(&g).len(), 2);
+        assert!(find_cycle(&g).is_some());
+    }
+}

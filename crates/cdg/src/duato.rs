@@ -1,0 +1,217 @@
+//! Duato's verification criterion — the baseline theory EbDa is compared
+//! against.
+//!
+//! Duato (1993): a fully adaptive routing is deadlock-free if there exists a
+//! *connected*, *cycle-free* subset of channels (the escape channels);
+//! packets may use the remaining (adaptive) channels with no restriction
+//! because a blocked packet can always fall back to the escape subnetwork.
+//!
+//! This module checks the two structural conditions on a concrete topology:
+//! the escape turn relation must have an acyclic CDG, and the escape
+//! subnetwork alone must connect every source to every destination.
+
+use crate::dally::verify_turn_set;
+use crate::graph::ConcreteChannel;
+use crate::topology::{NodeId, Topology};
+use ebda_core::{Channel, TurnSet};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// The outcome of checking Duato's conditions.
+#[derive(Debug, Clone)]
+pub struct DuatoReport {
+    /// Whether the escape CDG is acyclic.
+    pub escape_acyclic: bool,
+    /// A witness cycle in the escape CDG, if any.
+    pub escape_cycle: Option<Vec<ConcreteChannel>>,
+    /// Whether the escape subnetwork connects every ordered node pair.
+    pub escape_connected: bool,
+    /// A witness unreachable pair, if any.
+    pub unreachable: Option<(NodeId, NodeId)>,
+}
+
+impl DuatoReport {
+    /// Returns `true` when both of Duato's conditions hold.
+    pub fn is_deadlock_free(&self) -> bool {
+        self.escape_acyclic && self.escape_connected
+    }
+}
+
+impl fmt::Display for DuatoReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_deadlock_free() {
+            write!(
+                f,
+                "duato conditions hold: escape subnetwork acyclic and connected"
+            )
+        } else if !self.escape_acyclic {
+            write!(f, "duato violation: escape subnetwork has a cyclic CDG")
+        } else {
+            let (a, b) = self.unreachable.unwrap_or((0, 0));
+            write!(
+                f,
+                "duato violation: escape subnetwork cannot route {a} -> {b}"
+            )
+        }
+    }
+}
+
+/// Checks Duato's conditions for an escape subnetwork described by a
+/// class-level turn set over `escape_universe`.
+///
+/// Connectivity is checked with minimal-path reachability: from every
+/// source, a BFS over (node, last escape class) states must reach every
+/// other node while strictly decreasing distance (escape channels in
+/// Duato-style designs are dimension-ordered and minimal).
+pub fn verify_escape(
+    topo: &Topology,
+    vcs: &[u8],
+    escape_universe: &[Channel],
+    escape_turns: &TurnSet,
+) -> DuatoReport {
+    let dally = verify_turn_set(topo, vcs, escape_universe, escape_turns);
+    let escape_acyclic = dally.is_deadlock_free();
+    let (escape_connected, unreachable) = check_connectivity(topo, escape_universe, escape_turns);
+    DuatoReport {
+        escape_acyclic,
+        escape_cycle: dally.cycle,
+        escape_connected,
+        unreachable,
+    }
+}
+
+/// BFS over `(node, last class)` states restricted to minimal moves.
+fn check_connectivity(
+    topo: &Topology,
+    universe: &[Channel],
+    turns: &TurnSet,
+) -> (bool, Option<(NodeId, NodeId)>) {
+    let n = topo.node_count();
+    for src in 0..n {
+        for dst in 0..n {
+            if src == dst {
+                continue;
+            }
+            if !reachable(topo, universe, turns, src, dst) {
+                return (false, Some((src, dst)));
+            }
+        }
+    }
+    (true, None)
+}
+
+fn reachable(
+    topo: &Topology,
+    universe: &[Channel],
+    turns: &TurnSet,
+    src: NodeId,
+    dst: NodeId,
+) -> bool {
+    // State: (node, last class index or usize::MAX at injection).
+    let k = universe.len();
+    let mut seen = vec![false; topo.node_count() * (k + 1)];
+    let state = |node: NodeId, last: usize| node * (k + 1) + last;
+    let mut queue = VecDeque::new();
+    queue.push_back((src, usize::MAX));
+    seen[state(src, k)] = true;
+    let dstc = topo.coords(dst);
+    while let Some((node, last)) = queue.pop_front() {
+        if node == dst {
+            return true;
+        }
+        let coords = topo.coords(node);
+        for (ci, &c) in universe.iter().enumerate() {
+            // Minimal move: the hop must reduce distance to dst.
+            let here = coords[c.dim.index()];
+            let want = dstc[c.dim.index()];
+            let towards = if topo.wraps(c.dim) {
+                // On tori allow either rotation that reduces ring distance.
+                let r = topo.radix()[c.dim.index()] as i64;
+                let fwd = ((want - here) % r + r) % r;
+                match c.dir {
+                    ebda_core::Direction::Plus => fwd != 0 && fwd <= r / 2,
+                    ebda_core::Direction::Minus => fwd != 0 && fwd > r / 2,
+                }
+            } else {
+                match c.dir {
+                    ebda_core::Direction::Plus => want > here,
+                    ebda_core::Direction::Minus => want < here,
+                }
+            };
+            if !towards || !c.class.contains(&coords) {
+                continue;
+            }
+            let allowed = last == usize::MAX || turns.allows(universe[last], c);
+            if !allowed {
+                continue;
+            }
+            if let Some(next) = topo.neighbor(node, c.dim, c.dir) {
+                let s = state(next, ci);
+                if !seen[s] {
+                    seen[s] = true;
+                    queue.push_back((next, ci));
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebda_core::{extract_turns, PartitionSeq};
+
+    fn xy_escape() -> (Vec<Channel>, TurnSet) {
+        // XY routing as the classic escape subnetwork.
+        let seq = PartitionSeq::parse("X+ | X- | Y+ | Y-").unwrap();
+        let ex = extract_turns(&seq).unwrap();
+        let universe = crate::dally::design_universe(&seq);
+        (universe, ex.into_turn_set())
+    }
+
+    #[test]
+    fn xy_escape_satisfies_duato() {
+        let (universe, turns) = xy_escape();
+        let report = verify_escape(&Topology::mesh(&[4, 4]), &[1, 1], &universe, &turns);
+        assert!(report.is_deadlock_free(), "{report}");
+    }
+
+    #[test]
+    fn cyclic_escape_rejected() {
+        // All-turns-allowed escape: connected but cyclic.
+        let universe = ebda_core::parse_channels("X+ X- Y+ Y-").unwrap();
+        let mut turns = TurnSet::new();
+        for &a in &universe {
+            for &b in &universe {
+                if a != b {
+                    turns.insert(ebda_core::Turn::new(a, b));
+                }
+            }
+        }
+        let report = verify_escape(&Topology::mesh(&[4, 4]), &[1, 1], &universe, &turns);
+        assert!(!report.is_deadlock_free());
+        assert!(!report.escape_acyclic);
+        assert!(report.escape_connected);
+    }
+
+    #[test]
+    fn disconnected_escape_rejected() {
+        // Escape with only X channels: acyclic but cannot route in Y.
+        let universe = ebda_core::parse_channels("X+ X-").unwrap();
+        let turns = TurnSet::new();
+        let report = verify_escape(&Topology::mesh(&[3, 3]), &[1, 1], &universe, &turns);
+        assert!(report.escape_acyclic);
+        assert!(!report.escape_connected);
+        assert!(report.unreachable.is_some());
+    }
+
+    #[test]
+    fn west_first_escape_is_connected_and_acyclic() {
+        let seq = PartitionSeq::parse("X- | X+ Y+ Y-").unwrap();
+        let ex = extract_turns(&seq).unwrap();
+        let universe = crate::dally::design_universe(&seq);
+        let report = verify_escape(&Topology::mesh(&[5, 5]), &[1, 1], &universe, ex.turn_set());
+        assert!(report.is_deadlock_free(), "{report}");
+    }
+}

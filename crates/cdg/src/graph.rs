@@ -1,0 +1,317 @@
+//! The channel dependency graph (CDG) of Dally & Seitz, instantiated on a
+//! concrete topology.
+//!
+//! Nodes are *concrete channels* — one per (directed link, virtual channel).
+//! An edge `a → b` means a packet holding `a` may request `b` next; Dally's
+//! criterion says the network is deadlock-free iff this graph is acyclic.
+
+use crate::topology::{NodeId, Topology};
+use ebda_core::{Channel, Dimension, Direction, TurnSet};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A concrete channel instance: one virtual channel of one directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConcreteChannel {
+    /// Source node of the link.
+    pub from: NodeId,
+    /// Destination node of the link.
+    pub to: NodeId,
+    /// The dimension the link runs along.
+    pub dim: Dimension,
+    /// The direction of travel.
+    pub dir: Direction,
+    /// The virtual channel (1-based).
+    pub vc: u8,
+}
+
+impl fmt::Display for ConcreteChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{} vc{} ({}→{})",
+            self.dim, self.vc, self.dir, self.vc, self.from, self.to
+        )
+    }
+}
+
+/// A channel dependency graph over concrete channels.
+#[derive(Debug, Clone)]
+pub struct Cdg {
+    channels: Vec<ConcreteChannel>,
+    /// Adjacency: indices into `channels`.
+    edges: Vec<Vec<u32>>,
+    edge_count: usize,
+}
+
+impl Cdg {
+    /// Enumerates every concrete channel of `topo` given per-dimension VC
+    /// counts (`vcs[d]` virtual channels along dimension `d`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcs.len()` differs from the topology's dimension count.
+    pub fn channels_of(topo: &Topology, vcs: &[u8]) -> Vec<ConcreteChannel> {
+        assert_eq!(vcs.len(), topo.dims(), "one VC count per dimension");
+        let mut out = Vec::new();
+        for (from, to, dim, dir) in topo.links() {
+            for vc in 1..=vcs[dim.index()] {
+                out.push(ConcreteChannel {
+                    from,
+                    to,
+                    dim,
+                    dir,
+                    vc,
+                });
+            }
+        }
+        out
+    }
+
+    /// Builds the CDG induced by a class-level turn set.
+    ///
+    /// A concrete channel *matches* a channel class when dimension,
+    /// direction and VC agree and the class's parity restriction holds at
+    /// the link's source node. The dependency `a → b` is added when the
+    /// links are adjacent (`a.to == b.from`) and the turn set allows some
+    /// matched class of `a` to continue on some matched class of `b`
+    /// (straight-through on the same class is always allowed).
+    ///
+    /// `universe` is the design's channel-class universe; concrete channels
+    /// matching no class are unused by the routing function and get no
+    /// edges.
+    pub fn from_turn_set(
+        topo: &Topology,
+        vcs: &[u8],
+        universe: &[Channel],
+        turns: &TurnSet,
+    ) -> Cdg {
+        let channels = Cdg::channels_of(topo, vcs);
+        // Precompute class matches per concrete channel.
+        let matches: Vec<Vec<usize>> = channels
+            .iter()
+            .map(|cc| {
+                let coords = topo.coords(cc.from);
+                universe
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, cl)| {
+                        cl.dim == cc.dim
+                            && cl.dir == cc.dir
+                            && cl.vc == cc.vc
+                            && cl.class.contains(&coords)
+                    })
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .collect();
+        Cdg::build(topo, channels, |ai, bi| {
+            matches[ai].iter().any(|&ca| {
+                matches[bi]
+                    .iter()
+                    .any(|&cb| turns.allows(universe[ca], universe[cb]))
+            })
+        })
+    }
+
+    /// Builds the CDG from an arbitrary dependency rule over adjacent
+    /// concrete channels. `rule(a, b)` is consulted only when
+    /// `a.to == b.from` and `a` does not immediately re-enter its own link
+    /// reversed (that degenerate hairpin is included — routing rules decide).
+    pub fn from_rule<F>(topo: &Topology, vcs: &[u8], rule: F) -> Cdg
+    where
+        F: Fn(ConcreteChannel, ConcreteChannel) -> bool,
+    {
+        let channels = Cdg::channels_of(topo, vcs);
+        let chans = channels.clone();
+        Cdg::build(topo, channels, |ai, bi| rule(chans[ai], chans[bi]))
+    }
+
+    fn build<F>(topo: &Topology, channels: Vec<ConcreteChannel>, allowed: F) -> Cdg
+    where
+        F: Fn(usize, usize) -> bool,
+    {
+        // Group channel indices by their source node for adjacency lookup.
+        let mut outgoing: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        for (i, c) in channels.iter().enumerate() {
+            outgoing.entry(c.from).or_default().push(i);
+        }
+        let empty = Vec::new();
+        let mut edges = vec![Vec::new(); channels.len()];
+        let mut edge_count = 0usize;
+        for (ai, a) in channels.iter().enumerate() {
+            for &bi in outgoing.get(&a.to).unwrap_or(&empty) {
+                if allowed(ai, bi) {
+                    edges[ai].push(bi as u32);
+                    edge_count += 1;
+                }
+            }
+        }
+        let _ = topo;
+        Cdg {
+            channels,
+            edges,
+            edge_count,
+        }
+    }
+
+    /// The concrete channels (graph nodes).
+    pub fn channels(&self) -> &[ConcreteChannel] {
+        &self.channels
+    }
+
+    /// Number of graph nodes.
+    pub fn node_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Successors of channel `i`.
+    pub fn successors(&self, i: usize) -> &[u32] {
+        &self.edges[i]
+    }
+
+    /// Finds a dependency cycle, or `None` when the graph is acyclic —
+    /// Dally's criterion. See [`crate::cycle`] for the algorithm.
+    pub fn find_cycle(&self) -> Option<Vec<ConcreteChannel>> {
+        crate::cycle::find_cycle(&self.edges).map(|idxs| {
+            idxs.into_iter()
+                .map(|i| self.channels[i as usize])
+                .collect()
+        })
+    }
+
+    /// Returns `true` when the dependency graph has no cycle.
+    pub fn is_acyclic(&self) -> bool {
+        self.find_cycle().is_none()
+    }
+
+    /// Renders the concrete CDG in Graphviz DOT form (one node per
+    /// concrete channel, one edge per dependency). Intended for small
+    /// verification topologies; the output grows with links × VCs.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("digraph cdg {\n  node [shape=ellipse];\n");
+        for (i, c) in self.channels.iter().enumerate() {
+            let _ = writeln!(out, "  n{i} [label=\"{c}\"];");
+        }
+        for (i, succs) in self.edges.iter().enumerate() {
+            for &j in succs {
+                let _ = writeln!(out, "  n{i} -> n{j};");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebda_core::{extract_turns, parse_channels, PartitionSeq};
+
+    fn design_universe(seq: &PartitionSeq) -> Vec<Channel> {
+        seq.channels()
+    }
+
+    #[test]
+    fn channel_enumeration_counts() {
+        let topo = Topology::mesh(&[3, 3]);
+        let chans = Cdg::channels_of(&topo, &[1, 1]);
+        assert_eq!(chans.len(), 24);
+        let chans = Cdg::channels_of(&topo, &[2, 1]);
+        assert_eq!(chans.len(), 36); // 12 X-links doubled + 12 Y-links
+    }
+
+    #[test]
+    fn all_turns_allowed_is_cyclic() {
+        // The unrestricted network: every turn allowed => cyclic CDG.
+        let topo = Topology::mesh(&[3, 3]);
+        let universe = parse_channels("X+ X- Y+ Y-").unwrap();
+        let mut turns = TurnSet::new();
+        for &a in &universe {
+            for &b in &universe {
+                if a != b {
+                    turns.insert(ebda_core::Turn::new(a, b));
+                }
+            }
+        }
+        let cdg = Cdg::from_turn_set(&topo, &[1, 1], &universe, &turns);
+        assert!(!cdg.is_acyclic());
+        let cycle = cdg.find_cycle().unwrap();
+        assert!(cycle.len() >= 2);
+    }
+
+    #[test]
+    fn north_last_is_acyclic_on_meshes() {
+        let seq = PartitionSeq::parse("X+ X- Y- | Y+").unwrap();
+        let ex = extract_turns(&seq).unwrap();
+        let universe = design_universe(&seq);
+        for radix in [3usize, 4, 6] {
+            let topo = Topology::mesh(&[radix, radix]);
+            let cdg = Cdg::from_turn_set(&topo, &[1, 1], &universe, ex.turn_set());
+            assert!(
+                cdg.is_acyclic(),
+                "north-last must be acyclic on {radix}x{radix}"
+            );
+        }
+    }
+
+    #[test]
+    fn straight_rings_deadlock_on_torus_but_not_mesh() {
+        // Even with *no* turns allowed, torus wraparound closes a ring.
+        let universe = parse_channels("X+ X- Y+ Y-").unwrap();
+        let turns = TurnSet::new();
+        let mesh = Cdg::from_turn_set(&Topology::mesh(&[4, 4]), &[1, 1], &universe, &turns);
+        assert!(mesh.is_acyclic());
+        let torus = Cdg::from_turn_set(&Topology::torus(&[4, 4]), &[1, 1], &universe, &turns);
+        assert!(!torus.is_acyclic());
+    }
+
+    #[test]
+    fn parity_classes_bind_to_source_column() {
+        // Odd-Even: acyclic on meshes of both parities.
+        let seq = ebda_core::catalog::odd_even();
+        let ex = extract_turns(&seq).unwrap();
+        let universe = design_universe(&seq);
+        for radix in [4usize, 5] {
+            let topo = Topology::mesh(&[radix, radix]);
+            let cdg = Cdg::from_turn_set(&topo, &[1, 1], &universe, ex.turn_set());
+            assert!(
+                cdg.is_acyclic(),
+                "odd-even must be acyclic on {radix}x{radix}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_export_counts_nodes_and_edges() {
+        let seq = PartitionSeq::parse("X+ X- Y- | Y+").unwrap();
+        let ex = extract_turns(&seq).unwrap();
+        let topo = Topology::mesh(&[3, 3]);
+        let cdg = Cdg::from_turn_set(&topo, &[1, 1], &design_universe(&seq), ex.turn_set());
+        let dot = cdg.to_dot();
+        assert!(dot.starts_with("digraph cdg"));
+        assert_eq!(dot.matches("label=").count(), cdg.node_count());
+        assert_eq!(dot.matches(" -> ").count(), cdg.edge_count());
+    }
+
+    #[test]
+    fn from_rule_matches_manual_edges() {
+        let topo = Topology::mesh(&[2, 2]);
+        // Rule: only straight-through along X+.
+        let cdg = Cdg::from_rule(&topo, &[1, 1], |a, b| {
+            a.dim == Dimension::X
+                && b.dim == Dimension::X
+                && a.dir == Direction::Plus
+                && b.dir == Direction::Plus
+        });
+        assert!(cdg.is_acyclic());
+        // On a 2x2 mesh no X+ chain of length 2 exists: zero edges.
+        assert_eq!(cdg.edge_count(), 0);
+    }
+}

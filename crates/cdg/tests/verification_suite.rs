@@ -1,0 +1,109 @@
+//! Systematic verification sweeps: every catalog design across mesh sizes
+//! and shapes — deadlock freedom must be size-independent (the property
+//! that makes small-instance checking meaningful).
+
+use ebda_cdg::{verify_design, Topology};
+use ebda_core::catalog;
+
+#[test]
+fn two_d_designs_are_stable_across_sizes() {
+    let designs = [
+        ("P1", catalog::p1_xy()),
+        ("P2", catalog::p2_partially_adaptive()),
+        ("P3", catalog::p3_west_first()),
+        ("P4", catalog::p4_negative_first()),
+        ("north-last", catalog::north_last()),
+        ("fig7b", catalog::fig7b_dyxy()),
+        ("fig7c", catalog::fig7c()),
+        ("odd-even", catalog::odd_even()),
+        ("hamiltonian", catalog::hamiltonian()),
+    ];
+    for radix in 3..=8usize {
+        let topo = Topology::mesh(&[radix, radix]);
+        for (name, seq) in &designs {
+            let report = verify_design(&topo, seq).unwrap();
+            assert!(
+                report.is_deadlock_free(),
+                "{name} cyclic on {radix}x{radix}: {report}"
+            );
+        }
+    }
+}
+
+#[test]
+fn rectangular_meshes_behave_like_square_ones() {
+    for shape in [[3usize, 7], [7, 3], [2, 9], [5, 4]] {
+        let topo = Topology::mesh(&shape);
+        for (name, seq) in [
+            ("west-first", catalog::p3_west_first()),
+            ("odd-even", catalog::odd_even()),
+            ("dyxy", catalog::fig7b_dyxy()),
+        ] {
+            let report = verify_design(&topo, &seq).unwrap();
+            assert!(
+                report.is_deadlock_free(),
+                "{name} cyclic on {shape:?}: {report}"
+            );
+        }
+    }
+}
+
+#[test]
+fn three_d_designs_on_irregular_box_shapes() {
+    for shape in [[2usize, 3, 4], [4, 2, 3], [3, 3, 2]] {
+        let topo = Topology::mesh(&shape);
+        for (name, seq) in [
+            ("fig9b", catalog::fig9b()),
+            ("fig9c", catalog::fig9c()),
+            ("planar-adaptive", catalog::planar_adaptive(3)),
+            ("table5", catalog::table5_partial3d()),
+        ] {
+            let report = verify_design(&topo, &seq).unwrap();
+            assert!(
+                report.is_deadlock_free(),
+                "{name} cyclic on {shape:?}: {report}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dependency_counts_grow_linearly_with_mesh_area() {
+    // Turn-CDG dependencies of a fixed design scale with the link count,
+    // sanity-checking the instantiation (no quadratic blowup, no loss).
+    let seq = catalog::p3_west_first();
+    let d4 = verify_design(&Topology::mesh(&[4, 4]), &seq)
+        .unwrap()
+        .dependencies as f64;
+    let d8 = verify_design(&Topology::mesh(&[8, 8]), &seq)
+        .unwrap()
+        .dependencies as f64;
+    let ratio = d8 / d4;
+    assert!(
+        (3.0..6.5).contains(&ratio),
+        "8x8/4x4 dependency ratio {ratio} outside the linear-ish band"
+    );
+}
+
+#[test]
+fn witnesses_exist_exactly_when_cyclic() {
+    use ebda_cdg::witness::shortest_cycle;
+    use ebda_cdg::Cdg;
+    use ebda_core::{parse_channels, Turn, TurnSet};
+
+    let universe = parse_channels("X+ X- Y+ Y-").unwrap();
+    let mut all = TurnSet::new();
+    for &a in &universe {
+        for &b in &universe {
+            if a != b && a.dim != b.dim {
+                all.insert(Turn::new(a, b));
+            }
+        }
+    }
+    for radix in 3..=6usize {
+        let topo = Topology::mesh(&[radix, radix]);
+        let cyclic = Cdg::from_turn_set(&topo, &[1, 1], &universe, &all);
+        let witness = shortest_cycle(&cyclic).expect("all-turns is cyclic");
+        assert_eq!(witness.len(), 4, "unit square on {radix}x{radix}");
+    }
+}

@@ -1,0 +1,527 @@
+//! Adaptiveness metrics: region coverage, minimal-path counting and the
+//! Figure 4 turn-counting identities.
+
+use crate::channel::{Channel, Direction};
+
+use crate::sequence::PartitionSeq;
+use crate::turn::TurnSet;
+use std::collections::HashMap;
+
+/// Returns `true` if some single partition of the design covers the region
+/// given by per-dimension required directions (`None` = no movement
+/// needed). Inside one partition routing is fully adaptive, so covering a
+/// region with one partition means full adaptiveness there (Section 4).
+pub fn region_is_fully_adaptive(seq: &PartitionSeq, region: &[Option<Direction>]) -> bool {
+    seq.partitions().iter().any(|p| p.covers_region(region))
+}
+
+/// Returns `true` if every one of the `2^n` regions is covered by a single
+/// partition — the paper's definition of a fully adaptive design.
+///
+/// ```
+/// use ebda_core::{adaptiveness::is_fully_adaptive, PartitionSeq};
+/// let dyxy = PartitionSeq::parse("X1+ Y1+ Y1- | X1- Y2+ Y2-").unwrap();
+/// assert!(is_fully_adaptive(&dyxy, 2));
+/// let xy = PartitionSeq::parse("X+ | X- | Y+ | Y-").unwrap();
+/// assert!(!is_fully_adaptive(&xy, 2));
+/// ```
+pub fn is_fully_adaptive(seq: &PartitionSeq, n: usize) -> bool {
+    assert!(n < 32, "dimension too large for region enumeration");
+    (0..(1u32 << n)).all(|mask| {
+        let region: Vec<Option<Direction>> = (0..n)
+            .map(|d| {
+                Some(if mask & (1 << d) == 0 {
+                    Direction::Plus
+                } else {
+                    Direction::Minus
+                })
+            })
+            .collect();
+        region_is_fully_adaptive(seq, &region)
+    })
+}
+
+/// Counts the distinct minimal geometric paths a turn set permits between
+/// two nodes of an `n`-dimensional mesh.
+///
+/// `channels` is the channel-class universe of the design (at most 64
+/// classes). A geometric path (a sequence of `±dimension` moves) counts as
+/// allowed when *some* assignment of channel classes to its hops satisfies
+/// the turn set — computed by tracking the set of classes the packet could
+/// currently occupy as a bitmask.
+///
+/// `src` and `dst` are coordinate vectors of equal length `n`.
+///
+/// The fully adaptive upper bound is the multinomial
+/// `(Σ|Δ_i|)! / Π |Δ_i|!`; XY-style deterministic routing yields exactly 1.
+///
+/// # Panics
+///
+/// Panics if more than 64 channel classes are supplied or the coordinate
+/// lengths differ.
+pub fn count_minimal_paths(turns: &TurnSet, channels: &[Channel], src: &[i64], dst: &[i64]) -> u64 {
+    assert!(channels.len() <= 64, "at most 64 channel classes supported");
+    assert_eq!(src.len(), dst.len(), "coordinate dimension mismatch");
+    // Initial mask: any class is available at injection.
+    let full: u64 = if channels.len() == 64 {
+        u64::MAX
+    } else {
+        (1u64 << channels.len()) - 1
+    };
+    let mut memo: HashMap<(Vec<i64>, u64), u64> = HashMap::new();
+    count_rec(
+        turns,
+        channels,
+        &mut src.to_vec(),
+        dst,
+        full,
+        true,
+        &mut memo,
+    )
+}
+
+fn count_rec(
+    turns: &TurnSet,
+    channels: &[Channel],
+    pos: &mut Vec<i64>,
+    dst: &[i64],
+    mask: u64,
+    at_injection: bool,
+    memo: &mut HashMap<(Vec<i64>, u64), u64>,
+) -> u64 {
+    if pos.as_slice() == dst {
+        return 1;
+    }
+    let key = (pos.clone(), mask);
+    if let Some(&v) = memo.get(&key) {
+        return v;
+    }
+    let mut total = 0u64;
+    for d in 0..pos.len() {
+        let delta = dst[d] - pos[d];
+        if delta == 0 {
+            continue;
+        }
+        let need = if delta > 0 {
+            Direction::Plus
+        } else {
+            Direction::Minus
+        };
+        // Classes that can carry this hop, reachable from the current mask.
+        let mut new_mask = 0u64;
+        for (ci, &c) in channels.iter().enumerate() {
+            if c.dim.index() != d || c.dir != need || !c.class.contains(pos) {
+                continue;
+            }
+            let reachable = if at_injection {
+                // Injection can start on any class.
+                mask & (1u64 << ci) != 0 || mask == compute_full(channels)
+            } else {
+                (0..channels.len())
+                    .any(|pi| mask & (1u64 << pi) != 0 && turns.allows(channels[pi], c))
+            };
+            if reachable {
+                new_mask |= 1u64 << ci;
+            }
+        }
+        if new_mask == 0 {
+            continue;
+        }
+        pos[d] += need.sign();
+        total = total.saturating_add(count_rec(turns, channels, pos, dst, new_mask, false, memo));
+        pos[d] -= need.sign();
+    }
+    memo.insert(key, total);
+    total
+}
+
+fn compute_full(channels: &[Channel]) -> u64 {
+    if channels.len() == 64 {
+        u64::MAX
+    } else {
+        (1u64 << channels.len()) - 1
+    }
+}
+
+/// The fully adaptive minimal-path count between two nodes: the multinomial
+/// coefficient `(Σ|Δ_i|)! / Π |Δ_i|!`.
+///
+/// ```
+/// use ebda_core::adaptiveness::max_minimal_paths;
+/// assert_eq!(max_minimal_paths(&[0, 0], &[3, 2]), 10);
+/// assert_eq!(max_minimal_paths(&[0, 0, 0], &[1, 1, 1]), 6);
+/// ```
+pub fn max_minimal_paths(src: &[i64], dst: &[i64]) -> u64 {
+    let deltas: Vec<u64> = src
+        .iter()
+        .zip(dst.iter())
+        .map(|(a, b)| a.abs_diff(*b))
+        .collect();
+    let total: u64 = deltas.iter().sum();
+    let mut result = 1u64;
+    let mut k = 0u64;
+    for &d in &deltas {
+        for i in 1..=d {
+            k += 1;
+            result = result * k / i;
+        }
+    }
+    debug_assert_eq!(k, total);
+    result
+}
+
+/// Figure 4's counting identity for a paired dimension with `a` positive
+/// and `b` negative channels inside one partition:
+///
+/// `n(n-1)/2 = a·b + C(a,2) + C(b,2)` where `n = a + b`,
+///
+/// with `a·b` the U-turn count and the binomials the I-turn counts.
+/// Returns `(total, u_turns, i_turns)`.
+///
+/// ```
+/// use ebda_core::adaptiveness::fig4_turn_counts;
+/// let (total, u, i) = fig4_turn_counts(3, 3);
+/// assert_eq!((total, u, i), (15, 9, 6)); // the paper's 3-VC example
+/// ```
+pub fn fig4_turn_counts(a: u64, b: u64) -> (u64, u64, u64) {
+    let n = a + b;
+    let total = n * n.saturating_sub(1) / 2;
+    let u = a * b;
+    let i = a * a.saturating_sub(1) / 2 + b * b.saturating_sub(1) / 2;
+    debug_assert_eq!(total, u + i, "the Fig. 4 identity must hold");
+    (total, u, i)
+}
+
+/// Degree-of-adaptiveness summary of a design over every source/destination
+/// pair of a `k^n` mesh: `(minimum, maximum, sum, pairs)` of allowed
+/// minimal-path counts. A deterministic algorithm has max = 1; a fully
+/// adaptive one matches [`max_minimal_paths`] everywhere.
+pub fn adaptiveness_profile(
+    turns: &TurnSet,
+    channels: &[Channel],
+    radix: i64,
+    n: usize,
+) -> AdaptivenessProfile {
+    let mut min = u64::MAX;
+    let mut max = 0u64;
+    let mut sum = 0u64;
+    let mut full = 0u64;
+    let mut pairs = 0u64;
+    let nodes: Vec<Vec<i64>> = enumerate_nodes(radix, n);
+    for src in &nodes {
+        for dst in &nodes {
+            if src == dst {
+                continue;
+            }
+            let c = count_minimal_paths(turns, channels, src, dst);
+            let bound = max_minimal_paths(src, dst);
+            min = min.min(c);
+            max = max.max(c);
+            sum += c;
+            if c == bound {
+                full += 1;
+            }
+            pairs += 1;
+        }
+    }
+    AdaptivenessProfile {
+        min,
+        max,
+        sum,
+        fully_adaptive_pairs: full,
+        pairs,
+    }
+}
+
+/// The adaptiveness class of one region (orthant) under a design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionClass {
+    /// Every minimal path is allowed for every pair in the region.
+    FullyAdaptive,
+    /// Some pairs have several allowed minimal paths, but not all of them.
+    PartiallyAdaptive,
+    /// Exactly one minimal path per pair.
+    Deterministic,
+    /// Some pair in the region cannot be routed minimally at all.
+    Unreachable,
+}
+
+impl std::fmt::Display for RegionClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegionClass::FullyAdaptive => write!(f, "fully adaptive"),
+            RegionClass::PartiallyAdaptive => write!(f, "partially adaptive"),
+            RegionClass::Deterministic => write!(f, "deterministic"),
+            RegionClass::Unreachable => write!(f, "unreachable"),
+        }
+    }
+}
+
+/// Classifies every region (orthant) of an `n`-dimensional design by
+/// sweeping all source/destination pairs of a `radix^n` mesh whose offset
+/// signs match the region — the machine-checked version of statements like
+/// Section 6.3's "fully adaptive routing can be utilized in four regions
+/// as NEU, SEU, NWD, SWD and partially adaptive routing … in the other
+/// four".
+///
+/// Returns one `(region signs, class)` entry per orthant, where the sign
+/// vector gives the required direction per dimension.
+pub fn region_classes(
+    turns: &TurnSet,
+    channels: &[Channel],
+    radix: i64,
+    n: usize,
+) -> Vec<(Vec<Direction>, RegionClass)> {
+    assert!(n < 16, "dimension too large for region enumeration");
+    let nodes = enumerate_nodes(radix, n);
+    let mut out = Vec::with_capacity(1 << n);
+    for mask in 0..(1u32 << n) {
+        let region: Vec<Direction> = (0..n)
+            .map(|d| {
+                if mask & (1 << d) == 0 {
+                    Direction::Plus
+                } else {
+                    Direction::Minus
+                }
+            })
+            .collect();
+        let mut all_full = true;
+        let mut all_single = true;
+        let mut reachable = true;
+        for src in &nodes {
+            for dst in &nodes {
+                // The pair must move in every dimension, with the region's
+                // signs (pure-orthant pairs characterize the region).
+                let in_region = (0..n).all(|d| match region[d] {
+                    Direction::Plus => dst[d] > src[d],
+                    Direction::Minus => dst[d] < src[d],
+                });
+                if !in_region {
+                    continue;
+                }
+                let count = count_minimal_paths(turns, channels, src, dst);
+                let bound = max_minimal_paths(src, dst);
+                if count == 0 {
+                    reachable = false;
+                }
+                if count != bound {
+                    all_full = false;
+                }
+                if count > 1 {
+                    all_single = false;
+                }
+            }
+        }
+        let class = if !reachable {
+            RegionClass::Unreachable
+        } else if all_full {
+            RegionClass::FullyAdaptive
+        } else if all_single {
+            RegionClass::Deterministic
+        } else {
+            RegionClass::PartiallyAdaptive
+        };
+        out.push((region, class));
+    }
+    out
+}
+
+/// Summary statistics returned by [`adaptiveness_profile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptivenessProfile {
+    /// Minimum allowed minimal-path count over all pairs.
+    pub min: u64,
+    /// Maximum allowed minimal-path count over all pairs.
+    pub max: u64,
+    /// Sum of allowed minimal-path counts.
+    pub sum: u64,
+    /// Number of pairs at the fully adaptive bound.
+    pub fully_adaptive_pairs: u64,
+    /// Total number of ordered source/destination pairs.
+    pub pairs: u64,
+}
+
+fn enumerate_nodes(radix: i64, n: usize) -> Vec<Vec<i64>> {
+    let mut nodes = vec![vec![]];
+    for _ in 0..n {
+        let mut next = Vec::new();
+        for node in &nodes {
+            for c in 0..radix {
+                let mut v = node.clone();
+                v.push(c);
+                next.push(v);
+            }
+        }
+        nodes = next;
+    }
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract_turns;
+
+    #[test]
+    fn fig4_identity_holds_broadly() {
+        for a in 0..20u64 {
+            for b in 0..20u64 {
+                let (total, u, i) = fig4_turn_counts(a, b);
+                assert_eq!(total, u + i, "identity fails for a={a}, b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn multinomial_path_bound() {
+        assert_eq!(max_minimal_paths(&[0, 0], &[0, 0]), 1);
+        assert_eq!(max_minimal_paths(&[0, 0], &[1, 1]), 2);
+        assert_eq!(max_minimal_paths(&[2, 3], &[0, 0]), 10);
+        assert_eq!(max_minimal_paths(&[0, 0, 0], &[2, 1, 1]), 12);
+    }
+
+    #[test]
+    fn xy_routing_is_deterministic() {
+        // XY = partitions [X+][X-][Y+][Y-] in that order.
+        let seq = PartitionSeq::parse("X+ | X- | Y+ | Y-").unwrap();
+        let ex = extract_turns(&seq).unwrap();
+        let channels: Vec<Channel> = crate::channel::parse_channels("X+ X- Y+ Y-").unwrap();
+        for (src, dst) in [([0, 0], [3, 3]), ([3, 0], [0, 2]), ([2, 2], [0, 0])] {
+            assert_eq!(
+                count_minimal_paths(ex.turn_set(), &channels, &src, &dst),
+                1,
+                "XY must be deterministic for {src:?}->{dst:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn north_last_counts() {
+        // North-last: fully adaptive when heading south, deterministic when
+        // the packet must end going north.
+        let seq = PartitionSeq::parse("X+ X- Y- | Y+").unwrap();
+        let ex = extract_turns(&seq).unwrap();
+        let channels: Vec<Channel> = crate::channel::parse_channels("X+ X- Y+ Y-").unwrap();
+        // Southeast-bound: full adaptiveness (bound = 10 for 3x2 offsets).
+        assert_eq!(
+            count_minimal_paths(ex.turn_set(), &channels, &[0, 3], &[3, 1]),
+            10
+        );
+        // Northeast-bound: east first then north, exactly 1 path.
+        assert_eq!(
+            count_minimal_paths(ex.turn_set(), &channels, &[0, 0], &[3, 2]),
+            1
+        );
+    }
+
+    #[test]
+    fn negative_first_counts() {
+        let seq = PartitionSeq::parse("X- Y- | X+ Y+").unwrap();
+        let ex = extract_turns(&seq).unwrap();
+        let channels: Vec<Channel> = crate::channel::parse_channels("X+ X- Y+ Y-").unwrap();
+        // Pure-negative and pure-positive quadrants are fully adaptive.
+        assert_eq!(
+            count_minimal_paths(ex.turn_set(), &channels, &[3, 3], &[1, 1]),
+            6
+        );
+        assert_eq!(
+            count_minimal_paths(ex.turn_set(), &channels, &[0, 0], &[2, 2]),
+            6
+        );
+        // Mixed quadrant: negative hops must all precede positive hops.
+        assert_eq!(
+            count_minimal_paths(ex.turn_set(), &channels, &[0, 2], &[2, 0]),
+            1
+        );
+    }
+
+    #[test]
+    fn fully_adaptive_design_hits_the_bound_everywhere() {
+        let seq = crate::min_channels::merged_partitioning(2).unwrap();
+        let ex = extract_turns(&seq).unwrap();
+        let channels = seq.channels();
+        let profile = adaptiveness_profile(ex.turn_set(), &channels, 3, 2);
+        assert_eq!(profile.fully_adaptive_pairs, profile.pairs);
+    }
+
+    #[test]
+    fn profile_distinguishes_algorithms() {
+        let channels: Vec<Channel> = crate::channel::parse_channels("X+ X- Y+ Y-").unwrap();
+        let xy = extract_turns(&PartitionSeq::parse("X+ | X- | Y+ | Y-").unwrap()).unwrap();
+        let nl = extract_turns(&PartitionSeq::parse("X+ X- Y- | Y+").unwrap()).unwrap();
+        let pxy = adaptiveness_profile(xy.turn_set(), &channels, 3, 2);
+        let pnl = adaptiveness_profile(nl.turn_set(), &channels, 3, 2);
+        assert_eq!(pxy.max, 1);
+        assert!(pnl.sum > pxy.sum);
+        assert!(pnl.max > 1);
+    }
+
+    #[test]
+    fn table5_region_claim_from_section_6_3() {
+        // "fully adaptive routing can be utilized in four regions as NEU,
+        // SEU, NWD, SWD and partially adaptive routing can be used in the
+        // other four regions as NED, SED, NWU, and SWU."
+        use Direction::*;
+        let seq = crate::catalog::table5_partial3d();
+        let ex = extract_turns(&seq).unwrap();
+        let channels = seq.channels();
+        let classes = region_classes(ex.turn_set(), &channels, 3, 3);
+        let class_of = |x: Direction, y: Direction, z: Direction| {
+            classes
+                .iter()
+                .find(|(r, _)| r == &vec![x, y, z])
+                .map(|(_, c)| *c)
+                .unwrap()
+        };
+        // (x, y, z) signs: N/S = Y, E/W = X, U/D = Z.
+        for (x, y, z) in [
+            (Plus, Plus, Plus),    // NEU
+            (Plus, Minus, Plus),   // SEU
+            (Minus, Plus, Minus),  // NWD
+            (Minus, Minus, Minus), // SWD
+        ] {
+            assert_eq!(class_of(x, y, z), RegionClass::FullyAdaptive);
+        }
+        for (x, y, z) in [
+            (Plus, Plus, Minus),  // NED
+            (Plus, Minus, Minus), // SED
+            (Minus, Plus, Plus),  // NWU
+            (Minus, Minus, Plus), // SWU
+        ] {
+            assert_eq!(class_of(x, y, z), RegionClass::PartiallyAdaptive);
+        }
+    }
+
+    #[test]
+    fn region_classes_for_classic_2d_designs() {
+        use Direction::*;
+        let channels: Vec<Channel> = crate::channel::parse_channels("X+ X- Y+ Y-").unwrap();
+        // XY: every quadrant deterministic.
+        let xy = extract_turns(&PartitionSeq::parse("X+ | X- | Y+ | Y-").unwrap()).unwrap();
+        for (_, class) in region_classes(xy.turn_set(), &channels, 4, 2) {
+            assert_eq!(class, RegionClass::Deterministic);
+        }
+        // West-first: east quadrants fully adaptive, west deterministic.
+        let wf = extract_turns(&PartitionSeq::parse("X- | X+ Y+ Y-").unwrap()).unwrap();
+        let classes = region_classes(wf.turn_set(), &channels, 4, 2);
+        for (region, class) in classes {
+            match region[0] {
+                Plus => assert_eq!(class, RegionClass::FullyAdaptive, "{region:?}"),
+                Minus => assert_eq!(class, RegionClass::Deterministic, "{region:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn region_coverage_queries() {
+        use Direction::*;
+        let dyxy = PartitionSeq::parse("X1+ Y1+ Y1- | X1- Y2+ Y2-").unwrap();
+        assert!(region_is_fully_adaptive(&dyxy, &[Some(Plus), Some(Minus)]));
+        assert!(region_is_fully_adaptive(&dyxy, &[Some(Minus), None]));
+        let wf = PartitionSeq::parse("X- | X+ Y+ Y-").unwrap();
+        // West-first: west-bound regions are NOT fully adaptive…
+        assert!(!region_is_fully_adaptive(&wf, &[Some(Minus), Some(Plus)]));
+        // …but east-bound ones are.
+        assert!(region_is_fully_adaptive(&wf, &[Some(Plus), Some(Minus)]));
+    }
+}

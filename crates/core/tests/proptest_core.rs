@@ -1,0 +1,184 @@
+//! Property-based tests of the core channel algebra, partitions, turn sets
+//! and the extraction invariants.
+
+use ebda_core::{
+    extract_turns, Channel, ChannelClass, Dimension, Direction, Parity, Partition, PartitionSeq,
+    Turn, TurnKind, TurnSet,
+};
+use proptest::prelude::*;
+
+fn arb_direction() -> impl Strategy<Value = Direction> {
+    prop_oneof![Just(Direction::Plus), Just(Direction::Minus)]
+}
+
+fn arb_class() -> impl Strategy<Value = ChannelClass> {
+    prop_oneof![
+        3 => Just(ChannelClass::All),
+        1 => (0u8..3, prop_oneof![Just(Parity::Even), Just(Parity::Odd)]).prop_map(
+            |(axis, parity)| ChannelClass::AtParity {
+                axis: Dimension::new(axis),
+                parity,
+            }
+        ),
+    ]
+}
+
+fn arb_channel() -> impl Strategy<Value = Channel> {
+    (0u8..4, arb_direction(), 1u8..5, arb_class()).prop_map(|(dim, dir, vc, class)| Channel {
+        dim: Dimension::new(dim),
+        dir,
+        vc,
+        class,
+    })
+}
+
+proptest! {
+    /// Display -> parse is the identity for every representable channel
+    /// with the conventional parity axis.
+    #[test]
+    fn channel_display_parse_roundtrip(mut c in arb_channel()) {
+        // The textual form can only carry the conventional parity axis.
+        if let ChannelClass::AtParity { parity, .. } = c.class {
+            c.class = ChannelClass::AtParity {
+                axis: Channel::conventional_parity_axis(c.dim),
+                parity,
+            };
+        }
+        let printed = c.to_string();
+        let parsed = Channel::parse(&printed).unwrap();
+        prop_assert_eq!(parsed, c, "failed for {}", printed);
+    }
+
+    /// Channel overlap is reflexive and symmetric.
+    #[test]
+    fn overlap_is_reflexive_and_symmetric(a in arb_channel(), b in arb_channel()) {
+        prop_assert!(a.overlaps(a));
+        prop_assert_eq!(a.overlaps(b), b.overlaps(a));
+    }
+
+    /// A partition never stores overlapping channels, and its pair
+    /// inventory is consistent with its direction profile.
+    #[test]
+    fn partition_invariants(channels in proptest::collection::vec(arb_channel(), 0..8)) {
+        let mut p = Partition::new();
+        for c in channels {
+            let _ = p.push(c); // overlapping pushes are rejected
+        }
+        let chans = p.channels();
+        for i in 0..chans.len() {
+            for j in (i + 1)..chans.len() {
+                prop_assert!(!chans[i].overlaps(chans[j]));
+            }
+        }
+        // Pair dims must actually have both directions present.
+        for d in p.complete_pair_dims() {
+            prop_assert!(chans.iter().any(|c| c.dim == d && c.dir == Direction::Plus));
+            prop_assert!(chans.iter().any(|c| c.dim == d && c.dir == Direction::Minus));
+        }
+    }
+
+    /// TurnSet::counts always sums to len, and merge is monotone.
+    #[test]
+    fn turnset_counts_and_merge(
+        pairs in proptest::collection::vec((arb_channel(), arb_channel()), 0..20)
+    ) {
+        let mut a = TurnSet::new();
+        let mut b = TurnSet::new();
+        for (i, (x, y)) in pairs.into_iter().enumerate() {
+            if x == y { continue; }
+            if i % 2 == 0 { a.insert(Turn::new(x, y)); } else { b.insert(Turn::new(x, y)); }
+        }
+        let ca = a.counts();
+        prop_assert_eq!(ca.total(), a.len());
+        let before = b.len();
+        let a_len = a.len();
+        b.merge(a);
+        prop_assert!(b.len() <= before + a_len);
+        prop_assert!(b.len() >= before.max(a_len));
+    }
+
+    /// Extraction invariants on random valid two-partition 2D designs:
+    /// every justified turn appears exactly once, same-dimension turns
+    /// inside a paired dimension are never mutual (ascending order), and
+    /// no turn crosses partitions backwards.
+    #[test]
+    fn extraction_invariants(mask_a in 1u8..255, mask_b in 1u8..255) {
+        let universe: Vec<Channel> =
+            ebda_core::parse_channels("X1+ X1- X2+ X2- Y1+ Y1- Y2+ Y2-").unwrap();
+        let pick = |mask: u8| -> Vec<Channel> {
+            universe
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &c)| c)
+                .collect()
+        };
+        let a = pick(mask_a & !mask_b);
+        let b = pick(mask_b & !mask_a);
+        if a.is_empty() || b.is_empty() {
+            return Ok(());
+        }
+        let (Ok(pa), Ok(pb)) = (Partition::from_channels(a), Partition::from_channels(b)) else {
+            return Ok(());
+        };
+        let seq = PartitionSeq::from_partitions(vec![pa.clone(), pb.clone()]);
+        if seq.validate().is_err() {
+            return Ok(());
+        }
+        let ex = extract_turns(&seq).unwrap();
+        // Uniqueness of justification.
+        prop_assert_eq!(ex.justified_turns().len(), ex.turn_set().len());
+        // Ascending order within paired dimensions of one partition.
+        for (p, part) in [(0usize, &pa), (1, &pb)] {
+            let paired = part.complete_pair_dims();
+            let th2 = ex.turns_for(ebda_core::Justification::Theorem2 { partition: p });
+            for t in th2.iter() {
+                if paired.contains(&t.from.dim) {
+                    prop_assert!(
+                        !th2.contains(t.reversed()),
+                        "mutual U/I-turns in a paired dimension"
+                    );
+                }
+            }
+        }
+        // No backwards cross-partition turn.
+        for t in ex.turn_set().iter() {
+            let from_b = pb.contains(t.from);
+            let to_a = pa.contains(t.to);
+            prop_assert!(!(from_b && to_a), "turn {} goes backwards", t);
+        }
+    }
+
+    /// Sequence display/parse roundtrip.
+    #[test]
+    fn sequence_roundtrip(mask_a in 1u8..15, mask_b in 1u8..15) {
+        let universe: Vec<Channel> = ebda_core::parse_channels("X1+ X1- Y1+ Y1-").unwrap();
+        let a: Vec<Channel> = universe.iter().enumerate()
+            .filter(|(i, _)| mask_a & (1 << i) != 0).map(|(_, &c)| c).collect();
+        let b: Vec<Channel> = universe.iter().enumerate()
+            .filter(|(i, _)| mask_b & !mask_a & (1 << i) != 0).map(|(_, &c)| c).collect();
+        if a.is_empty() || b.is_empty() { return Ok(()); }
+        let seq = PartitionSeq::from_partitions(vec![
+            Partition::from_channels(a).unwrap(),
+            Partition::from_channels(b).unwrap(),
+        ]);
+        let printed = seq.to_string().replace(['[', ']'], " ");
+        let reparsed = PartitionSeq::parse(&printed.replace(" -> ", "|")).unwrap();
+        prop_assert_eq!(reparsed, seq);
+    }
+
+    /// Turn kinds partition all turns: exactly one kind per turn, and
+    /// reversal preserves U-turn-ness and I-turn-ness.
+    #[test]
+    fn turn_kind_laws(a in arb_channel(), b in arb_channel()) {
+        prop_assume!(a != b);
+        let t = Turn::new(a, b);
+        let r = t.reversed();
+        match t.kind() {
+            TurnKind::UTurn => prop_assert_eq!(r.kind(), TurnKind::UTurn),
+            TurnKind::ITurn => prop_assert_eq!(r.kind(), TurnKind::ITurn),
+            TurnKind::Ninety => prop_assert_eq!(r.kind(), TurnKind::Ninety),
+        }
+        prop_assert_eq!(r.reversed(), t);
+    }
+}

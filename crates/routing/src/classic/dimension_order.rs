@@ -1,0 +1,134 @@
+//! Dimension-order (e.g. XY / YX / XYZ) deterministic routing.
+
+use super::{dir_of, offsets, vc1_universe};
+use crate::relation::{PortVc, RouteChoice, RouteState, RoutingRelation};
+use ebda_cdg::topology::{NodeId, Topology};
+use ebda_core::{Channel, Dimension};
+
+/// Deterministic dimension-order routing: resolve offsets one dimension at
+/// a time in a fixed order. `XY` routing is `DimensionOrder::xy()`;
+/// arbitrary orders (YX, ZYX, …) are supported.
+///
+/// The paper derives this family from partitionings like Table 3's
+/// `X+ → X- → Y+ → Y-`.
+#[derive(Debug, Clone)]
+pub struct DimensionOrder {
+    name: String,
+    order: Vec<Dimension>,
+    universe: Vec<Channel>,
+}
+
+impl DimensionOrder {
+    /// Routing that resolves dimensions in the given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is empty or repeats a dimension.
+    pub fn new(name: impl Into<String>, order: Vec<Dimension>) -> DimensionOrder {
+        assert!(!order.is_empty(), "dimension order cannot be empty");
+        let mut sorted: Vec<_> = order.iter().map(|d| d.index()).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(
+            sorted.len(),
+            order.len(),
+            "dimension order repeats a dimension"
+        );
+        let n = order.iter().map(|d| d.index() + 1).max().unwrap_or(1);
+        DimensionOrder {
+            name: name.into(),
+            universe: vc1_universe(n),
+            order,
+        }
+    }
+
+    /// Classic `XY` routing in 2D.
+    pub fn xy() -> DimensionOrder {
+        DimensionOrder::new("xy", vec![Dimension::X, Dimension::Y])
+    }
+
+    /// Classic `YX` routing in 2D.
+    pub fn yx() -> DimensionOrder {
+        DimensionOrder::new("yx", vec![Dimension::Y, Dimension::X])
+    }
+
+    /// `XYZ` routing in 3D.
+    pub fn xyz() -> DimensionOrder {
+        DimensionOrder::new("xyz", vec![Dimension::X, Dimension::Y, Dimension::Z])
+    }
+}
+
+impl RoutingRelation for DimensionOrder {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn universe(&self) -> &[Channel] {
+        &self.universe
+    }
+
+    fn route(
+        &self,
+        topo: &Topology,
+        node: NodeId,
+        _state: RouteState,
+        _src: NodeId,
+        dst: NodeId,
+    ) -> Vec<RouteChoice> {
+        let off = offsets(topo, node, dst);
+        for &dim in &self.order {
+            let o = off[dim.index()];
+            if o != 0 {
+                return vec![RouteChoice {
+                    port: PortVc {
+                        dim,
+                        dir: dir_of(o),
+                        vc: 1,
+                    },
+                    state: 0,
+                }];
+            }
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::{find_delivery_failure, walk_first_choice};
+
+    #[test]
+    fn xy_goes_x_then_y() {
+        let topo = Topology::mesh(&[4, 4]);
+        let xy = DimensionOrder::xy();
+        let src = topo.node_at(&[0, 0]);
+        let dst = topo.node_at(&[2, 2]);
+        let path = walk_first_choice(&xy, &topo, src, dst, 10).unwrap();
+        let coords: Vec<Vec<i64>> = path.iter().map(|&n| topo.coords(n)).collect();
+        assert_eq!(coords, [[0, 0], [1, 0], [2, 0], [2, 1], [2, 2]]);
+    }
+
+    #[test]
+    fn yx_goes_y_then_x() {
+        let topo = Topology::mesh(&[4, 4]);
+        let yx = DimensionOrder::yx();
+        let path = walk_first_choice(&yx, &topo, 0, topo.node_at(&[2, 2]), 10).unwrap();
+        assert_eq!(topo.coords(path[1]), vec![0, 1]);
+    }
+
+    #[test]
+    fn delivers_everywhere_in_3d() {
+        let topo = Topology::mesh(&[3, 3, 3]);
+        assert_eq!(
+            find_delivery_failure(&DimensionOrder::xyz(), &topo, 12),
+            None
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats")]
+    fn rejects_repeated_dimensions() {
+        let _ = DimensionOrder::new("bad", vec![Dimension::X, Dimension::X]);
+    }
+}

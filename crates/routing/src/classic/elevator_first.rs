@@ -1,0 +1,207 @@
+//! Elevator-First deterministic routing for vertically partially connected
+//! 3D NoCs (Dubois et al.), the baseline of Section 6.3.
+
+use super::dir_of;
+use crate::relation::{PortVc, RouteChoice, RouteState, RoutingRelation, INJECT};
+use ebda_cdg::topology::{NodeId, Topology};
+use ebda_core::{parse_channels, Channel, Dimension, Direction, Turn, TurnSet};
+
+/// Phase markers carried in the routing state.
+const PRE: RouteState = 0; // XY toward the elevator, VC 1
+const VERTICAL: RouteState = 1; // riding the elevator
+const POST: RouteState = 2; // XY toward the destination, VC 2
+
+/// Elevator-First: deliver the packet to a vertical connection with XY
+/// routing on VC 1, ride the elevator to the destination layer, then XY
+/// again on VC 2 — 2, 2 and 1 virtual channels along X, Y and Z, sixteen
+/// 90° turns (plus the elevator entry/exit turns), fully deterministic.
+///
+/// The elevator is chosen per packet: the one nearest the source's (x, y)
+/// position (ties broken by coordinate order), so routing is deterministic
+/// and in-order per source/destination pair.
+#[derive(Debug, Clone)]
+pub struct ElevatorFirst {
+    universe: Vec<Channel>,
+    elevators: Vec<Vec<i64>>,
+}
+
+impl ElevatorFirst {
+    /// Creates the relation for a 3D network whose vertical links exist
+    /// only at the given `(x, y)` bases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elevators` is empty — at least one vertical connection is
+    /// required for full reachability.
+    pub fn new<I: IntoIterator<Item = Vec<i64>>>(elevators: I) -> ElevatorFirst {
+        let mut elevators: Vec<Vec<i64>> = elevators.into_iter().collect();
+        assert!(!elevators.is_empty(), "at least one elevator is required");
+        elevators.sort();
+        elevators.dedup();
+        ElevatorFirst {
+            universe: parse_channels("X1+ X1- X2+ X2- Y1+ Y1- Y2+ Y2- Z1+ Z1-")
+                .expect("static channel list parses"),
+            elevators,
+        }
+    }
+
+    /// The elevator base assigned to a source at `(x, y)`.
+    fn elevator_for(&self, x: i64, y: i64) -> &[i64] {
+        self.elevators
+            .iter()
+            .min_by_key(|e| ((e[0] - x).abs() + (e[1] - y).abs(), e[0], e[1]))
+            .expect("constructor guarantees at least one elevator")
+    }
+
+    /// The conservative turn set this router can ever exercise, for CDG
+    /// verification: the paper's sixteen XY turns plus the elevator
+    /// entry/exit transitions. Deadlock freedom follows from the phase
+    /// ordering (VC1 XY → Z → VC2 XY).
+    pub fn turn_set(&self) -> TurnSet {
+        let mut ts = TurnSet::new();
+        let ch = |s: &str| Channel::parse(s).expect("static channel token");
+        // Phase 0 XY (VC1): X before Y.
+        for (a, b) in [
+            ("X1+", "Y1+"),
+            ("X1+", "Y1-"),
+            ("X1-", "Y1+"),
+            ("X1-", "Y1-"),
+        ] {
+            ts.insert(Turn::new(ch(a), ch(b)));
+        }
+        // Entering the elevator from any VC1 channel.
+        for a in ["X1+", "X1-", "Y1+", "Y1-"] {
+            for b in ["Z1+", "Z1-"] {
+                ts.insert(Turn::new(ch(a), ch(b)));
+            }
+        }
+        // Leaving the elevator onto any VC2 channel.
+        for a in ["Z1+", "Z1-"] {
+            for b in ["X2+", "X2-", "Y2+", "Y2-"] {
+                ts.insert(Turn::new(ch(a), ch(b)));
+            }
+        }
+        // Phase 2 XY (VC2): X before Y.
+        for (a, b) in [
+            ("X2+", "Y2+"),
+            ("X2+", "Y2-"),
+            ("X2-", "Y2+"),
+            ("X2-", "Y2-"),
+        ] {
+            ts.insert(Turn::new(ch(a), ch(b)));
+        }
+        ts
+    }
+}
+
+impl RoutingRelation for ElevatorFirst {
+    fn name(&self) -> &str {
+        "elevator-first"
+    }
+
+    fn universe(&self) -> &[Channel] {
+        &self.universe
+    }
+
+    fn route(
+        &self,
+        topo: &Topology,
+        node: NodeId,
+        state: RouteState,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Vec<RouteChoice> {
+        let c = topo.coords(node);
+        let d = topo.coords(dst);
+        let same_layer_trip = topo.coords(src)[2] == d[2];
+        let phase = if state == INJECT { PRE } else { state };
+
+        // Same-layer packets, and packets that already descended: XY to dst.
+        if c[2] == d[2] && (same_layer_trip || phase >= VERTICAL) {
+            let vc = if same_layer_trip { 1 } else { 2 };
+            let next_state = if same_layer_trip { PRE } else { POST };
+            if c[0] != d[0] {
+                return vec![choice(Dimension::X, dir_of(d[0] - c[0]), vc, next_state)];
+            }
+            if c[1] != d[1] {
+                return vec![choice(Dimension::Y, dir_of(d[1] - c[1]), vc, next_state)];
+            }
+            return Vec::new();
+        }
+        // Need to change layer: head for the elevator, then ride it.
+        let s = topo.coords(src);
+        let elev = self.elevator_for(s[0], s[1]);
+        if c[0] == elev[0] && c[1] == elev[1] {
+            return vec![choice(Dimension::Z, dir_of(d[2] - c[2]), 1, VERTICAL)];
+        }
+        if c[0] != elev[0] {
+            return vec![choice(Dimension::X, dir_of(elev[0] - c[0]), 1, PRE)];
+        }
+        vec![choice(Dimension::Y, dir_of(elev[1] - c[1]), 1, PRE)]
+    }
+}
+
+fn choice(dim: Dimension, dir: Direction, vc: u8, state: RouteState) -> RouteChoice {
+    RouteChoice {
+        port: PortVc { dim, dir, vc },
+        state,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::{find_delivery_failure, walk_first_choice};
+
+    fn partial_topo() -> Topology {
+        Topology::mesh(&[4, 4, 3])
+            .with_partial_dim(Dimension::Z, [vec![0, 0], vec![3, 3], vec![1, 2]])
+    }
+
+    #[test]
+    fn delivers_everywhere_on_partial_3d() {
+        let topo = partial_topo();
+        let r = ElevatorFirst::new([vec![0, 0], vec![3, 3], vec![1, 2]]);
+        assert_eq!(find_delivery_failure(&r, &topo, 64), None);
+    }
+
+    #[test]
+    fn same_layer_traffic_never_rides_elevators() {
+        let topo = partial_topo();
+        let r = ElevatorFirst::new([vec![0, 0], vec![3, 3], vec![1, 2]]);
+        let src = topo.node_at(&[0, 3, 1]);
+        let dst = topo.node_at(&[3, 0, 1]);
+        let path = walk_first_choice(&r, &topo, src, dst, 32).unwrap();
+        for &n in &path {
+            assert_eq!(topo.coords(n)[2], 1, "must stay on the layer");
+        }
+        assert_eq!(path.len() as u64 - 1, topo.distance(src, dst));
+    }
+
+    #[test]
+    fn layer_changes_go_via_the_assigned_elevator() {
+        let topo = partial_topo();
+        let r = ElevatorFirst::new([vec![0, 0], vec![3, 3], vec![1, 2]]);
+        let src = topo.node_at(&[2, 2, 0]);
+        let dst = topo.node_at(&[2, 2, 2]);
+        let path = walk_first_choice(&r, &topo, src, dst, 64).unwrap();
+        // Nearest elevator to (2,2) is (1,2) at distance 1.
+        assert!(path.contains(&topo.node_at(&[1, 2, 0])));
+        assert!(path.contains(&topo.node_at(&[1, 2, 2])));
+        assert_eq!(*path.last().unwrap(), dst);
+    }
+
+    #[test]
+    fn turn_set_is_deadlock_free_on_the_partial_topology() {
+        let topo = partial_topo();
+        let r = ElevatorFirst::new([vec![0, 0], vec![3, 3], vec![1, 2]]);
+        let report = ebda_cdg::verify_turn_set(&topo, &[2, 2, 1], r.universe(), &r.turn_set());
+        assert!(report.is_deadlock_free(), "{report}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one elevator")]
+    fn rejects_empty_elevator_list() {
+        let _ = ElevatorFirst::new(Vec::<Vec<i64>>::new());
+    }
+}

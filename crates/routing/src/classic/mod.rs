@@ -1,0 +1,57 @@
+//! Hand-written classic routing algorithms, used as cross-checks for the
+//! EbDa-derived relations and as simulator baselines.
+//!
+//! Each implementation follows the published rules of its algorithm
+//! directly (if/else on offsets), independent of the EbDa machinery, so
+//! agreement between the two is genuine evidence the partitioning theory
+//! reproduces the classics.
+
+mod dimension_order;
+mod duato;
+mod elevator_first;
+mod negative_first;
+mod north_last;
+mod odd_even;
+mod torus_dateline;
+mod up_down;
+mod west_first;
+
+pub use dimension_order::DimensionOrder;
+pub use duato::DuatoFullyAdaptive;
+pub use elevator_first::ElevatorFirst;
+pub use negative_first::NegativeFirst;
+pub use north_last::NorthLast;
+pub use odd_even::OddEven;
+pub use torus_dateline::TorusDateline;
+pub use up_down::UpDown;
+pub use west_first::WestFirst;
+
+use ebda_cdg::topology::{NodeId, Topology};
+use ebda_core::{Channel, Dimension, Direction};
+
+/// Per-dimension offsets from `node` to `dst` (mesh semantics: plain
+/// coordinate differences).
+pub(crate) fn offsets(topo: &Topology, node: NodeId, dst: NodeId) -> Vec<i64> {
+    let c = topo.coords(node);
+    let d = topo.coords(dst);
+    c.iter().zip(d.iter()).map(|(a, b)| b - a).collect()
+}
+
+/// The unrestricted VC-1 channel universe of an `n`-dimensional network.
+pub(crate) fn vc1_universe(n: usize) -> Vec<Channel> {
+    let mut v = Vec::with_capacity(2 * n);
+    for d in 0..n {
+        v.push(Channel::new(Dimension::new(d as u8), Direction::Plus));
+        v.push(Channel::new(Dimension::new(d as u8), Direction::Minus));
+    }
+    v
+}
+
+/// Direction needed to reduce a nonzero offset.
+pub(crate) fn dir_of(offset: i64) -> Direction {
+    if offset > 0 {
+        Direction::Plus
+    } else {
+        Direction::Minus
+    }
+}

@@ -1,0 +1,126 @@
+//! Negative-first partially adaptive routing (Glass & Ni).
+
+use super::{offsets, vc1_universe};
+use crate::relation::{PortVc, RouteChoice, RouteState, RoutingRelation};
+use ebda_cdg::topology::{NodeId, Topology};
+use ebda_core::{Channel, Dimension, Direction};
+
+/// Negative-first routing: all negative-direction hops are taken
+/// (adaptively among themselves) before any positive-direction hop — the
+/// turn model prohibiting positive-to-negative turns, equal to the paper's
+/// `P4 = {PA[X- Y-] → PB[X+ Y+]}`. Works in any number of dimensions.
+#[derive(Debug, Clone)]
+pub struct NegativeFirst {
+    universe: Vec<Channel>,
+    dims: usize,
+}
+
+impl NegativeFirst {
+    /// Creates the relation for an `n`-dimensional mesh, single VC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> NegativeFirst {
+        assert!(n >= 1, "at least one dimension");
+        NegativeFirst {
+            universe: vc1_universe(n),
+            dims: n,
+        }
+    }
+}
+
+impl RoutingRelation for NegativeFirst {
+    fn name(&self) -> &str {
+        "negative-first"
+    }
+
+    fn universe(&self) -> &[Channel] {
+        &self.universe
+    }
+
+    fn route(
+        &self,
+        topo: &Topology,
+        node: NodeId,
+        _state: RouteState,
+        _src: NodeId,
+        dst: NodeId,
+    ) -> Vec<RouteChoice> {
+        let off = offsets(topo, node, dst);
+        let mut negatives = Vec::new();
+        let mut positives = Vec::new();
+        #[allow(clippy::needless_range_loop)] // the index doubles as the dimension id
+        for d in 0..self.dims {
+            let dim = Dimension::new(d as u8);
+            if off[d] < 0 {
+                negatives.push(RouteChoice {
+                    port: PortVc {
+                        dim,
+                        dir: Direction::Minus,
+                        vc: 1,
+                    },
+                    state: 0,
+                });
+            } else if off[d] > 0 {
+                positives.push(RouteChoice {
+                    port: PortVc {
+                        dim,
+                        dir: Direction::Plus,
+                        vc: 1,
+                    },
+                    state: 0,
+                });
+            }
+        }
+        if negatives.is_empty() {
+            positives
+        } else {
+            negatives
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::{find_delivery_failure, INJECT};
+
+    #[test]
+    fn negatives_precede_positives() {
+        let topo = Topology::mesh(&[5, 5]);
+        let r = NegativeFirst::new(2);
+        // Northeast of destination in Y, west in X: mixed quadrant.
+        let src = topo.node_at(&[0, 4]);
+        let dst = topo.node_at(&[3, 0]);
+        let choices = r.route(&topo, src, INJECT, src, dst);
+        assert_eq!(choices.len(), 1);
+        assert_eq!(choices[0].port.dir, Direction::Minus);
+    }
+
+    #[test]
+    fn pure_quadrants_are_fully_adaptive() {
+        let topo = Topology::mesh(&[5, 5]);
+        let r = NegativeFirst::new(2);
+        let src = topo.node_at(&[0, 0]);
+        let dst = topo.node_at(&[3, 3]);
+        assert_eq!(r.route(&topo, src, INJECT, src, dst).len(), 2);
+        let src = topo.node_at(&[4, 4]);
+        let dst = topo.node_at(&[1, 1]);
+        assert_eq!(r.route(&topo, src, INJECT, src, dst).len(), 2);
+    }
+
+    #[test]
+    fn delivers_everywhere_2d_and_3d() {
+        let topo = Topology::mesh(&[4, 4]);
+        assert_eq!(
+            find_delivery_failure(&NegativeFirst::new(2), &topo, 16),
+            None
+        );
+        let topo = Topology::mesh(&[3, 3, 3]);
+        assert_eq!(
+            find_delivery_failure(&NegativeFirst::new(3), &topo, 16),
+            None
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! North-last partially adaptive routing (Glass & Ni).
+
+use super::{dir_of, offsets, vc1_universe};
+use crate::relation::{PortVc, RouteChoice, RouteState, RoutingRelation};
+use ebda_cdg::topology::{NodeId, Topology};
+use ebda_core::{Channel, Dimension, Direction};
+
+/// North-last routing: fully adaptive until the only remaining hops are
+/// northward, which are then taken deterministically — the turn model that
+/// prohibits the NE and NW turns, equal to the paper's Fig. 5 partitioning
+/// `{PA[X+ X- Y-] → PB[Y+]}`.
+#[derive(Debug, Clone)]
+pub struct NorthLast {
+    universe: Vec<Channel>,
+}
+
+impl NorthLast {
+    /// Creates the relation (2D, single VC).
+    pub fn new() -> NorthLast {
+        NorthLast {
+            universe: vc1_universe(2),
+        }
+    }
+}
+
+impl Default for NorthLast {
+    fn default() -> Self {
+        NorthLast::new()
+    }
+}
+
+impl RoutingRelation for NorthLast {
+    fn name(&self) -> &str {
+        "north-last"
+    }
+
+    fn universe(&self) -> &[Channel] {
+        &self.universe
+    }
+
+    fn route(
+        &self,
+        topo: &Topology,
+        node: NodeId,
+        _state: RouteState,
+        _src: NodeId,
+        dst: NodeId,
+    ) -> Vec<RouteChoice> {
+        let off = offsets(topo, node, dst);
+        let (dx, dy) = (off[0], off[1]);
+        let mut out = Vec::new();
+        if dx != 0 {
+            out.push(RouteChoice {
+                port: PortVc {
+                    dim: Dimension::X,
+                    dir: dir_of(dx),
+                    vc: 1,
+                },
+                state: 0,
+            });
+        }
+        if dy < 0 {
+            out.push(RouteChoice {
+                port: PortVc {
+                    dim: Dimension::Y,
+                    dir: Direction::Minus,
+                    vc: 1,
+                },
+                state: 0,
+            });
+        }
+        // North only when nothing else remains (north-last).
+        if out.is_empty() && dy > 0 {
+            out.push(RouteChoice {
+                port: PortVc {
+                    dim: Dimension::Y,
+                    dir: Direction::Plus,
+                    vc: 1,
+                },
+                state: 0,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::{find_delivery_failure, INJECT};
+
+    #[test]
+    fn north_deferred_until_last() {
+        let topo = Topology::mesh(&[5, 5]);
+        let r = NorthLast::new();
+        let src = topo.node_at(&[0, 0]);
+        let dst = topo.node_at(&[2, 2]);
+        let choices = r.route(&topo, src, INJECT, src, dst);
+        assert_eq!(choices.len(), 1);
+        assert_eq!(choices[0].port.dim, Dimension::X);
+        // Once aligned in X, north is finally allowed.
+        let aligned = topo.node_at(&[2, 0]);
+        let choices = r.route(&topo, aligned, 0, src, dst);
+        assert_eq!(choices.len(), 1);
+        assert_eq!(choices[0].port.dir, Direction::Plus);
+        assert_eq!(choices[0].port.dim, Dimension::Y);
+    }
+
+    #[test]
+    fn southbound_is_adaptive() {
+        let topo = Topology::mesh(&[5, 5]);
+        let r = NorthLast::new();
+        let src = topo.node_at(&[0, 4]);
+        let dst = topo.node_at(&[3, 1]);
+        assert_eq!(r.route(&topo, src, INJECT, src, dst).len(), 2);
+    }
+
+    #[test]
+    fn delivers_everywhere() {
+        let topo = Topology::mesh(&[5, 5]);
+        assert_eq!(find_delivery_failure(&NorthLast::new(), &topo, 20), None);
+    }
+}

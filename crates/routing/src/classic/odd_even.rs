@@ -1,0 +1,158 @@
+//! The Odd-Even turn model (Chiu, 2000) — minimal adaptive routing.
+
+use super::{dir_of, vc1_universe};
+use crate::relation::{PortVc, RouteChoice, RouteState, RoutingRelation};
+use ebda_cdg::topology::{NodeId, Topology};
+use ebda_core::{Channel, Dimension, Direction};
+
+/// Chiu's Odd-Even adaptive routing for 2D meshes, implemented from the
+/// published `ROUTE` function:
+///
+/// * Rule 1: no EN/ES turns at even columns;
+/// * Rule 2: no NW/SW turns at odd columns.
+///
+/// Section 6.2 of the EbDa paper shows the same turn budget falls out of
+/// the partitioning `PA = {X- Ye*} → PB = {X+ Yo*}`; the tests cross-check
+/// the two.
+#[derive(Debug, Clone)]
+pub struct OddEven {
+    universe: Vec<Channel>,
+}
+
+impl OddEven {
+    /// Creates the relation (2D, single VC).
+    pub fn new() -> OddEven {
+        OddEven {
+            universe: vc1_universe(2),
+        }
+    }
+}
+
+impl Default for OddEven {
+    fn default() -> Self {
+        OddEven::new()
+    }
+}
+
+impl RoutingRelation for OddEven {
+    fn name(&self) -> &str {
+        "odd-even"
+    }
+
+    fn universe(&self) -> &[Channel] {
+        &self.universe
+    }
+
+    fn route(
+        &self,
+        topo: &Topology,
+        node: NodeId,
+        _state: RouteState,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Vec<RouteChoice> {
+        let c = topo.coords(node);
+        let s = topo.coords(src);
+        let d = topo.coords(dst);
+        let e0 = d[0] - c[0];
+        let e1 = d[1] - c[1];
+        let mut out = Vec::new();
+        let mut push = |dim: Dimension, dir: Direction| {
+            out.push(RouteChoice {
+                port: PortVc { dim, dir, vc: 1 },
+                state: 0,
+            })
+        };
+        if e0 == 0 {
+            if e1 != 0 {
+                push(Dimension::Y, dir_of(e1));
+            }
+        } else if e0 > 0 {
+            // Eastbound.
+            if e1 == 0 {
+                push(Dimension::X, Direction::Plus);
+            } else {
+                // N/S allowed at odd columns or the source column.
+                if c[0] % 2 == 1 || c[0] == s[0] {
+                    push(Dimension::Y, dir_of(e1));
+                }
+                // East allowed unless it would strand the packet: when the
+                // destination column is even and exactly one hop east, the
+                // turn off the X channel would be an EN/ES turn at an even
+                // column, which Rule 1 forbids.
+                if d[0] % 2 == 1 || e0 != 1 {
+                    push(Dimension::X, Direction::Plus);
+                }
+            }
+        } else {
+            // Westbound: west is always allowed…
+            push(Dimension::X, Direction::Minus);
+            // …and N/S only from even columns (Rule 2 blocks N/S→W at odd
+            // columns, so the packet keeps Y moves for even columns).
+            if e1 != 0 && c[0] % 2 == 0 {
+                push(Dimension::Y, dir_of(e1));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::{find_delivery_failure, INJECT};
+
+    #[test]
+    fn rule1_no_en_es_at_even_columns() {
+        // A packet whose destination is one hop east into an even column
+        // with a Y offset must take Y first (east would strand it).
+        let topo = Topology::mesh(&[6, 6]);
+        let r = OddEven::new();
+        let src = topo.node_at(&[1, 0]);
+        let dst = topo.node_at(&[2, 3]);
+        let choices = r.route(&topo, src, INJECT, src, dst);
+        assert_eq!(choices.len(), 1, "east would violate Rule 1 at arrival");
+        assert_eq!(choices[0].port.dim, Dimension::Y);
+    }
+
+    #[test]
+    fn rule2_no_ns_to_west_at_odd_columns() {
+        let topo = Topology::mesh(&[6, 6]);
+        let r = OddEven::new();
+        // Westbound at an odd column: only west is offered.
+        let node = topo.node_at(&[3, 2]);
+        let dst = topo.node_at(&[0, 5]);
+        let choices = r.route(&topo, node, 0, node, dst);
+        assert_eq!(choices.len(), 1);
+        assert_eq!(choices[0].port.dir, Direction::Minus);
+        assert_eq!(choices[0].port.dim, Dimension::X);
+        // At an even column both west and north are offered.
+        let node = topo.node_at(&[2, 2]);
+        let choices = r.route(&topo, node, 0, node, dst);
+        assert_eq!(choices.len(), 2);
+    }
+
+    #[test]
+    fn delivers_everywhere() {
+        for radix in [5usize, 6] {
+            let topo = Topology::mesh(&[radix, radix]);
+            assert_eq!(
+                find_delivery_failure(&OddEven::new(), &topo, 24),
+                None,
+                "odd-even failed on {radix}x{radix}"
+            );
+        }
+    }
+
+    #[test]
+    fn paths_are_minimal() {
+        let topo = Topology::mesh(&[6, 6]);
+        let r = OddEven::new();
+        for (s, d) in [([0, 0], [5, 5]), ([5, 0], [0, 5]), ([2, 4], [4, 0])] {
+            let src = topo.node_at(&s);
+            let dst = topo.node_at(&d);
+            let path = crate::relation::walk_first_choice(&r, &topo, src, dst, 32).unwrap();
+            assert_eq!(path.len() as u64 - 1, topo.distance(src, dst));
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Dateline dimension-order routing for k-ary n-cubes (tori).
+//!
+//! The paper's Assumption 3 covers k-ary n-cubes, and the note to
+//! Theorem 2 observes that "each wraparound channel … can be seen as two
+//! unidirectional channels and two U-turns". The standard way to make the
+//! wrap rings deadlock-free is the dateline: two VCs per dimension, packets
+//! start on VC 1 and switch to VC 2 when (and only when) they cross the
+//! wrap link, never returning — an ascending channel-class order in EbDa
+//! terms, position-dependent at the dateline.
+
+use super::vc1_universe;
+use crate::relation::{PortVc, RouteChoice, RouteState, RoutingRelation, INJECT};
+use ebda_cdg::topology::{NodeId, Topology};
+use ebda_core::{Channel, Dimension, Direction};
+
+/// Deterministic dimension-order routing on tori with dateline VCs:
+/// per dimension, take the shorter way around; use VC 1 until the hop that
+/// crosses the wrap link, VC 2 from there on (within that dimension).
+///
+/// Needs 2 VCs per dimension. The routing state encodes, per dimension,
+/// whether the packet has crossed that dimension's dateline (bit `d`).
+#[derive(Debug, Clone)]
+pub struct TorusDateline {
+    universe: Vec<Channel>,
+    dims: usize,
+    dateline: bool,
+}
+
+impl TorusDateline {
+    /// Creates the relation for an `n`-dimensional torus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 8` (the state encoding uses one bit per
+    /// dimension).
+    pub fn new(n: usize) -> TorusDateline {
+        assert!((1..=8).contains(&n), "1 to 8 dimensions supported");
+        let mut universe = vc1_universe(n);
+        for d in 0..n {
+            universe.push(Channel::with_vc(
+                Dimension::new(d as u8),
+                Direction::Plus,
+                2,
+            ));
+            universe.push(Channel::with_vc(
+                Dimension::new(d as u8),
+                Direction::Minus,
+                2,
+            ));
+        }
+        TorusDateline {
+            universe,
+            dims: n,
+            dateline: true,
+        }
+    }
+
+    /// The broken variant: identical shortest-way dimension-order routing
+    /// but with a single VC and no dateline — the textbook torus deadlock,
+    /// kept as a negative control for the verifiers and the simulator
+    /// watchdog.
+    pub fn without_dateline(n: usize) -> TorusDateline {
+        assert!((1..=8).contains(&n), "1 to 8 dimensions supported");
+        TorusDateline {
+            universe: vc1_universe(n),
+            dims: n,
+            dateline: false,
+        }
+    }
+
+    fn crossed(state: RouteState, d: usize) -> bool {
+        state != INJECT && state & (1 << d) != 0
+    }
+}
+
+impl RoutingRelation for TorusDateline {
+    fn name(&self) -> &str {
+        "torus-dateline"
+    }
+
+    fn universe(&self) -> &[Channel] {
+        &self.universe
+    }
+
+    fn route(
+        &self,
+        topo: &Topology,
+        node: NodeId,
+        state: RouteState,
+        _src: NodeId,
+        dst: NodeId,
+    ) -> Vec<RouteChoice> {
+        let c = topo.coords(node);
+        let d_coords = topo.coords(dst);
+        let base = if state == INJECT { 0 } else { state };
+        for d in 0..self.dims {
+            let r = topo.radix()[d] as i64;
+            let here = c[d];
+            let want = d_coords[d];
+            if here == want {
+                continue;
+            }
+            // Shorter way around the ring (ties broken toward Plus).
+            let fwd = ((want - here) % r + r) % r;
+            let dir = if fwd * 2 <= r {
+                Direction::Plus
+            } else {
+                Direction::Minus
+            };
+            // Does this hop traverse the wrap link?
+            let wraps = match dir {
+                Direction::Plus => here == r - 1,
+                Direction::Minus => here == 0,
+            };
+            let crossed = self.dateline && (TorusDateline::crossed(state, d) || wraps);
+            let vc = if crossed { 2 } else { 1 };
+            let new_state = if crossed { base | (1 << d) } else { base };
+            return vec![RouteChoice {
+                port: PortVc {
+                    dim: Dimension::new(d as u8),
+                    dir,
+                    vc,
+                },
+                state: new_state,
+            }];
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::{find_delivery_failure, walk_first_choice};
+
+    #[test]
+    fn takes_the_shorter_way_around() {
+        let topo = Topology::torus(&[6, 6]);
+        let r = TorusDateline::new(2);
+        let src = topo.node_at(&[0, 0]);
+        let dst = topo.node_at(&[5, 0]); // one hop west via the wrap
+        let path = walk_first_choice(&r, &topo, src, dst, 8).unwrap();
+        assert_eq!(path.len(), 2);
+    }
+
+    #[test]
+    fn vc_switches_exactly_at_the_dateline() {
+        let topo = Topology::torus(&[5, 5]);
+        let r = TorusDateline::new(2);
+        // From x=3 to x=0: shorter way is +X through the wrap at x=4.
+        let src = topo.node_at(&[3, 0]);
+        let dst = topo.node_at(&[0, 0]);
+        let hop1 = r.route(&topo, src, INJECT, src, dst);
+        assert_eq!(hop1[0].port.vc, 1, "pre-dateline hops ride VC 1");
+        let at_wrap = topo.node_at(&[4, 0]);
+        let hop2 = r.route(&topo, at_wrap, hop1[0].state, src, dst);
+        assert_eq!(hop2[0].port.vc, 2, "the wrap hop rides VC 2");
+    }
+
+    #[test]
+    fn delivers_everywhere_on_tori() {
+        for radix in [[4usize, 4], [5, 3]] {
+            let topo = Topology::torus(&radix);
+            let r = TorusDateline::new(2);
+            assert_eq!(
+                find_delivery_failure(&r, &topo, 16),
+                None,
+                "failed on {radix:?} torus"
+            );
+        }
+    }
+
+    #[test]
+    fn paths_are_minimal_with_wraparound() {
+        let topo = Topology::torus(&[6, 6]);
+        let r = TorusDateline::new(2);
+        for (s, d) in [([0i64, 0], [5i64, 5]), ([1, 1], [4, 4]), ([5, 0], [0, 5])] {
+            let src = topo.node_at(&s);
+            let dst = topo.node_at(&d);
+            let path = walk_first_choice(&r, &topo, src, dst, 16).unwrap();
+            assert_eq!(
+                path.len() as u64 - 1,
+                topo.distance(src, dst),
+                "{s:?} -> {d:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! West-first partially adaptive routing (Glass & Ni).
+
+use super::{dir_of, offsets, vc1_universe};
+use crate::relation::{PortVc, RouteChoice, RouteState, RoutingRelation};
+use ebda_cdg::topology::{NodeId, Topology};
+use ebda_core::{Channel, Dimension, Direction};
+
+/// West-first routing: all westward hops are taken first (deterministically),
+/// after which the packet routes fully adaptively among east/north/south —
+/// the turn model that prohibits the NW and SW turns, equal to the paper's
+/// `P3 = {PA[X-] → PB[X+ Y+ Y-]}`.
+#[derive(Debug, Clone)]
+pub struct WestFirst {
+    universe: Vec<Channel>,
+}
+
+impl WestFirst {
+    /// Creates the relation (2D, single VC).
+    pub fn new() -> WestFirst {
+        WestFirst {
+            universe: vc1_universe(2),
+        }
+    }
+}
+
+impl Default for WestFirst {
+    fn default() -> Self {
+        WestFirst::new()
+    }
+}
+
+impl RoutingRelation for WestFirst {
+    fn name(&self) -> &str {
+        "west-first"
+    }
+
+    fn universe(&self) -> &[Channel] {
+        &self.universe
+    }
+
+    fn route(
+        &self,
+        topo: &Topology,
+        node: NodeId,
+        _state: RouteState,
+        _src: NodeId,
+        dst: NodeId,
+    ) -> Vec<RouteChoice> {
+        let off = offsets(topo, node, dst);
+        let (dx, dy) = (off[0], off[1]);
+        let mut out = Vec::new();
+        let push = |out: &mut Vec<RouteChoice>, dim: Dimension, dir: Direction| {
+            out.push(RouteChoice {
+                port: PortVc { dim, dir, vc: 1 },
+                state: 0,
+            });
+        };
+        if dx < 0 {
+            // All westward hops first; no other direction is legal yet.
+            push(&mut out, Dimension::X, Direction::Minus);
+            return out;
+        }
+        if dx > 0 {
+            push(&mut out, Dimension::X, Direction::Plus);
+        }
+        if dy != 0 {
+            push(&mut out, Dimension::Y, dir_of(dy));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::{find_delivery_failure, INJECT};
+
+    #[test]
+    fn westbound_is_deterministic() {
+        let topo = Topology::mesh(&[5, 5]);
+        let r = WestFirst::new();
+        let src = topo.node_at(&[4, 0]);
+        let dst = topo.node_at(&[0, 3]);
+        let choices = r.route(&topo, src, INJECT, src, dst);
+        assert_eq!(choices.len(), 1);
+        assert_eq!(choices[0].port.dim, Dimension::X);
+        assert_eq!(choices[0].port.dir, Direction::Minus);
+    }
+
+    #[test]
+    fn eastbound_is_adaptive() {
+        let topo = Topology::mesh(&[5, 5]);
+        let r = WestFirst::new();
+        let src = topo.node_at(&[0, 0]);
+        let dst = topo.node_at(&[3, 3]);
+        let choices = r.route(&topo, src, INJECT, src, dst);
+        assert_eq!(choices.len(), 2);
+    }
+
+    #[test]
+    fn delivers_everywhere() {
+        let topo = Topology::mesh(&[5, 5]);
+        assert_eq!(find_delivery_failure(&WestFirst::new(), &topo, 20), None);
+    }
+}

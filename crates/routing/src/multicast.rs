@@ -1,0 +1,262 @@
+//! Dual-path multicast over the Hamiltonian-path strategy (Lin & Ni, the
+//! paper's reference 26) — the original context of Section 6.2's second
+//! case study.
+//!
+//! Nodes of a 2D mesh are labelled along a boustrophedon (snake)
+//! Hamiltonian path. The label order splits the channels into the *high*
+//! subnetwork `{Xe+, Xo-, Y+}` (every hop increases the label) and the
+//! *low* subnetwork `{Xe-, Xo+, Y-}` — exactly the two partitions of
+//! [`ebda_core::catalog::hamiltonian`]. A multicast sends one copy up the
+//! high subnetwork visiting the higher-labelled destinations in ascending
+//! order, and one copy down the low subnetwork in descending order;
+//! deadlock freedom follows from each subnetwork being one EbDa partition.
+
+use crate::relation::walk_first_choice;
+use crate::turn_based::TurnRouting;
+use ebda_cdg::topology::{NodeId, Topology};
+use ebda_core::{Channel, Dimension, Direction, Parity, Partition, PartitionSeq};
+
+/// The snake (boustrophedon) Hamiltonian label of a node in a 2D mesh:
+/// row-major, with odd rows reversed.
+///
+/// ```
+/// use ebda_routing::multicast::hamiltonian_label;
+/// use ebda_routing::Topology;
+/// let topo = Topology::mesh(&[3, 3]);
+/// assert_eq!(hamiltonian_label(&topo, topo.node_at(&[2, 0])), 2);
+/// assert_eq!(hamiltonian_label(&topo, topo.node_at(&[2, 1])), 3); // row 1 reversed
+/// assert_eq!(hamiltonian_label(&topo, topo.node_at(&[0, 1])), 5);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the topology is not two-dimensional.
+pub fn hamiltonian_label(topo: &Topology, node: NodeId) -> usize {
+    assert_eq!(topo.dims(), 2, "hamiltonian labelling is 2D");
+    let c = topo.coords(node);
+    let (x, y) = (c[0] as usize, c[1] as usize);
+    let w = topo.radix()[0];
+    if y % 2 == 0 {
+        y * w + x
+    } else {
+        y * w + (w - 1 - x)
+    }
+}
+
+/// A planned dual-path multicast: the ordered visit chains and the full
+/// hop-by-hop node paths of the two copies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MulticastPlan {
+    /// Destinations with labels above the source, in ascending label
+    /// order (the high copy's visit order).
+    pub high_chain: Vec<NodeId>,
+    /// Destinations with labels below the source, in descending label
+    /// order (the low copy's visit order).
+    pub low_chain: Vec<NodeId>,
+    /// Node path of the high copy (starts at the source; empty when no
+    /// high destinations exist).
+    pub high_path: Vec<NodeId>,
+    /// Node path of the low copy.
+    pub low_path: Vec<NodeId>,
+}
+
+impl MulticastPlan {
+    /// Total hops taken by both copies.
+    pub fn total_hops(&self) -> usize {
+        let hops = |p: &Vec<NodeId>| p.len().saturating_sub(1);
+        hops(&self.high_path) + hops(&self.low_path)
+    }
+}
+
+/// Plans dual-path multicasts on one 2D mesh.
+#[derive(Debug)]
+pub struct DualPathMulticast {
+    high: TurnRouting,
+    low: TurnRouting,
+}
+
+impl DualPathMulticast {
+    /// Builds the two subnetwork routers from the Hamiltonian partitioning.
+    pub fn new() -> DualPathMulticast {
+        let xe = |dir| Channel::new(Dimension::X, dir).at_parity(Dimension::Y, Parity::Even);
+        let xo = |dir| Channel::new(Dimension::X, dir).at_parity(Dimension::Y, Parity::Odd);
+        let high = Partition::from_channels([
+            xe(Direction::Plus),
+            xo(Direction::Minus),
+            Channel::new(Dimension::Y, Direction::Plus),
+        ])
+        .expect("static channels are disjoint");
+        let low = Partition::from_channels([
+            xe(Direction::Minus),
+            xo(Direction::Plus),
+            Channel::new(Dimension::Y, Direction::Minus),
+        ])
+        .expect("static channels are disjoint");
+        DualPathMulticast {
+            high: TurnRouting::from_design(
+                "hamiltonian-high",
+                &PartitionSeq::from_partitions(vec![high]),
+            )
+            .expect("single partition is a valid design"),
+            low: TurnRouting::from_design(
+                "hamiltonian-low",
+                &PartitionSeq::from_partitions(vec![low]),
+            )
+            .expect("single partition is a valid design"),
+        }
+    }
+
+    /// Plans the multicast from `src` to `dests` on `topo`.
+    ///
+    /// Duplicate destinations and the source itself are dropped. Each copy
+    /// visits its destinations in Hamiltonian-label order, so every hop
+    /// stays inside one subnetwork and the whole multicast is
+    /// deadlock-free by Theorem 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is not 2D, or if a leg cannot be routed
+    /// (impossible on a full mesh — the subnetworks connect every
+    /// label-ordered pair).
+    pub fn plan(&self, topo: &Topology, src: NodeId, dests: &[NodeId]) -> MulticastPlan {
+        assert_eq!(topo.dims(), 2, "dual-path multicast is 2D");
+        let src_label = hamiltonian_label(topo, src);
+        let mut high_chain: Vec<NodeId> = dests
+            .iter()
+            .copied()
+            .filter(|&d| hamiltonian_label(topo, d) > src_label)
+            .collect();
+        high_chain.sort_by_key(|&d| hamiltonian_label(topo, d));
+        high_chain.dedup();
+        let mut low_chain: Vec<NodeId> = dests
+            .iter()
+            .copied()
+            .filter(|&d| hamiltonian_label(topo, d) < src_label)
+            .collect();
+        low_chain.sort_by_key(|&d| std::cmp::Reverse(hamiltonian_label(topo, d)));
+        low_chain.dedup();
+
+        let walk_chain = |relation: &TurnRouting, chain: &[NodeId]| -> Vec<NodeId> {
+            if chain.is_empty() {
+                return Vec::new();
+            }
+            let mut path = vec![src];
+            let mut at = src;
+            for &next in chain {
+                let leg = walk_first_choice(relation, topo, at, next, 4 * topo.node_count())
+                    .expect("subnetwork connects label-ordered pairs");
+                path.extend_from_slice(&leg[1..]);
+                at = next;
+            }
+            path
+        };
+        MulticastPlan {
+            high_path: walk_chain(&self.high, &high_chain),
+            low_path: walk_chain(&self.low, &low_chain),
+            high_chain,
+            low_chain,
+        }
+    }
+}
+
+impl Default for DualPathMulticast {
+    fn default() -> Self {
+        DualPathMulticast::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_form_a_hamiltonian_path() {
+        let topo = Topology::mesh(&[4, 4]);
+        // Labels are a permutation of 0..16 and consecutive labels are
+        // adjacent nodes.
+        let mut by_label = [usize::MAX; 16];
+        for n in topo.nodes() {
+            by_label[hamiltonian_label(&topo, n)] = n;
+        }
+        assert!(by_label.iter().all(|&n| n != usize::MAX));
+        for w in by_label.windows(2) {
+            assert_eq!(topo.distance(w[0], w[1]), 1, "labels {w:?} not adjacent");
+        }
+    }
+
+    #[test]
+    fn high_copy_visits_ascending_labels_monotonically() {
+        let topo = Topology::mesh(&[5, 5]);
+        let mc = DualPathMulticast::new();
+        let src = topo.node_at(&[2, 1]);
+        let dests = [
+            topo.node_at(&[4, 4]),
+            topo.node_at(&[0, 3]),
+            topo.node_at(&[4, 0]), // below src in label order
+            topo.node_at(&[1, 2]),
+        ];
+        let plan = mc.plan(&topo, src, &dests);
+        assert_eq!(plan.high_chain.len() + plan.low_chain.len(), 4);
+        // Labels along the high path strictly increase.
+        let labels: Vec<usize> = plan
+            .high_path
+            .iter()
+            .map(|&n| hamiltonian_label(&topo, n))
+            .collect();
+        for w in labels.windows(2) {
+            assert!(w[0] < w[1], "high path label regressed: {labels:?}");
+        }
+        // Labels along the low path strictly decrease.
+        let labels: Vec<usize> = plan
+            .low_path
+            .iter()
+            .map(|&n| hamiltonian_label(&topo, n))
+            .collect();
+        for w in labels.windows(2) {
+            assert!(w[0] > w[1], "low path label regressed: {labels:?}");
+        }
+    }
+
+    #[test]
+    fn every_destination_is_visited() {
+        let topo = Topology::mesh(&[4, 4]);
+        let mc = DualPathMulticast::new();
+        for src in topo.nodes() {
+            let dests: Vec<NodeId> = topo.nodes().filter(|&d| d != src && d % 3 == 0).collect();
+            let plan = mc.plan(&topo, src, &dests);
+            for &d in &dests {
+                assert!(
+                    plan.high_path.contains(&d) || plan.low_path.contains(&d),
+                    "destination {d} missed from {src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_contiguous_walks() {
+        let topo = Topology::mesh(&[5, 4]);
+        let mc = DualPathMulticast::new();
+        let src = topo.node_at(&[0, 0]);
+        let dests: Vec<NodeId> = vec![topo.node_at(&[4, 3]), topo.node_at(&[2, 2])];
+        let plan = mc.plan(&topo, src, &dests);
+        for path in [&plan.high_path, &plan.low_path] {
+            for w in path.windows(2) {
+                assert_eq!(topo.distance(w[0], w[1]), 1);
+            }
+        }
+        assert!(plan.total_hops() > 0);
+        assert!(plan.low_path.is_empty(), "src is label 0: no low copy");
+    }
+
+    #[test]
+    fn duplicates_and_self_are_dropped() {
+        let topo = Topology::mesh(&[3, 3]);
+        let mc = DualPathMulticast::new();
+        let src = topo.node_at(&[1, 1]);
+        let d = topo.node_at(&[2, 2]);
+        let plan = mc.plan(&topo, src, &[d, d, src]);
+        assert_eq!(plan.high_chain, vec![d]);
+        assert!(plan.low_chain.is_empty());
+    }
+}

@@ -1,0 +1,201 @@
+//! Compiled routing tables: freeze any [`RoutingRelation`] on a fixed
+//! topology into a lookup table — the artifact a table-driven router
+//! (LBDR-style) would be programmed with, and an O(1) hot path for large
+//! simulations.
+
+use crate::relation::{RouteChoice, RouteState, RoutingRelation, INJECT};
+use ebda_cdg::topology::{NodeId, Topology};
+use ebda_core::Channel;
+use std::collections::HashMap;
+
+/// A routing relation compiled to a dense table over
+/// `(node, state, destination)`.
+///
+/// Compilation explores exactly the `(node, state)` pairs reachable for
+/// each destination, so the table is total over everything the original
+/// relation can encounter and empty elsewhere. The compiled relation is
+/// behaviourally identical to the source (same candidates in the same
+/// order); `route` becomes a hash lookup.
+pub struct TableRouting {
+    name: String,
+    universe: Vec<Channel>,
+    /// `(node, state, dst) -> candidates`.
+    table: HashMap<(NodeId, RouteState, NodeId), Vec<RouteChoice>>,
+    /// The topology fingerprint the table was compiled for.
+    topo: Topology,
+}
+
+impl std::fmt::Debug for TableRouting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TableRouting")
+            .field("name", &self.name)
+            .field("entries", &self.table.len())
+            .finish()
+    }
+}
+
+impl TableRouting {
+    /// Compiles `relation` on `topo`.
+    ///
+    /// Source-dependent relations (ones that read the `src` argument, like
+    /// Odd-Even) cannot be compiled into a `(node, state, dst)` table;
+    /// compilation detects the dependence by probing every source and
+    /// returns `None` for such relations.
+    pub fn compile(
+        name: impl Into<String>,
+        topo: &Topology,
+        relation: &dyn RoutingRelation,
+    ) -> Option<TableRouting> {
+        let mut table: HashMap<(NodeId, RouteState, NodeId), Vec<RouteChoice>> = HashMap::new();
+        for dst in topo.nodes() {
+            for src in topo.nodes() {
+                if src == dst {
+                    continue;
+                }
+                // Explore reachable (node, state) pairs from this source.
+                let mut stack = vec![(src, INJECT)];
+                let mut seen = std::collections::HashSet::new();
+                seen.insert((src, INJECT));
+                while let Some((node, state)) = stack.pop() {
+                    if node == dst {
+                        continue;
+                    }
+                    let candidates = relation.route(topo, node, state, src, dst);
+                    match table.entry((node, state, dst)) {
+                        std::collections::hash_map::Entry::Occupied(e) => {
+                            if e.get() != &candidates {
+                                return None; // source-dependent relation
+                            }
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(candidates.clone());
+                        }
+                    }
+                    for ch in candidates {
+                        if let Some(next) = topo.neighbor(node, ch.port.dim, ch.port.dir) {
+                            if seen.insert((next, ch.state)) {
+                                stack.push((next, ch.state));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Some(TableRouting {
+            name: name.into(),
+            universe: relation.universe().to_vec(),
+            table,
+            topo: topo.clone(),
+        })
+    }
+
+    /// Number of table entries (reachable `(node, state, dst)` triples).
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl RoutingRelation for TableRouting {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn universe(&self) -> &[Channel] {
+        &self.universe
+    }
+
+    fn route(
+        &self,
+        topo: &Topology,
+        node: NodeId,
+        state: RouteState,
+        _src: NodeId,
+        dst: NodeId,
+    ) -> Vec<RouteChoice> {
+        debug_assert_eq!(topo, &self.topo, "table compiled for another topology");
+        self.table
+            .get(&(node, state, dst))
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic::{DimensionOrder, OddEven, WestFirst};
+    use crate::relation::find_delivery_failure;
+    use crate::turn_based::TurnRouting;
+    use ebda_core::catalog;
+
+    #[test]
+    fn compiled_tables_match_the_source_relation() {
+        let topo = Topology::mesh(&[4, 4]);
+        let src_rel = TurnRouting::from_design("wf", &catalog::p3_west_first()).unwrap();
+        let table = TableRouting::compile("wf-table", &topo, &src_rel).expect("compiles");
+        for src in topo.nodes() {
+            for dst in topo.nodes() {
+                if src == dst {
+                    continue;
+                }
+                assert_eq!(
+                    table.route(&topo, src, INJECT, src, dst),
+                    src_rel.route(&topo, src, INJECT, src, dst),
+                    "candidates diverge at injection for {src}->{dst}"
+                );
+            }
+        }
+        assert_eq!(find_delivery_failure(&table, &topo, 24), None);
+    }
+
+    #[test]
+    fn compiled_tables_simulate_identically() {
+        let topo = Topology::mesh(&[4, 4]);
+        let src_rel = TurnRouting::from_design("dyxy", &catalog::fig7b_dyxy()).unwrap();
+        let table = TableRouting::compile("dyxy-table", &topo, &src_rel).expect("compiles");
+        // Spot-check behavioural identity over a walk of all states.
+        for src in topo.nodes() {
+            for dst in topo.nodes() {
+                if src == dst {
+                    continue;
+                }
+                let mut stack = vec![(src, INJECT)];
+                let mut seen = std::collections::HashSet::new();
+                while let Some((node, state)) = stack.pop() {
+                    if node == dst {
+                        continue;
+                    }
+                    let a = src_rel.route(&topo, node, state, src, dst);
+                    let b = table.route(&topo, node, state, src, dst);
+                    assert_eq!(a, b);
+                    for ch in a {
+                        let next = topo.neighbor(node, ch.port.dim, ch.port.dir).unwrap();
+                        if seen.insert((next, ch.state)) {
+                            stack.push((next, ch.state));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_size_is_bounded_by_states_times_destinations() {
+        let topo = Topology::mesh(&[4, 4]);
+        let xy = DimensionOrder::xy();
+        let table = TableRouting::compile("xy-table", &topo, &xy).expect("compiles");
+        // XY uses a single state; entries < nodes * dsts.
+        assert!(table.entries() > 0);
+        assert!(table.entries() <= 16 * 16 * 2);
+    }
+
+    #[test]
+    fn source_dependent_relations_are_rejected() {
+        // Odd-Even's ROUTE consults the source column: not table-compilable
+        // in (node, state, dst) form.
+        let topo = Topology::mesh(&[5, 5]);
+        assert!(TableRouting::compile("oe", &topo, &OddEven::new()).is_none());
+        // West-first is source-independent and compiles fine.
+        assert!(TableRouting::compile("wf", &topo, &WestFirst::new()).is_some());
+    }
+}

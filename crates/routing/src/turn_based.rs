@@ -1,0 +1,466 @@
+//! Turn-set-driven routing: the bridge from EbDa's theory to a working
+//! router.
+//!
+//! [`TurnRouting`] takes any extracted turn set (Theorems 1–3) and turns it
+//! into a [`RoutingRelation`] by shortest-path search over the *product
+//! graph* of (node, channel class) states. A hop is offered iff it lies on
+//! some shortest legal path to the destination, which guarantees:
+//!
+//! * **deadlock freedom** — only turns of the (verified-acyclic) turn set
+//!   are ever taken;
+//! * **no dead ends** — candidates strictly decrease the legal distance, so
+//!   a packet can always continue;
+//! * **maximum adaptiveness within the turn set** — every hop on every
+//!   shortest legal path is offered;
+//! * **irregular-topology support** — on vertically partially connected 3D
+//!   meshes the legal shortest path automatically detours via an elevator.
+
+use crate::relation::{PortVc, RouteChoice, RouteState, RoutingRelation, INJECT};
+use ebda_cdg::topology::{NodeId, Topology};
+use ebda_core::{extract_turns, Channel, PartitionSeq, Result, TurnSet};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+/// Distance value for unreachable states.
+const UNREACHABLE: u32 = u32::MAX;
+
+/// (topology key, per-destination distance tables).
+type DistCache = (Option<Topology>, HashMap<NodeId, std::sync::Arc<Vec<u32>>>);
+
+/// A routing relation derived from a class-level turn set.
+pub struct TurnRouting {
+    name: String,
+    universe: Vec<Channel>,
+    turns: TurnSet,
+    /// allow[a][b]: may a packet on class `a` continue on class `b`?
+    /// Row `k` (= universe.len()) is the injection state.
+    allow: Vec<Vec<bool>>,
+    /// Per-destination distance tables, built lazily and keyed to one
+    /// topology (the cache resets if the relation is moved to another).
+    dist_cache: Mutex<DistCache>,
+}
+
+impl std::fmt::Debug for TurnRouting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TurnRouting")
+            .field("name", &self.name)
+            .field("universe", &self.universe)
+            .field("turns", &self.turns.len())
+            .finish()
+    }
+}
+
+impl TurnRouting {
+    /// Builds a relation from an explicit universe and turn set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universe is empty or exceeds `u16::MAX - 1` classes.
+    pub fn new(name: impl Into<String>, universe: Vec<Channel>, turns: TurnSet) -> TurnRouting {
+        assert!(!universe.is_empty(), "a routing needs at least one channel");
+        assert!(
+            universe.len() < usize::from(u16::MAX),
+            "too many channel classes"
+        );
+        let k = universe.len();
+        let mut allow = vec![vec![false; k]; k + 1];
+        for (a, &ca) in universe.iter().enumerate() {
+            for (b, &cb) in universe.iter().enumerate() {
+                allow[a][b] = turns.allows(ca, cb);
+            }
+        }
+        #[allow(clippy::needless_range_loop)] // the index doubles as the dimension id
+        for b in 0..k {
+            allow[k][b] = true; // injection may start on any class
+        }
+        TurnRouting {
+            name: name.into(),
+            universe,
+            turns,
+            allow,
+            dist_cache: Mutex::new((None, HashMap::new())),
+        }
+    }
+
+    /// Builds a relation from an EbDa partition sequence by running the
+    /// Theorem 1–3 turn extraction.
+    ///
+    /// ```
+    /// use ebda_routing::{RoutingRelation, TurnRouting};
+    /// use ebda_core::catalog;
+    /// let r = TurnRouting::from_design("dyxy", &catalog::fig7b_dyxy())?;
+    /// assert_eq!(r.universe().len(), 6);
+    /// # Ok::<(), ebda_core::EbdaError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error if the design violates Theorem 1 or
+    /// partition disjointness.
+    pub fn from_design(name: impl Into<String>, seq: &PartitionSeq) -> Result<TurnRouting> {
+        let extraction = extract_turns(seq)?;
+        let universe = seq.channels();
+        Ok(TurnRouting::new(name, universe, extraction.into_turn_set()))
+    }
+
+    /// The turn set driving this relation.
+    pub fn turns(&self) -> &TurnSet {
+        &self.turns
+    }
+
+    /// Legal distance (hops) from `node` in `state` to `dst`, or `None`
+    /// when unreachable under the turn set.
+    pub fn legal_distance(
+        &self,
+        topo: &Topology,
+        node: NodeId,
+        state: RouteState,
+        dst: NodeId,
+    ) -> Option<u32> {
+        let dist = self.dist_table(topo, dst);
+        let d = dist[self.state_index(node, state)];
+        (d != UNREACHABLE).then_some(d)
+    }
+
+    fn state_index(&self, node: NodeId, state: RouteState) -> usize {
+        let k = self.universe.len();
+        let s = if state == INJECT { k } else { state as usize };
+        node * (k + 1) + s
+    }
+
+    /// Returns (building if needed) the distance-to-`dst` table over
+    /// (node, class) states. The cache is keyed to the topology: moving
+    /// the relation to a different topology transparently rebuilds.
+    fn dist_table(&self, topo: &Topology, dst: NodeId) -> std::sync::Arc<Vec<u32>> {
+        {
+            let mut guard = self.dist_cache.lock().expect("poisoned");
+            let (cached_topo, tables) = &mut *guard;
+            if cached_topo.as_ref() != Some(topo) {
+                *cached_topo = Some(topo.clone());
+                tables.clear();
+            } else if let Some(t) = tables.get(&dst) {
+                return t.clone();
+            }
+        }
+        let table = std::sync::Arc::new(self.build_dist(topo, dst));
+        self.dist_cache
+            .lock()
+            .expect("poisoned")
+            .1
+            .insert(dst, table.clone());
+        table
+    }
+
+    /// Backward BFS from `dst` over reversed product-graph edges.
+    fn build_dist(&self, topo: &Topology, dst: NodeId) -> Vec<u32> {
+        let k = self.universe.len();
+        let n = topo.node_count();
+        let mut dist = vec![UNREACHABLE; n * (k + 1)];
+        let mut queue = VecDeque::new();
+        // Arriving at dst in any state (including injection = src == dst).
+        for s in 0..=k {
+            dist[dst * (k + 1) + s] = 0;
+            queue.push_back((dst, s));
+        }
+        while let Some((node, s)) = queue.pop_front() {
+            let d = dist[node * (k + 1) + s];
+            // Predecessor states: (prev, ps) such that moving on class `s`
+            // from prev lands on node, and ps allows continuing on s.
+            if s == k {
+                continue; // nothing precedes the injection state
+            }
+            let c = self.universe[s];
+            let Some(prev) = topo.neighbor(node, c.dim, c.dir.opposite()) else {
+                continue;
+            };
+            // The class must exist at the hop's source node.
+            if !c.class.contains(&topo.coords(prev)) {
+                continue;
+            }
+            for ps in 0..=k {
+                if !self.allow[ps][s] {
+                    continue;
+                }
+                let idx = prev * (k + 1) + ps;
+                if dist[idx] == UNREACHABLE {
+                    dist[idx] = d + 1;
+                    queue.push_back((prev, ps));
+                }
+            }
+        }
+        dist
+    }
+}
+
+impl RoutingRelation for TurnRouting {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn universe(&self) -> &[Channel] {
+        &self.universe
+    }
+
+    fn route(
+        &self,
+        topo: &Topology,
+        node: NodeId,
+        state: RouteState,
+        _src: NodeId,
+        dst: NodeId,
+    ) -> Vec<RouteChoice> {
+        let dist = self.dist_table(topo, dst);
+        let k = self.universe.len();
+        let here = dist[self.state_index(node, state)];
+        if here == UNREACHABLE || here == 0 {
+            return Vec::new();
+        }
+        let s = if state == INJECT { k } else { state as usize };
+        let coords = topo.coords(node);
+        let mut out = Vec::new();
+        for (ci, &c) in self.universe.iter().enumerate() {
+            if !self.allow[s][ci] || !c.class.contains(&coords) {
+                continue;
+            }
+            let Some(next) = topo.neighbor(node, c.dim, c.dir) else {
+                continue;
+            };
+            if dist[next * (k + 1) + ci] == here - 1 {
+                out.push(RouteChoice {
+                    port: PortVc {
+                        dim: c.dim,
+                        dir: c.dir,
+                        vc: c.vc,
+                    },
+                    state: ci as RouteState,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::{find_delivery_failure, walk_first_choice};
+    use ebda_core::catalog;
+
+    #[test]
+    fn all_catalog_2d_designs_deliver_everywhere() {
+        let topo = Topology::mesh(&[5, 5]);
+        for (name, seq) in [
+            ("xy", catalog::p1_xy()),
+            ("p2", catalog::p2_partially_adaptive()),
+            ("west-first", catalog::p3_west_first()),
+            ("negative-first", catalog::p4_negative_first()),
+            ("north-last", catalog::north_last()),
+            ("dyxy", catalog::fig7b_dyxy()),
+            ("fig7c", catalog::fig7c()),
+            ("odd-even", catalog::odd_even()),
+            ("hamiltonian", catalog::hamiltonian()),
+        ] {
+            let r = TurnRouting::from_design(name, &seq).unwrap();
+            assert_eq!(
+                find_delivery_failure(&r, &topo, 30),
+                None,
+                "{name} failed to deliver"
+            );
+        }
+    }
+
+    #[test]
+    fn three_d_designs_deliver() {
+        let topo = Topology::mesh(&[3, 3, 3]);
+        for (name, seq) in [
+            ("fig9b", catalog::fig9b()),
+            ("fig9c", catalog::fig9c()),
+            ("planar-adaptive", catalog::planar_adaptive(3)),
+        ] {
+            let r = TurnRouting::from_design(name, &seq).unwrap();
+            assert_eq!(
+                find_delivery_failure(&r, &topo, 30),
+                None,
+                "{name} failed to deliver"
+            );
+        }
+    }
+
+    #[test]
+    fn routes_are_minimal_on_full_meshes() {
+        let topo = Topology::mesh(&[6, 6]);
+        let r = TurnRouting::from_design("north-last", &catalog::north_last()).unwrap();
+        for (src, dst) in [(0usize, 35usize), (35, 0), (5, 30), (17, 22)] {
+            let path = walk_first_choice(&r, &topo, src, dst, 64).unwrap();
+            assert_eq!(path.len() as u64 - 1, topo.distance(src, dst));
+        }
+    }
+
+    #[test]
+    fn partial_3d_detours_via_elevator() {
+        // Table 5's design on a partially connected 3x3x2 mesh: a packet in
+        // a column without an elevator must detour, and the product-graph
+        // distance makes the relation do it automatically.
+        let topo = Topology::mesh(&[3, 3, 2])
+            .with_partial_dim(ebda_core::Dimension::Z, [vec![0, 0], vec![2, 2]]);
+        let r = TurnRouting::from_design("table5", &catalog::table5_partial3d()).unwrap();
+        let src = topo.node_at(&[1, 1, 0]);
+        let dst = topo.node_at(&[1, 1, 1]);
+        let path = walk_first_choice(&r, &topo, src, dst, 32).unwrap();
+        assert!(path.len() > 2, "must detour via an elevator column");
+        assert_eq!(*path.last().unwrap(), dst);
+        assert_eq!(find_delivery_failure(&r, &topo, 64), None);
+    }
+
+    #[test]
+    fn turn_prohibitions_are_respected_on_every_branch() {
+        // For north-last, no branch may ever turn out of north.
+        let topo = Topology::mesh(&[4, 4]);
+        let r = TurnRouting::from_design("north-last", &catalog::north_last()).unwrap();
+        let universe = r.universe().to_vec();
+        use std::collections::VecDeque;
+        for src in topo.nodes() {
+            for dst in topo.nodes() {
+                if src == dst {
+                    continue;
+                }
+                let mut queue = VecDeque::new();
+                queue.push_back((src, INJECT));
+                let mut seen = std::collections::HashSet::new();
+                while let Some((node, state)) = queue.pop_front() {
+                    for ch in r.route(&topo, node, state, src, dst) {
+                        if state != INJECT {
+                            let prev = universe[state as usize];
+                            // Previous north => next must still be north.
+                            if prev.dim == ebda_core::Dimension::Y
+                                && prev.dir == ebda_core::Direction::Plus
+                            {
+                                assert_eq!(ch.port.dim, ebda_core::Dimension::Y);
+                                assert_eq!(ch.port.dir, ebda_core::Direction::Plus);
+                            }
+                        }
+                        let next = topo.neighbor(node, ch.port.dim, ch.port.dir).unwrap();
+                        if seen.insert((next, ch.state)) {
+                            queue.push_back((next, ch.state));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ebda_dateline_design_routes_tori_minimally() {
+        // The class-level dateline design drives a torus through the
+        // generic turn router: minimal (wrap-aware) paths, full delivery.
+        for radix in [[4usize, 4], [5, 3]] {
+            let topo = Topology::torus(&radix);
+            let seq = catalog::torus_dateline(&radix);
+            let r = TurnRouting::from_design("dateline", &seq).unwrap();
+            assert_eq!(
+                find_delivery_failure(&r, &topo, 24),
+                None,
+                "failed on {radix:?}"
+            );
+            for (src, dst) in [(0usize, topo.node_count() - 1), (3, 0)] {
+                let path = walk_first_choice(&r, &topo, src, dst, 24).unwrap();
+                assert_eq!(
+                    path.len() as u64 - 1,
+                    topo.distance(src, dst),
+                    "non-minimal on {radix:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reroutes_around_failed_links_using_theorem2_uturns() {
+        // Theorem 2's note: U-turns matter for fault tolerance. Break the
+        // only minimal link of a same-row pair; the design's allowed turns
+        // (including the S->N U-turn north-last gets from Theorem 3) let
+        // the packet detour instead of dead-ending.
+        let base = Topology::mesh(&[4, 4]);
+        let a = base.node_at(&[1, 3]);
+        let topo = base.with_failed_link(a, ebda_core::Dimension::X, ebda_core::Direction::Plus);
+        let r = TurnRouting::from_design("north-last", &catalog::north_last()).unwrap();
+        let src = topo.node_at(&[0, 3]);
+        let dst = topo.node_at(&[3, 3]);
+        // The straight row is cut: a minimal path no longer exists.
+        let path = walk_first_choice(&r, &topo, src, dst, 32).unwrap();
+        assert!(path.len() - 1 > 3, "must detour: {path:?}");
+        assert_eq!(*path.last().unwrap(), dst);
+        // The detour requires a descent (Y-) and a climb back (Y+): only
+        // legal because the turn set allows ending with north.
+        let rows: Vec<i64> = path.iter().map(|&n| topo.coords(n)[1]).collect();
+        assert!(rows.iter().any(|&y| y < 3), "detour leaves the row");
+    }
+
+    #[test]
+    fn fault_detour_falls_back_to_unreachable_when_turns_forbid_it() {
+        // XY routing cannot detour around the same fault for this pair:
+        // once aligned in Y... actually XY (X+|X-|Y+|Y-) allows X-then-Y
+        // only; a same-row pair with its row cut is unreachable.
+        let base = Topology::mesh(&[4, 4]);
+        let a = base.node_at(&[1, 3]);
+        let topo = base.with_failed_link(a, ebda_core::Dimension::X, ebda_core::Direction::Plus);
+        let r = TurnRouting::from_design("xy", &catalog::p1_xy()).unwrap();
+        let src = topo.node_at(&[0, 3]);
+        let dst = topo.node_at(&[3, 3]);
+        // XY would need to leave the row southwards and come back north,
+        // which its X-before-Y order forbids on the X legs after Y.
+        assert!(
+            r.route(&topo, src, INJECT, src, dst).is_empty(),
+            "XY has no legal detour for a cut row at the top edge"
+        );
+    }
+
+    #[test]
+    fn cache_survives_topology_changes() {
+        // The same relation used on two topologies (e.g. before and after
+        // a link failure) must not serve stale distances.
+        let r = TurnRouting::from_design("north-last", &catalog::north_last()).unwrap();
+        let healthy = Topology::mesh(&[4, 4]);
+        let src = healthy.node_at(&[0, 3]);
+        let dst = healthy.node_at(&[3, 3]);
+        assert_eq!(r.legal_distance(&healthy, src, INJECT, dst), Some(3));
+        let faulty = healthy.clone().with_failed_link(
+            healthy.node_at(&[1, 3]),
+            ebda_core::Dimension::X,
+            ebda_core::Direction::Plus,
+        );
+        // The cut row forces a detour: distance grows.
+        let detour = r.legal_distance(&faulty, src, INJECT, dst).unwrap();
+        assert!(detour > 3, "stale cache served the healthy distance");
+        // And back again.
+        assert_eq!(r.legal_distance(&healthy, src, INJECT, dst), Some(3));
+    }
+
+    #[test]
+    fn unreachable_destination_reports_empty() {
+        // A Y-only universe cannot move in X.
+        let universe = ebda_core::parse_channels("Y+ Y-").unwrap();
+        let r = TurnRouting::new("y-only", universe, TurnSet::new());
+        let topo = Topology::mesh(&[3, 3]);
+        let src = topo.node_at(&[0, 0]);
+        let dst = topo.node_at(&[1, 0]);
+        assert!(r.route(&topo, src, INJECT, src, dst).is_empty());
+        assert_eq!(r.legal_distance(&topo, src, INJECT, dst), None);
+    }
+
+    #[test]
+    fn distance_equals_manhattan_for_fully_adaptive() {
+        let topo = Topology::mesh(&[5, 5]);
+        let r = TurnRouting::from_design("dyxy", &catalog::fig7b_dyxy()).unwrap();
+        for src in [0usize, 7, 24] {
+            for dst in [3usize, 12, 20] {
+                if src == dst {
+                    continue;
+                }
+                assert_eq!(
+                    r.legal_distance(&topo, src, INJECT, dst),
+                    Some(topo.distance(src, dst) as u32)
+                );
+            }
+        }
+    }
+}

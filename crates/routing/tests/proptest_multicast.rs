@@ -1,0 +1,76 @@
+//! Property-based tests of the dual-path Hamiltonian multicast: label
+//! monotonicity, full coverage and path validity over random meshes and
+//! destination sets.
+
+use ebda_routing::multicast::{hamiltonian_label, DualPathMulticast};
+use ebda_routing::Topology;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn labels_are_a_hamiltonian_permutation(w in 2usize..7, h in 2usize..7) {
+        let topo = Topology::mesh(&[w, h]);
+        let mut by_label = vec![usize::MAX; w * h];
+        for node in topo.nodes() {
+            let l = hamiltonian_label(&topo, node);
+            prop_assert!(l < w * h);
+            prop_assert_eq!(by_label[l], usize::MAX, "duplicate label {}", l);
+            by_label[l] = node;
+        }
+        for pair in by_label.windows(2) {
+            prop_assert_eq!(topo.distance(pair[0], pair[1]), 1);
+        }
+    }
+
+    #[test]
+    fn multicast_covers_all_destinations_monotonically(
+        w in 2usize..6,
+        h in 2usize..6,
+        src_pick in 0usize..1000,
+        dest_mask in 1u32..0xFFFF_FFFF,
+    ) {
+        let topo = Topology::mesh(&[w, h]);
+        let n = topo.node_count();
+        let src = src_pick % n;
+        let dests: Vec<usize> = (0..n)
+            .filter(|&d| d != src && dest_mask & (1 << (d % 32)) != 0)
+            .collect();
+        let mc = DualPathMulticast::new();
+        let plan = mc.plan(&topo, src, &dests);
+        // Coverage.
+        for &d in &dests {
+            prop_assert!(
+                plan.high_path.contains(&d) || plan.low_path.contains(&d),
+                "destination {} missed", d
+            );
+        }
+        // Paths are contiguous and label-monotone.
+        for (path, increasing) in [(&plan.high_path, true), (&plan.low_path, false)] {
+            for pair in path.windows(2) {
+                prop_assert_eq!(topo.distance(pair[0], pair[1]), 1);
+                let (a, b) = (
+                    hamiltonian_label(&topo, pair[0]),
+                    hamiltonian_label(&topo, pair[1]),
+                );
+                if increasing {
+                    prop_assert!(a < b, "high path label regressed");
+                } else {
+                    prop_assert!(a > b, "low path label regressed");
+                }
+            }
+        }
+        // Both chains together hold every destination exactly once.
+        let mut all: Vec<usize> = plan
+            .high_chain
+            .iter()
+            .chain(plan.low_chain.iter())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        let mut expected = dests.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(all, expected);
+    }
+}

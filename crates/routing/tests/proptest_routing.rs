@@ -1,0 +1,103 @@
+//! Property-based tests of the turn-based routing bridge: for random valid
+//! EbDa designs, the derived relation must deliver, stay minimal on full
+//! meshes, and never take a turn outside its turn set.
+
+use ebda_core::{parse_channels, Channel, Partition, PartitionSeq};
+use ebda_routing::{
+    find_delivery_failure, verify_relation, RoutingRelation, Topology, TurnRouting, INJECT,
+};
+use proptest::prelude::*;
+
+/// Builds a random two-partition 2D design over the 8-channel universe.
+fn build(mask_a: u8, mask_b: u8) -> Option<PartitionSeq> {
+    let universe: Vec<Channel> = parse_channels("X1+ X1- X2+ X2- Y1+ Y1- Y2+ Y2-").unwrap();
+    let pick = |mask: u8| -> Vec<Channel> {
+        universe
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &c)| c)
+            .collect()
+    };
+    let a = pick(mask_a & !mask_b);
+    let b = pick(mask_b & !mask_a);
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let seq = PartitionSeq::from_partitions(vec![
+        Partition::from_channels(a).ok()?,
+        Partition::from_channels(b).ok()?,
+    ]);
+    seq.validate().ok()?;
+    Some(seq)
+}
+
+/// A design can route all pairs only if each direction is present somewhere.
+fn covers_all_directions(seq: &PartitionSeq) -> bool {
+    use ebda_core::Direction::*;
+    let chans: Vec<Channel> = seq
+        .partitions()
+        .iter()
+        .flat_map(|p| p.channels().iter().copied())
+        .collect();
+    [(0, Plus), (0, Minus), (1, Plus), (1, Minus)]
+        .iter()
+        .all(|&(d, dir)| chans.iter().any(|c| c.dim.index() == d && c.dir == dir))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every random valid design that covers all four directions delivers
+    /// everywhere on a mesh, and its exact relation-level CDG is acyclic.
+    #[test]
+    fn random_designs_deliver_and_stay_acyclic(mask_a in 1u8..255, mask_b in 1u8..255) {
+        let Some(seq) = build(mask_a, mask_b) else { return Ok(()) };
+        let relation = TurnRouting::from_design("prop", &seq).unwrap();
+        let topo = Topology::mesh(&[4, 4]);
+        if covers_all_directions(&seq) {
+            prop_assert_eq!(
+                find_delivery_failure(&relation, &topo, 32),
+                None,
+                "design {} failed delivery", seq
+            );
+        }
+        prop_assert!(
+            verify_relation(&topo, &relation).is_ok(),
+            "design {} produced a cyclic exact CDG", seq
+        );
+    }
+
+    /// Paths are always minimal on full meshes (the product-graph distance
+    /// equals the Manhattan distance whenever the pair is deliverable).
+    #[test]
+    fn deliverable_pairs_route_minimally(mask_a in 1u8..255, mask_b in 1u8..255, s in 0usize..16, d in 0usize..16) {
+        prop_assume!(s != d);
+        let Some(seq) = build(mask_a, mask_b) else { return Ok(()) };
+        let relation = TurnRouting::from_design("prop", &seq).unwrap();
+        let topo = Topology::mesh(&[4, 4]);
+        if let Some(dist) = relation.legal_distance(&topo, s, INJECT, d) {
+            prop_assert_eq!(u64::from(dist), topo.distance(s, d));
+        }
+    }
+
+    /// The relation only ever emits ports matching a channel of its own
+    /// universe that exists at the current node.
+    #[test]
+    fn emitted_ports_are_in_universe(mask_a in 1u8..255, mask_b in 1u8..255, s in 0usize..16, d in 0usize..16) {
+        prop_assume!(s != d);
+        let Some(seq) = build(mask_a, mask_b) else { return Ok(()) };
+        let relation = TurnRouting::from_design("prop", &seq).unwrap();
+        let topo = Topology::mesh(&[4, 4]);
+        let coords = topo.coords(s);
+        for ch in relation.route(&topo, s, INJECT, s, d) {
+            let matching = relation.universe().iter().any(|c| {
+                c.dim == ch.port.dim
+                    && c.dir == ch.port.dir
+                    && c.vc == ch.port.vc
+                    && c.class.contains(&coords)
+            });
+            prop_assert!(matching, "port {} not in universe at {coords:?}", ch.port);
+        }
+    }
+}

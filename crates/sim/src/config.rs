@@ -1,0 +1,187 @@
+//! Simulation configuration.
+
+use crate::traffic::TrafficPattern;
+
+/// How many packets an input virtual-channel buffer may hold.
+///
+/// The distinction is the crux of the paper's comparison with Duato's
+/// theory: Duato's Assumption 3 requires a queue to hold flits of only one
+/// packet (the header always at the head), which restricts wormhole
+/// switching; EbDa designs need no such restriction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BufferPolicy {
+    /// Unrestricted wormhole: a buffer may hold flits of several packets
+    /// back to back (EbDa's assumption).
+    #[default]
+    MultiPacket,
+    /// Duato's Assumption 3: a new packet's head may enter an input VC only
+    /// when the buffer is completely empty.
+    SinglePacket,
+}
+
+/// The packet-switching technique (paper Section 1): EbDa's theorems are
+/// stated for wormhole switching, with store-and-forward and virtual
+/// cut-through as special cases — a claim the simulator can test directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Switching {
+    /// Wormhole: flits proceed in a pipeline; no per-packet buffer
+    /// requirements.
+    #[default]
+    Wormhole,
+    /// Virtual cut-through: a packet advances only into a buffer with room
+    /// for the whole packet (needs `buffer_depth >= packet_length`).
+    VirtualCutThrough,
+    /// Store-and-forward: in addition to the VCT space condition, a packet
+    /// is forwarded only after it is fully buffered at the node.
+    StoreAndForward,
+}
+
+/// How the VC allocator picks among a head flit's routing candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Selection {
+    /// Rotating first-fit: round-robin over candidates by cycle/node, so
+    /// adaptive relations spread load deterministically.
+    #[default]
+    RotatingFirstFit,
+    /// Congestion-aware: pick the candidate whose downstream buffer has
+    /// the most free credits (the DyXY selection policy), ties broken by
+    /// candidate order.
+    MostCredits,
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Flit slots per input virtual-channel buffer.
+    pub buffer_depth: usize,
+    /// Cycles a flit spends crossing a link (1 = arrive next cycle).
+    pub link_latency: u64,
+    /// Flits per packet (head and tail included).
+    pub packet_length: usize,
+    /// Packet injection probability per node per cycle.
+    pub injection_rate: f64,
+    /// Traffic pattern mapping sources to destinations.
+    pub traffic: TrafficPattern,
+    /// Buffer occupancy policy (EbDa vs Duato assumptions).
+    pub buffer_policy: BufferPolicy,
+    /// Packet-switching technique (wormhole / VCT / SAF).
+    pub switching: Switching,
+    /// Candidate-selection policy of the VC allocator.
+    pub selection: Selection,
+    /// Warm-up cycles excluded from measurement.
+    pub warmup: u64,
+    /// Measurement window in cycles.
+    pub measurement: u64,
+    /// Extra cycles allowed for in-flight packets to drain.
+    pub drain: u64,
+    /// Cycles without any flit movement (while flits are in flight) after
+    /// which the run is declared deadlocked.
+    pub deadlock_threshold: u64,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+    /// Links that fail mid-run: `(cycle, node, dimension, direction)`,
+    /// cut in both traversal directions when the cycle starts. Packets
+    /// whose wormhole is severed by a failure are torn down (counted in
+    /// [`crate::SimResult::dropped_packets`]); heads that had merely
+    /// reserved the link re-route.
+    pub fault_schedule: Vec<(u64, usize, ebda_core::Dimension, ebda_core::Direction)>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            buffer_depth: 4,
+            link_latency: 1,
+            packet_length: 5,
+            injection_rate: 0.05,
+            traffic: TrafficPattern::Uniform,
+            buffer_policy: BufferPolicy::MultiPacket,
+            switching: Switching::Wormhole,
+            selection: Selection::RotatingFirstFit,
+            warmup: 1_000,
+            measurement: 4_000,
+            drain: 3_000,
+            deadlock_threshold: 1_000,
+            seed: 0xEBDA,
+            fault_schedule: Vec::new(),
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validates parameter sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero-sized buffers/packets or an injection rate outside
+    /// `[0, 1]`.
+    pub fn validate(&self) {
+        assert!(self.buffer_depth >= 1, "buffers need at least one slot");
+        assert!(self.packet_length >= 1, "packets need at least one flit");
+        assert!(
+            (0.0..=1.0).contains(&self.injection_rate),
+            "injection rate must be a probability"
+        );
+        assert!(self.deadlock_threshold >= 1, "deadlock threshold too small");
+        assert!(self.link_latency >= 1, "links need at least one cycle");
+        if self.switching != Switching::Wormhole {
+            assert!(
+                self.buffer_depth >= self.packet_length,
+                "VCT and SAF need buffers that hold a whole packet"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        SimConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_rate() {
+        let cfg = SimConfig {
+            injection_rate: 1.5,
+            ..SimConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "one slot")]
+    fn rejects_zero_buffers() {
+        let cfg = SimConfig {
+            buffer_depth: 0,
+            ..SimConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "whole packet")]
+    fn vct_needs_deep_buffers() {
+        let cfg = SimConfig {
+            switching: Switching::VirtualCutThrough,
+            buffer_depth: 2,
+            packet_length: 5,
+            ..SimConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn saf_with_deep_buffers_is_valid() {
+        let cfg = SimConfig {
+            switching: Switching::StoreAndForward,
+            buffer_depth: 8,
+            packet_length: 5,
+            ..SimConfig::default()
+        };
+        cfg.validate();
+    }
+}

@@ -1,0 +1,1422 @@
+//! The cycle-driven wormhole simulation engine.
+//!
+//! Router model (one cycle per phase-pipeline step, one flit per link per
+//! cycle):
+//!
+//! * **Input buffering** — one FIFO per (input port, virtual channel);
+//!   flits of several packets may queue back to back under
+//!   [`BufferPolicy::MultiPacket`], while [`BufferPolicy::SinglePacket`]
+//!   enforces Duato's one-packet-per-buffer assumption at VC allocation.
+//! * **VC allocation** — a head flit at the front of its buffer asks the
+//!   routing relation for candidates and claims a free output VC (rotating
+//!   first-fit, so adaptive relations actually spread load).
+//! * **Switch allocation** — one flit per output port per cycle, one flit
+//!   per input port per cycle, credit-based backpressure.
+//! * **Wormhole** — an output VC is owned by one packet from head to tail;
+//!   body flits follow the head's path, and a buffer may contain flits of
+//!   multiple packets without interleaving.
+
+use crate::config::{BufferPolicy, Selection, SimConfig, Switching};
+use crate::metrics::{Outcome, SimResult};
+
+use ebda_routing::{NodeId, RouteState, RoutingRelation, Topology, INJECT};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+type Pid = u32;
+
+#[derive(Debug, Clone, Copy)]
+struct FlitTag {
+    pid: Pid,
+    idx: u32,
+}
+
+#[derive(Debug)]
+struct Packet {
+    src: NodeId,
+    dst: NodeId,
+    len: u32,
+    route_state: RouteState,
+    inject_cycle: u64,
+    measured: bool,
+    delivered: Option<u64>,
+    hops: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Alloc {
+    None,
+    Out(usize),
+    Eject,
+}
+
+#[derive(Debug)]
+struct InVc {
+    buf: VecDeque<FlitTag>,
+    alloc: Alloc,
+}
+
+#[derive(Debug)]
+struct OutVc {
+    owner: Option<Pid>,
+    src_in: usize,
+    credits: usize,
+}
+
+/// Index arithmetic for the flattened per-node port/VC arrays.
+#[derive(Debug)]
+struct Layout {
+    dims: usize,
+    vcs: Vec<u8>,
+    /// First in-slot of each network port within a node, plus the
+    /// injection slot at the end.
+    in_base: Vec<usize>,
+    in_per_node: usize,
+    out_base: Vec<usize>,
+    out_per_node: usize,
+}
+
+impl Layout {
+    fn new(topo: &Topology, vcs: &[u8]) -> Layout {
+        let dims = topo.dims();
+        let ports = 2 * dims;
+        let mut in_base = Vec::with_capacity(ports + 1);
+        let mut acc = 0usize;
+        for p in 0..ports {
+            in_base.push(acc);
+            acc += vcs[p / 2] as usize;
+        }
+        in_base.push(acc); // injection slot
+        let in_per_node = acc + 1;
+        let out_base = in_base[..ports].to_vec();
+        Layout {
+            dims,
+            vcs: vcs.to_vec(),
+            in_base,
+            in_per_node,
+            out_base,
+            out_per_node: acc,
+        }
+    }
+
+    fn port(dim: usize, dir: ebda_core::Direction) -> usize {
+        2 * dim + usize::from(dir == ebda_core::Direction::Minus)
+    }
+
+    fn port_dim(p: usize) -> usize {
+        p / 2
+    }
+
+    fn port_dir(p: usize) -> ebda_core::Direction {
+        if p.is_multiple_of(2) {
+            ebda_core::Direction::Plus
+        } else {
+            ebda_core::Direction::Minus
+        }
+    }
+
+    fn in_slot(&self, node: NodeId, port: usize, vc0: usize) -> usize {
+        node * self.in_per_node + self.in_base[port] + vc0
+    }
+
+    fn injection_slot(&self, node: NodeId) -> usize {
+        node * self.in_per_node + self.in_per_node - 1
+    }
+
+    fn out_slot(&self, node: NodeId, port: usize, vc0: usize) -> usize {
+        node * self.out_per_node + self.out_base[port] + vc0
+    }
+
+    /// Decomposes a global in-slot into (node, local port, vc0); the local
+    /// port equals `2 * dims` for injection slots.
+    fn in_slot_parts(&self, slot: usize) -> (NodeId, usize, usize) {
+        let node = slot / self.in_per_node;
+        let local = slot % self.in_per_node;
+        if local == self.in_per_node - 1 {
+            return (node, 2 * self.dims, 0);
+        }
+        let mut port = 0;
+        while port + 1 < self.in_base.len() && self.in_base[port + 1] <= local {
+            port += 1;
+        }
+        (node, port, local - self.in_base[port])
+    }
+}
+
+/// Runs one simulation and returns the aggregated result.
+///
+/// # Panics
+///
+/// Panics on invalid configuration (see [`SimConfig::validate`]) or when
+/// the relation requests more VCs than its universe declares.
+pub fn simulate(topo: &Topology, relation: &dyn RoutingRelation, cfg: &SimConfig) -> SimResult {
+    cfg.validate();
+    Simulator::new(topo, relation, cfg).run()
+}
+
+struct Simulator<'a> {
+    topo: Topology,
+    _lifetime: std::marker::PhantomData<&'a ()>,
+    relation: &'a dyn RoutingRelation,
+    cfg: &'a SimConfig,
+    layout: Layout,
+    in_vcs: Vec<InVc>,
+    out_vcs: Vec<OutVc>,
+    eject_owner: Vec<Option<(Pid, usize)>>,
+    packets: Vec<Packet>,
+    /// Flits in flight on links: (arrival cycle, destination in-slot, flit).
+    in_transit: VecDeque<(u64, usize, FlitTag)>,
+    /// Next unconsumed event index for trace-driven traffic.
+    trace_cursor: usize,
+    rng: StdRng,
+    // statistics
+    injected: u64,
+    delivered: u64,
+    measured_injected: u64,
+    measured_delivered: u64,
+    latency_sum: u64,
+    latency_max: u64,
+    latencies: Vec<u64>,
+    hop_sum: u64,
+    window_flits_ejected: u64,
+    channel_flits: Vec<u64>,
+    routing_faults: u64,
+    /// Highest injection cycle delivered so far per (src, dst) pair.
+    last_delivered: std::collections::HashMap<(NodeId, NodeId), u64>,
+    reordered: u64,
+    /// Per-node ON/OFF state for bursty traffic (empty otherwise).
+    burst_on: Vec<bool>,
+    /// Next unapplied fault-schedule index (the schedule is sorted once).
+    fault_cursor: usize,
+    faults_sorted: Vec<(u64, usize, ebda_core::Dimension, ebda_core::Direction)>,
+    dropped: u64,
+}
+
+impl<'a> Simulator<'a> {
+    fn new(topo: &'a Topology, relation: &'a dyn RoutingRelation, cfg: &'a SimConfig) -> Self {
+        let vcs = relation.vcs(topo);
+        let layout = Layout::new(topo, &vcs);
+        let n = topo.node_count();
+        let in_vcs = (0..n * layout.in_per_node)
+            .map(|_| InVc {
+                buf: VecDeque::new(),
+                alloc: Alloc::None,
+            })
+            .collect();
+        let out_vcs = (0..n * layout.out_per_node)
+            .map(|_| OutVc {
+                owner: None,
+                src_in: usize::MAX,
+                credits: cfg.buffer_depth,
+            })
+            .collect();
+        let channel_flits = vec![0u64; n * layout.out_per_node];
+        let mut faults_sorted = cfg.fault_schedule.clone();
+        faults_sorted.sort_by_key(|&(c, ..)| c);
+        Simulator {
+            topo: topo.clone(),
+            _lifetime: std::marker::PhantomData,
+            relation,
+            cfg,
+            layout,
+            in_vcs,
+            out_vcs,
+            eject_owner: vec![None; n],
+            packets: Vec::new(),
+            in_transit: VecDeque::new(),
+            trace_cursor: 0,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            injected: 0,
+            delivered: 0,
+            measured_injected: 0,
+            measured_delivered: 0,
+            latency_sum: 0,
+            latency_max: 0,
+            latencies: Vec::new(),
+            hop_sum: 0,
+            window_flits_ejected: 0,
+            channel_flits,
+            routing_faults: 0,
+            last_delivered: std::collections::HashMap::new(),
+            reordered: 0,
+            burst_on: vec![false; n],
+            fault_cursor: 0,
+            faults_sorted,
+            dropped: 0,
+        }
+    }
+
+    fn run(mut self) -> SimResult {
+        let horizon = self.cfg.warmup + self.cfg.measurement + self.cfg.drain;
+        let mut last_progress = 0u64;
+        let mut cycle = 0u64;
+        while cycle < horizon {
+            self.apply_due_faults(cycle);
+            // Link traversal completes: deliver due flits.
+            while self
+                .in_transit
+                .front()
+                .is_some_and(|&(due, _, _)| due <= cycle)
+            {
+                let (_, slot, flit) = self.in_transit.pop_front().expect("checked front");
+                self.in_vcs[slot].buf.push_back(flit);
+            }
+            if cycle < self.cfg.warmup + self.cfg.measurement {
+                self.inject(cycle);
+            }
+            self.allocate(cycle);
+            let moved = self.arbitrate_and_move(cycle);
+            if moved {
+                last_progress = cycle;
+            }
+            let in_flight =
+                !self.in_transit.is_empty() || self.in_vcs.iter().any(|v| !v.buf.is_empty());
+            if in_flight && cycle - last_progress > self.cfg.deadlock_threshold {
+                let blocked = self.blocked_packet_count();
+                let wait_cycle = self.diagnose_deadlock();
+                return self.finish(
+                    Outcome::Deadlocked {
+                        at_cycle: cycle,
+                        blocked_packets: blocked,
+                        wait_cycle,
+                    },
+                    cycle,
+                );
+            }
+            if !in_flight && cycle >= self.cfg.warmup + self.cfg.measurement {
+                cycle += 1;
+                break; // fully drained
+            }
+            cycle += 1;
+        }
+        self.assert_conservation_if_drained();
+        self.finish(Outcome::Completed, cycle)
+    }
+
+    /// After a fully drained run, every resource must be back in its
+    /// initial state — catches credit leaks and stuck allocations that
+    /// would otherwise only show up as throughput drift.
+    fn assert_conservation_if_drained(&self) {
+        let drained = self.in_transit.is_empty() && self.in_vcs.iter().all(|v| v.buf.is_empty());
+        if !drained {
+            return; // horizon hit with traffic still in flight: fine
+        }
+        for (i, vc) in self.in_vcs.iter().enumerate() {
+            assert_eq!(vc.alloc, Alloc::None, "in-slot {i} kept an allocation");
+        }
+        for (i, out) in self.out_vcs.iter().enumerate() {
+            assert_eq!(out.owner, None, "out-slot {i} kept an owner");
+            assert_eq!(
+                out.credits, self.cfg.buffer_depth,
+                "out-slot {i} leaked credits"
+            );
+        }
+        assert!(
+            self.eject_owner.iter().all(Option::is_none),
+            "an ejection port kept an owner"
+        );
+        assert_eq!(
+            self.delivered + self.dropped,
+            self.packets.len() as u64,
+            "drained run must have delivered or dropped every packet"
+        );
+    }
+
+    fn finish(mut self, outcome: Outcome, cycles: u64) -> SimResult {
+        let delivered = self.measured_delivered.max(1);
+        self.latencies.sort_unstable();
+        SimResult {
+            outcome,
+            cycles,
+            injected_packets: self.injected,
+            delivered_packets: self.delivered,
+            measured_injected: self.measured_injected,
+            measured_delivered: self.measured_delivered,
+            avg_latency: self.latency_sum as f64 / delivered as f64,
+            avg_hops: self.hop_sum as f64 / delivered as f64,
+            max_latency: self.latency_max,
+            latencies: self.latencies,
+            throughput: self.window_flits_ejected as f64
+                / self.topo.node_count() as f64
+                / self.cfg.measurement as f64,
+            window_ejected: self.window_flits_ejected,
+            channel_flits: self.channel_flits,
+            routing_faults: self.routing_faults,
+            reordered_packets: self.reordered,
+            dropped_packets: self.dropped,
+        }
+    }
+
+    /// Builds the wait-for graph among blocked packets and extracts one
+    /// circular wait, described hop by hop. Empty when no cycle is found
+    /// (e.g. a stall caused by a routing fault rather than a deadlock).
+    fn diagnose_deadlock(&self) -> Vec<String> {
+        use std::collections::HashMap;
+        // Wait edges with a description of the waiting side.
+        let mut pids: Vec<Pid> = Vec::new();
+        let mut index: HashMap<Pid, usize> = HashMap::new();
+        let intern = |pids: &mut Vec<Pid>, index: &mut HashMap<Pid, usize>, p: Pid| {
+            *index.entry(p).or_insert_with(|| {
+                pids.push(p);
+                pids.len() - 1
+            })
+        };
+        let mut edges: Vec<Vec<u32>> = Vec::new();
+        let mut labels: Vec<String> = Vec::new();
+        let add_edge = |edges: &mut Vec<Vec<u32>>,
+                        labels: &mut Vec<String>,
+                        a: usize,
+                        b: usize,
+                        why: String| {
+            while edges.len() <= a.max(b) {
+                edges.push(Vec::new());
+                labels.push(String::new());
+            }
+            if !edges[a].contains(&(b as u32)) {
+                edges[a].push(b as u32);
+            }
+            if labels[a].is_empty() {
+                labels[a] = why;
+            }
+        };
+
+        for (slot, vc) in self.in_vcs.iter().enumerate() {
+            let Some(&front) = vc.buf.front() else {
+                continue;
+            };
+            let (node, port, _) = self.layout.in_slot_parts(slot);
+            let fi = intern(&mut pids, &mut index, front.pid);
+            // Packets queued behind the front wait on it.
+            for f in vc.buf.iter().skip(1) {
+                if f.pid != front.pid {
+                    let qi = intern(&mut pids, &mut index, f.pid);
+                    add_edge(
+                        &mut edges,
+                        &mut labels,
+                        qi,
+                        fi,
+                        format!("p{} queued behind p{} at node {node}", f.pid, front.pid),
+                    );
+                }
+            }
+            match vc.alloc {
+                Alloc::Out(oslot) if self.out_vcs[oslot].credits == 0 => {
+                    // Waiting on space freed by packets downstream.
+                    let (onode, oport, ovc) = self.out_slot_parts(oslot);
+                    let dim = ebda_core::Dimension::new(Layout::port_dim(oport) as u8);
+                    let dir = Layout::port_dir(oport);
+                    if let Some(nbr) = self.topo.neighbor(onode, dim, dir) {
+                        let dslot = self.layout.in_slot(nbr, oport, ovc);
+                        for f in self.in_vcs[dslot].buf.iter() {
+                            if f.pid != front.pid {
+                                let qi = intern(&mut pids, &mut index, f.pid);
+                                add_edge(
+                                        &mut edges,
+                                        &mut labels,
+                                        fi,
+                                        qi,
+                                        format!(
+                                            "p{} holds {dim}{}{dir} at node {node}, needs buffer space at node {nbr}",
+                                            front.pid, ovc + 1
+                                        ),
+                                    );
+                            }
+                        }
+                    }
+                }
+                Alloc::None if front.idx == 0 => {
+                    // A head that could not allocate: waits on the owners
+                    // of every candidate output VC.
+                    let p = &self.packets[front.pid as usize];
+                    if p.dst != node {
+                        for ch in self
+                            .relation
+                            .route(&self.topo, node, p.route_state, p.src, p.dst)
+                        {
+                            let oport = Layout::port(ch.port.dim.index(), ch.port.dir);
+                            let oslot = self.layout.out_slot(node, oport, ch.port.vc as usize - 1);
+                            if let Some(owner) = self.out_vcs[oslot].owner {
+                                if owner != front.pid {
+                                    let qi = intern(&mut pids, &mut index, owner);
+                                    add_edge(
+                                        &mut edges,
+                                        &mut labels,
+                                        fi,
+                                        qi,
+                                        format!(
+                                            "p{} at node {node} wants {} held by p{owner}",
+                                            front.pid, ch.port
+                                        ),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    let _ = port;
+                }
+                _ => {}
+            }
+        }
+        match find_cycle_indices(&edges) {
+            Some(cycle) => cycle
+                .into_iter()
+                .map(|i| labels[i as usize].clone())
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Applies fault-schedule entries due at `cycle`: cut the links, tear
+    /// down severed wormholes, release reservations over dead links.
+    fn apply_due_faults(&mut self, cycle: u64) {
+        let mut applied = false;
+        while let Some(&(due, node, dim, dir)) = self.faults_sorted.get(self.fault_cursor) {
+            if due > cycle {
+                break;
+            }
+            self.fault_cursor += 1;
+            self.topo = self.topo.clone().with_failed_link(node, dim, dir);
+            applied = true;
+        }
+        if !applied {
+            return;
+        }
+        // Release or tear down traffic over links that no longer exist.
+        let out_slots = self.out_vcs.len();
+        for oslot in 0..out_slots {
+            let Some(pid) = self.out_vcs[oslot].owner else {
+                continue;
+            };
+            let (node, port, _) = self.out_slot_parts(oslot);
+            let dim = ebda_core::Dimension::new(Layout::port_dim(port) as u8);
+            let dir = Layout::port_dir(port);
+            if self.topo.neighbor(node, dim, dir).is_some() {
+                continue; // link survived
+            }
+            let islot = self.out_vcs[oslot].src_in;
+            let head_still_here = self.in_vcs[islot]
+                .buf
+                .front()
+                .is_some_and(|f| f.pid == pid && f.idx == 0);
+            if head_still_here {
+                // Only a reservation: release it; the head re-routes.
+                self.out_vcs[oslot].owner = None;
+                self.out_vcs[oslot].src_in = usize::MAX;
+                self.in_vcs[islot].alloc = Alloc::None;
+            } else {
+                // The wormhole is severed mid-packet: tear the packet down.
+                self.teardown_packet(pid);
+            }
+        }
+        // Flits in transit toward now-dead links cannot exist (they were
+        // sent while the link was alive and arrive at the buffer), but a
+        // packet already dropped may still have flits in transit: purge.
+        let dropped: std::collections::HashSet<Pid> = self
+            .packets
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.delivered == Some(u64::MAX))
+            .map(|(i, _)| i as Pid)
+            .collect();
+        if !dropped.is_empty() {
+            self.in_transit
+                .retain(|&(_, _, f)| !dropped.contains(&f.pid));
+        }
+        self.recompute_credits();
+    }
+
+    /// Removes every trace of a packet from the network and counts it as
+    /// dropped. The sentinel `delivered == Some(u64::MAX)` marks drops.
+    fn teardown_packet(&mut self, pid: Pid) {
+        if self.packets[pid as usize].delivered.is_some() {
+            return;
+        }
+        self.packets[pid as usize].delivered = Some(u64::MAX);
+        self.dropped += 1;
+        for slot in 0..self.in_vcs.len() {
+            let had_front = self.in_vcs[slot].buf.front().is_some_and(|f| f.pid == pid);
+            self.in_vcs[slot].buf.retain(|f| f.pid != pid);
+            if had_front {
+                self.in_vcs[slot].alloc = Alloc::None;
+            }
+        }
+        for oslot in 0..self.out_vcs.len() {
+            if self.out_vcs[oslot].owner == Some(pid) {
+                // Release the input-side allocation too: the packet may
+                // have drained this buffer (tail still upstream) leaving
+                // the alloc dangling.
+                let src_in = self.out_vcs[oslot].src_in;
+                if src_in != usize::MAX && self.in_vcs[src_in].alloc == Alloc::Out(oslot) {
+                    self.in_vcs[src_in].alloc = Alloc::None;
+                }
+                self.out_vcs[oslot].owner = None;
+                self.out_vcs[oslot].src_in = usize::MAX;
+            }
+        }
+        for i in 0..self.eject_owner.len() {
+            if let Some((p, slot)) = self.eject_owner[i] {
+                if p == pid {
+                    if self.in_vcs[slot].alloc == Alloc::Eject {
+                        self.in_vcs[slot].alloc = Alloc::None;
+                    }
+                    self.eject_owner[i] = None;
+                }
+            }
+        }
+    }
+
+    /// Rebuilds every credit counter from actual buffer occupancy — used
+    /// after teardown, where piecewise accounting is error-prone.
+    fn recompute_credits(&mut self) {
+        for oslot in 0..self.out_vcs.len() {
+            let (node, port, vc0) = self.out_slot_parts(oslot);
+            let dim = ebda_core::Dimension::new(Layout::port_dim(port) as u8);
+            let dir = Layout::port_dir(port);
+            let Some(nbr) = self.topo.neighbor(node, dim, dir) else {
+                self.out_vcs[oslot].credits = self.cfg.buffer_depth;
+                continue;
+            };
+            let dslot = self.layout.in_slot(nbr, port, vc0);
+            let occupied = self.in_vcs[dslot].buf.len()
+                + self
+                    .in_transit
+                    .iter()
+                    .filter(|&&(_, s, _)| s == dslot)
+                    .count();
+            self.out_vcs[oslot].credits = self.cfg.buffer_depth.saturating_sub(occupied);
+        }
+    }
+
+    fn blocked_packet_count(&self) -> usize {
+        let mut pids: Vec<Pid> = self
+            .in_vcs
+            .iter()
+            .flat_map(|v| v.buf.iter().map(|f| f.pid))
+            .collect();
+        pids.sort_unstable();
+        pids.dedup();
+        pids.len()
+    }
+
+    fn inject(&mut self, cycle: u64) {
+        let cfg = self.cfg;
+        if let crate::traffic::TrafficPattern::Trace { events } = &cfg.traffic {
+            while let Some(&(c, src, dst)) = events.get(self.trace_cursor) {
+                if c > cycle {
+                    break;
+                }
+                self.trace_cursor += 1;
+                self.spawn_packet(cycle, src, dst);
+            }
+            return;
+        }
+        let burst = match cfg.traffic {
+            crate::traffic::TrafficPattern::Bursty {
+                p_on,
+                p_off,
+                burst_scale,
+            } => Some((p_on, p_off, burst_scale)),
+            _ => None,
+        };
+        for node in self.topo.nodes() {
+            let rate = match burst {
+                Some((p_on, p_off, scale)) => {
+                    // Advance the two-state Markov chain, then gate.
+                    let on = self.burst_on[node];
+                    let flip = self.rng.gen_bool(if on { p_off } else { p_on });
+                    let on = on != flip;
+                    self.burst_on[node] = on;
+                    if on {
+                        (self.cfg.injection_rate * scale).min(1.0)
+                    } else {
+                        0.0
+                    }
+                }
+                None => self.cfg.injection_rate,
+            };
+            if rate == 0.0 || !self.rng.gen_bool(rate) {
+                continue;
+            }
+            let Some(dst) = self
+                .cfg
+                .traffic
+                .destination(&self.topo, node, &mut self.rng)
+            else {
+                continue;
+            };
+            self.spawn_packet(cycle, node, dst);
+        }
+    }
+
+    fn spawn_packet(&mut self, cycle: u64, node: NodeId, dst: NodeId) {
+        {
+            let pid = self.packets.len() as Pid;
+            let measured =
+                cycle >= self.cfg.warmup && cycle < self.cfg.warmup + self.cfg.measurement;
+            self.packets.push(Packet {
+                src: node,
+                dst,
+                len: self.cfg.packet_length as u32,
+                route_state: INJECT,
+                inject_cycle: cycle,
+                measured,
+                delivered: None,
+                hops: 0,
+            });
+            self.injected += 1;
+            if measured {
+                self.measured_injected += 1;
+            }
+            let slot = self.layout.injection_slot(node);
+            for idx in 0..self.cfg.packet_length as u32 {
+                self.in_vcs[slot].buf.push_back(FlitTag { pid, idx });
+            }
+        }
+    }
+
+    /// VC allocation: heads at buffer fronts claim output VCs or the
+    /// ejection port.
+    fn allocate(&mut self, cycle: u64) {
+        for node in self.topo.nodes() {
+            for local in 0..self.layout.in_per_node {
+                let slot = node * self.layout.in_per_node + local;
+                if self.in_vcs[slot].alloc != Alloc::None {
+                    continue;
+                }
+                let Some(&front) = self.in_vcs[slot].buf.front() else {
+                    continue;
+                };
+                debug_assert_eq!(front.idx, 0, "unallocated buffer front must be a head");
+                let pid = front.pid;
+                let (src, dst, state) = {
+                    let p = &self.packets[pid as usize];
+                    (p.src, p.dst, p.route_state)
+                };
+                if dst == node {
+                    if self.eject_owner[node].is_none() {
+                        self.eject_owner[node] = Some((pid, slot));
+                        self.in_vcs[slot].alloc = Alloc::Eject;
+                    }
+                    continue;
+                }
+                // Store-and-forward: the whole packet must be buffered at
+                // this node before its head may be routed onward.
+                if self.cfg.switching == Switching::StoreAndForward {
+                    let len = self.packets[pid as usize].len as usize;
+                    let buffered = self.in_vcs[slot]
+                        .buf
+                        .iter()
+                        .take_while(|f| f.pid == pid)
+                        .count();
+                    if buffered < len {
+                        continue;
+                    }
+                }
+                let cands = self.relation.route(&self.topo, node, state, src, dst);
+                if cands.is_empty() {
+                    self.routing_faults += 1;
+                    continue;
+                }
+                let feasible = |sim: &Simulator<'_>, oslot: usize| {
+                    if sim.out_vcs[oslot].owner.is_some() {
+                        return false;
+                    }
+                    if sim.cfg.buffer_policy == BufferPolicy::SinglePacket
+                        && sim.out_vcs[oslot].credits < sim.cfg.buffer_depth
+                    {
+                        return false; // downstream buffer not empty: Duato mode
+                    }
+                    if sim.cfg.switching != Switching::Wormhole
+                        && sim.out_vcs[oslot].credits < sim.cfg.packet_length
+                    {
+                        return false; // VCT/SAF: room for the whole packet
+                    }
+                    true
+                };
+                let oslot_of = |sim: &Simulator<'_>, k: usize| {
+                    let ch = cands[k];
+                    let vc0 = ch.port.vc as usize - 1;
+                    debug_assert!(
+                        vc0 < sim.layout.vcs[ch.port.dim.index()] as usize,
+                        "relation requested VC beyond its declared budget"
+                    );
+                    let port = Layout::port(ch.port.dim.index(), ch.port.dir);
+                    sim.layout.out_slot(node, port, vc0)
+                };
+                let chosen = match self.cfg.selection {
+                    Selection::RotatingFirstFit => {
+                        let start = (cycle as usize + node) % cands.len();
+                        (0..cands.len())
+                            .map(|k| (start + k) % cands.len())
+                            .find(|&k| feasible(self, oslot_of(self, k)))
+                    }
+                    Selection::MostCredits => (0..cands.len())
+                        .filter(|&k| feasible(self, oslot_of(self, k)))
+                        .max_by_key(|&k| {
+                            (self.out_vcs[oslot_of(self, k)].credits, cands.len() - k)
+                        }),
+                };
+                if let Some(k) = chosen {
+                    let oslot = oslot_of(self, k);
+                    self.out_vcs[oslot].owner = Some(pid);
+                    self.out_vcs[oslot].src_in = slot;
+                    self.in_vcs[slot].alloc = Alloc::Out(oslot);
+                    self.packets[pid as usize].route_state = cands[k].state;
+                }
+            }
+        }
+    }
+
+    /// Switch allocation + traversal. Returns `true` if any flit moved.
+    fn arbitrate_and_move(&mut self, cycle: u64) -> bool {
+        let in_window = cycle >= self.cfg.warmup && cycle < self.cfg.warmup + self.cfg.measurement;
+        // (from in-slot, Option<out-slot>): None = ejection.
+        let mut moves: Vec<(usize, Option<usize>)> = Vec::new();
+        let ports = 2 * self.layout.dims;
+        let mut used_inputs = vec![0u64; self.topo.node_count()];
+        let input_bit = |local_port: usize| 1u64 << local_port;
+
+        for node in self.topo.nodes() {
+            // Ejection first: it frees buffers and models the sink.
+            if let Some((pid, slot)) = self.eject_owner[node] {
+                if let Some(&front) = self.in_vcs[slot].buf.front() {
+                    if front.pid == pid {
+                        let (_, port, _) = self.layout.in_slot_parts(slot);
+                        if used_inputs[node] & input_bit(port) == 0 {
+                            used_inputs[node] |= input_bit(port);
+                            moves.push((slot, None));
+                        }
+                    }
+                }
+            }
+            // One winner per output physical port.
+            for port in 0..ports {
+                let nvc = self.layout.vcs[Layout::port_dim(port)] as usize;
+                let start = (cycle as usize + node + port) % nvc;
+                for k in 0..nvc {
+                    let vc0 = (start + k) % nvc;
+                    let oslot = self.layout.out_slot(node, port, vc0);
+                    let Some(pid) = self.out_vcs[oslot].owner else {
+                        continue;
+                    };
+                    if self.out_vcs[oslot].credits == 0 {
+                        continue;
+                    }
+                    let islot = self.out_vcs[oslot].src_in;
+                    let Some(&front) = self.in_vcs[islot].buf.front() else {
+                        continue;
+                    };
+                    if front.pid != pid {
+                        continue;
+                    }
+                    let (inode, iport, _) = self.layout.in_slot_parts(islot);
+                    debug_assert_eq!(inode, node);
+                    if used_inputs[node] & input_bit(iport) != 0 {
+                        continue;
+                    }
+                    used_inputs[node] |= input_bit(iport);
+                    moves.push((islot, Some(oslot)));
+                    break;
+                }
+            }
+        }
+
+        let moved = !moves.is_empty();
+        let mut arrivals: Vec<(usize, FlitTag)> = Vec::new();
+        for (islot, target) in moves {
+            let flit = self.in_vcs[islot]
+                .buf
+                .pop_front()
+                .expect("scheduled move from empty buffer");
+            self.return_credit(islot);
+            let last = flit.idx + 1 == self.packets[flit.pid as usize].len;
+            match target {
+                Some(oslot) => {
+                    self.out_vcs[oslot].credits -= 1;
+                    if flit.idx == 0 {
+                        self.packets[flit.pid as usize].hops += 1;
+                    }
+                    if in_window {
+                        self.channel_flits[oslot] += 1;
+                    }
+                    if last {
+                        self.out_vcs[oslot].owner = None;
+                        self.in_vcs[islot].alloc = Alloc::None;
+                    }
+                    let (node, port, vc0) = self.out_slot_parts(oslot);
+                    let dim = ebda_core::Dimension::new(Layout::port_dim(port) as u8);
+                    let dir = Layout::port_dir(port);
+                    let nbr = self
+                        .topo
+                        .neighbor(node, dim, dir)
+                        .expect("allocated output must have a link");
+                    arrivals.push((self.layout.in_slot(nbr, port, vc0), flit));
+                }
+                None => {
+                    if in_window {
+                        self.window_flits_ejected += 1;
+                    }
+                    if last {
+                        let (node, _, _) = self.layout.in_slot_parts(islot);
+                        self.eject_owner[node] = None;
+                        self.in_vcs[islot].alloc = Alloc::None;
+                        self.complete_packet(flit.pid, cycle);
+                    }
+                }
+            }
+        }
+        for (slot, flit) in arrivals {
+            // Arrival after the link latency (1 = next cycle, since the
+            // in-transit queue drains at the start of each cycle).
+            self.in_transit
+                .push_back((cycle + self.cfg.link_latency, slot, flit));
+        }
+        moved
+    }
+
+    fn out_slot_parts(&self, slot: usize) -> (NodeId, usize, usize) {
+        let node = slot / self.layout.out_per_node;
+        let local = slot % self.layout.out_per_node;
+        let mut port = 0;
+        while port + 1 < self.layout.out_base.len() && self.layout.out_base[port + 1] <= local {
+            port += 1;
+        }
+        (node, port, local - self.layout.out_base[port])
+    }
+
+    /// Returns a credit to the upstream output VC feeding `islot` (network
+    /// ports only; injection queues are source-side and creditless).
+    fn return_credit(&mut self, islot: usize) {
+        let (node, port, vc0) = self.layout.in_slot_parts(islot);
+        if port >= 2 * self.layout.dims {
+            return; // injection slot
+        }
+        let dim = ebda_core::Dimension::new(Layout::port_dim(port) as u8);
+        let dir = Layout::port_dir(port);
+        // The upstream link may have failed after this flit arrived; its
+        // out-slot credits were already reset by the fault handler.
+        let Some(upstream) = self.topo.neighbor(node, dim, dir.opposite()) else {
+            return;
+        };
+        let oslot = self.layout.out_slot(upstream, port, vc0);
+        self.out_vcs[oslot].credits += 1;
+        debug_assert!(self.out_vcs[oslot].credits <= self.cfg.buffer_depth);
+    }
+
+    fn complete_packet(&mut self, pid: Pid, cycle: u64) {
+        let latency;
+        let (src, dst, injected);
+        {
+            let p = &mut self.packets[pid as usize];
+            debug_assert!(p.delivered.is_none());
+            p.delivered = Some(cycle);
+            latency = cycle + 1 - p.inject_cycle;
+            (src, dst, injected) = (p.src, p.dst, p.inject_cycle);
+        }
+        let last = self.last_delivered.entry((src, dst)).or_insert(0);
+        if injected < *last {
+            self.reordered += 1;
+        } else {
+            *last = injected;
+        }
+        self.delivered += 1;
+        if self.packets[pid as usize].measured {
+            self.measured_delivered += 1;
+            self.latency_sum += latency;
+            self.latency_max = self.latency_max.max(latency);
+            self.latencies.push(latency);
+            self.hop_sum += u64::from(self.packets[pid as usize].hops);
+        }
+    }
+}
+
+/// Minimal iterative three-colour DFS cycle finder for the wait-for graph
+/// (kept local so the simulator does not depend on the CDG crate).
+fn find_cycle_indices(edges: &[Vec<u32>]) -> Option<Vec<u32>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let n = edges.len();
+    let mut color = vec![Color::White; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut stack: Vec<(u32, usize)> = Vec::new();
+    for start in 0..n as u32 {
+        if color[start as usize] != Color::White {
+            continue;
+        }
+        color[start as usize] = Color::Gray;
+        stack.push((start, 0));
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let succs = &edges[node as usize];
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                match color[s as usize] {
+                    Color::White => {
+                        parent[s as usize] = node;
+                        color[s as usize] = Color::Gray;
+                        stack.push((s, 0));
+                    }
+                    Color::Gray => {
+                        let mut cycle = vec![node];
+                        let mut cur = node;
+                        while cur != s {
+                            cur = parent[cur as usize];
+                            cycle.push(cur);
+                        }
+                        cycle.reverse();
+                        return Some(cycle);
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[node as usize] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod layout_tests {
+    use super::*;
+
+    #[test]
+    fn slot_arithmetic_roundtrips() {
+        let topo = Topology::mesh(&[3, 4, 2]);
+        let vcs = [2u8, 1, 3];
+        let layout = Layout::new(&topo, &vcs);
+        // in-slots: every (node, port, vc) decodes back to itself.
+        for node in topo.nodes() {
+            for port in 0..(2 * layout.dims) {
+                for vc0 in 0..vcs[Layout::port_dim(port)] as usize {
+                    let slot = layout.in_slot(node, port, vc0);
+                    assert_eq!(layout.in_slot_parts(slot), (node, port, vc0));
+                }
+            }
+            let inj = layout.injection_slot(node);
+            let (n, p, v) = layout.in_slot_parts(inj);
+            assert_eq!((n, p, v), (node, 2 * layout.dims, 0));
+        }
+    }
+
+    #[test]
+    fn slots_are_dense_and_disjoint() {
+        let topo = Topology::mesh(&[3, 3]);
+        let vcs = [2u8, 2];
+        let layout = Layout::new(&topo, &vcs);
+        let mut seen = std::collections::HashSet::new();
+        for node in topo.nodes() {
+            for port in 0..4 {
+                for vc0 in 0..2 {
+                    assert!(seen.insert(layout.in_slot(node, port, vc0)));
+                }
+            }
+            assert!(seen.insert(layout.injection_slot(node)));
+        }
+        assert_eq!(seen.len(), topo.node_count() * layout.in_per_node);
+    }
+
+    #[test]
+    fn port_encoding_is_involutive() {
+        use ebda_core::Direction;
+        for d in 0..4usize {
+            for dir in [Direction::Plus, Direction::Minus] {
+                let p = Layout::port(d, dir);
+                assert_eq!(Layout::port_dim(p), d);
+                assert_eq!(Layout::port_dir(p), dir);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use ebda_core::catalog;
+    use ebda_routing::classic::DimensionOrder;
+    use ebda_routing::TurnRouting;
+
+    fn quick_cfg(rate: f64) -> SimConfig {
+        SimConfig {
+            injection_rate: rate,
+            warmup: 200,
+            measurement: 800,
+            drain: 2_000,
+            deadlock_threshold: 500,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn xy_low_load_delivers_everything() {
+        let topo = Topology::mesh(&[4, 4]);
+        let xy = DimensionOrder::xy();
+        let result = simulate(&topo, &xy, &quick_cfg(0.02));
+        assert!(result.outcome.is_deadlock_free(), "{result}");
+        assert_eq!(result.routing_faults, 0);
+        assert!(result.measured_injected > 0);
+        assert_eq!(result.measured_delivered, result.measured_injected);
+        // Latency at low load should be near the zero-load bound
+        // (~2 cycles/hop * avg 2.67 hops + serialization).
+        assert!(result.avg_latency < 40.0, "latency {}", result.avg_latency);
+    }
+
+    #[test]
+    fn adaptive_relation_delivers_under_load() {
+        let topo = Topology::mesh(&[4, 4]);
+        let r = TurnRouting::from_design("dyxy", &catalog::fig7b_dyxy()).unwrap();
+        let result = simulate(&topo, &r, &quick_cfg(0.10));
+        assert!(result.outcome.is_deadlock_free(), "{result}");
+        assert_eq!(result.routing_faults, 0);
+        assert!(result.measured_delivered > 0);
+    }
+
+    #[test]
+    fn cyclic_turnset_deadlocks_the_watchdog_positive_control() {
+        // All turns allowed (no EbDa structure): wormhole deadlock under
+        // pressure, which the watchdog must catch.
+        let universe = ebda_core::parse_channels("X+ X- Y+ Y-").unwrap();
+        let mut turns = ebda_core::TurnSet::new();
+        for &a in &universe {
+            for &b in &universe {
+                if a != b && a.dim != b.dim {
+                    turns.insert(ebda_core::Turn::new(a, b));
+                }
+            }
+        }
+        let r = TurnRouting::new("all-turns", universe, turns);
+        let topo = Topology::mesh(&[4, 4]);
+        let cfg = SimConfig {
+            injection_rate: 0.5,
+            packet_length: 8,
+            buffer_depth: 2,
+            warmup: 0,
+            measurement: 4_000,
+            drain: 0,
+            deadlock_threshold: 300,
+            ..SimConfig::default()
+        };
+        let result = simulate(&topo, &r, &cfg);
+        assert!(
+            !result.outcome.is_deadlock_free(),
+            "expected a deadlock, got {result}"
+        );
+        // The diagnosis must produce a genuine circular wait.
+        if let Outcome::Deadlocked { wait_cycle, .. } = &result.outcome {
+            assert!(
+                wait_cycle.len() >= 2,
+                "expected a wait-for cycle, got {wait_cycle:?}"
+            );
+            for step in wait_cycle {
+                assert!(!step.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn find_cycle_indices_helper() {
+        assert!(find_cycle_indices(&[vec![1], vec![2], vec![]]).is_none());
+        let c = find_cycle_indices(&[vec![1], vec![2], vec![0]]).unwrap();
+        assert_eq!(c.len(), 3);
+        assert!(find_cycle_indices(&[]).is_none());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let topo = Topology::mesh(&[4, 4]);
+        let xy = DimensionOrder::xy();
+        let a = simulate(&topo, &xy, &quick_cfg(0.05));
+        let b = simulate(&topo, &xy, &quick_cfg(0.05));
+        assert_eq!(a.injected_packets, b.injected_packets);
+        assert_eq!(a.avg_latency, b.avg_latency);
+        assert_eq!(a.channel_flits, b.channel_flits);
+    }
+
+    #[test]
+    fn single_packet_policy_is_more_restrictive() {
+        let topo = Topology::mesh(&[4, 4]);
+        let r = TurnRouting::from_design("wf", &catalog::p3_west_first()).unwrap();
+        let multi = simulate(&topo, &r, &quick_cfg(0.08));
+        let single = simulate(
+            &topo,
+            &r,
+            &SimConfig {
+                buffer_policy: BufferPolicy::SinglePacket,
+                ..quick_cfg(0.08)
+            },
+        );
+        assert!(multi.outcome.is_deadlock_free());
+        assert!(single.outcome.is_deadlock_free());
+        // Duato-mode buffers serialize packets: latency can only suffer.
+        assert!(
+            single.avg_latency >= multi.avg_latency * 0.9,
+            "single {} vs multi {}",
+            single.avg_latency,
+            multi.avg_latency
+        );
+    }
+
+    #[test]
+    fn vct_and_saf_modes_deliver_and_stay_deadlock_free() {
+        // Paper Assumption 1: the theorems hold for VCT and SAF too.
+        let topo = Topology::mesh(&[4, 4]);
+        let r = TurnRouting::from_design("wf", &catalog::p3_west_first()).unwrap();
+        let mut latencies = Vec::new();
+        for switching in [
+            Switching::Wormhole,
+            Switching::VirtualCutThrough,
+            Switching::StoreAndForward,
+        ] {
+            let cfg = SimConfig {
+                switching,
+                buffer_depth: 8,
+                packet_length: 5,
+                ..quick_cfg(0.04)
+            };
+            let result = simulate(&topo, &r, &cfg);
+            assert!(result.outcome.is_deadlock_free(), "{switching:?}: {result}");
+            assert_eq!(result.measured_delivered, result.measured_injected);
+            latencies.push(result.avg_latency);
+        }
+        // SAF serializes per hop: strictly slower than wormhole.
+        assert!(
+            latencies[2] > latencies[0],
+            "SAF {} must exceed wormhole {}",
+            latencies[2],
+            latencies[0]
+        );
+    }
+
+    #[test]
+    fn bursty_traffic_widens_the_latency_tail() {
+        // Same long-run load, bursty arrival process: mean latency may
+        // move a little, but the p99 tail should stretch relative to
+        // smooth Bernoulli arrivals.
+        let topo = Topology::mesh(&[4, 4]);
+        let xy = DimensionOrder::xy();
+        let smooth = simulate(&topo, &xy, &quick_cfg(0.05));
+        let bursty_cfg = SimConfig {
+            traffic: crate::traffic::TrafficPattern::Bursty {
+                p_on: 0.02,
+                p_off: 0.08,
+                burst_scale: 5.0,
+            },
+            ..quick_cfg(0.05)
+        };
+        let bursty = simulate(&topo, &xy, &bursty_cfg);
+        assert!(bursty.outcome.is_deadlock_free(), "{bursty}");
+        assert!(bursty.measured_injected > 0);
+        let p99_smooth = smooth.latency_percentile(99.0).unwrap();
+        let p99_bursty = bursty.latency_percentile(99.0).unwrap();
+        assert!(
+            p99_bursty > p99_smooth,
+            "bursts should stretch the tail: {p99_bursty} vs {p99_smooth}"
+        );
+    }
+
+    #[test]
+    fn mid_run_link_failure_reroutes_and_tears_down_cleanly() {
+        // North-last detours around a cut top-row link (its turn set
+        // allows the descend-east-climb detour), so after the failure the
+        // network keeps delivering; at most the packets whose wormholes
+        // straddled the link at the failure instant are dropped.
+        let base = Topology::mesh(&[5, 5]);
+        let r = TurnRouting::from_design("north-last", &catalog::north_last()).unwrap();
+        let cfg = SimConfig {
+            injection_rate: 0.04,
+            warmup: 200,
+            measurement: 1_000,
+            drain: 3_000,
+            deadlock_threshold: 1_200,
+            fault_schedule: vec![(
+                600,
+                base.node_at(&[1, 4]),
+                ebda_core::Dimension::X,
+                ebda_core::Direction::Plus,
+            )],
+            ..SimConfig::default()
+        };
+        let result = simulate(&base, &r, &cfg);
+        assert!(result.outcome.is_deadlock_free(), "{result}");
+        assert_eq!(result.routing_faults, 0, "north-last must keep routing");
+        assert_eq!(
+            result.delivered_packets + result.dropped_packets,
+            result.injected_packets,
+            "every packet must be delivered or accounted as dropped"
+        );
+        // The drop count is bounded by the wormholes a single link can
+        // carry at one instant.
+        assert!(
+            result.dropped_packets <= 4,
+            "{} drops",
+            result.dropped_packets
+        );
+        // Sanity: the run without the fault delivers everything.
+        let clean = simulate(
+            &base,
+            &r,
+            &SimConfig {
+                fault_schedule: Vec::new(),
+                ..cfg.clone()
+            },
+        );
+        assert_eq!(clean.dropped_packets, 0);
+        assert_eq!(clean.delivered_packets, clean.injected_packets);
+    }
+
+    #[test]
+    fn deterministic_relations_never_reorder() {
+        // Single-path routing over a single VC delivers every (src, dst)
+        // stream in order; the reordering counter must stay at zero.
+        let topo = Topology::mesh(&[4, 4]);
+        let xy = DimensionOrder::xy();
+        for rate in [0.03, 0.10] {
+            let r = simulate(&topo, &xy, &quick_cfg(rate));
+            assert_eq!(r.reordered_packets, 0, "XY reordered at rate {rate}");
+        }
+        // The adaptive design may reorder (multiple paths and VCs); just
+        // confirm the counter is wired and the run is clean.
+        let fa = TurnRouting::from_design("dyxy", &catalog::fig7b_dyxy()).unwrap();
+        let r = simulate(&topo, &fa, &quick_cfg(0.10));
+        assert!(r.outcome.is_deadlock_free());
+        assert!(r.reordered_packets <= r.delivered_packets);
+    }
+
+    #[test]
+    fn hop_counts_match_uniform_expectation() {
+        // Uniform traffic on a k x k mesh: mean per-dimension distance is
+        // (k^2-1)/(3k) = 1.25 for k = 4; conditioning on src != dst gives
+        // 2 * 1.25 / (15/16) = 2.67 hops.
+        let topo = Topology::mesh(&[4, 4]);
+        let xy = DimensionOrder::xy();
+        let result = simulate(&topo, &xy, &quick_cfg(0.02));
+        assert!(
+            (result.avg_hops - 2.67).abs() < 0.4,
+            "avg hops {} far from the uniform expectation 2.67",
+            result.avg_hops
+        );
+        // Zero-load latency sanity: ~2 cycles per hop (route+link) plus
+        // serialization of the remaining 4 flits and ejection.
+        let zero_load = 2.0 * result.avg_hops + 5.0;
+        assert!(
+            (result.avg_latency - zero_load).abs() < 6.0,
+            "latency {} far from the zero-load model {}",
+            result.avg_latency,
+            zero_load
+        );
+    }
+
+    #[test]
+    fn trace_driven_injection_replays_exact_events() {
+        let topo = Topology::mesh(&[4, 4]);
+        let xy = DimensionOrder::xy();
+        let events = vec![
+            (0u64, 0usize, 15usize),
+            (0, 15, 0),
+            (5, 3, 12),
+            (10, 12, 3),
+            (10, 5, 10),
+        ];
+        let cfg = SimConfig {
+            traffic: crate::traffic::TrafficPattern::trace(events.clone()),
+            warmup: 0,
+            measurement: 100,
+            drain: 500,
+            ..SimConfig::default()
+        };
+        let result = simulate(&topo, &xy, &cfg);
+        assert!(result.outcome.is_deadlock_free());
+        assert_eq!(result.injected_packets, events.len() as u64);
+        assert_eq!(result.delivered_packets, events.len() as u64);
+        assert_eq!(result.measured_delivered, events.len() as u64);
+        // Replays are bit-identical regardless of the RNG seed.
+        let other = simulate(
+            &topo,
+            &xy,
+            &SimConfig {
+                seed: 999,
+                ..cfg.clone()
+            },
+        );
+        assert_eq!(other.latencies, result.latencies);
+    }
+
+    #[test]
+    fn link_latency_scales_transit_time() {
+        let topo = Topology::mesh(&[4, 4]);
+        let xy = DimensionOrder::xy();
+        let fast = simulate(&topo, &xy, &quick_cfg(0.01));
+        let slow_cfg = SimConfig {
+            link_latency: 3,
+            ..quick_cfg(0.01)
+        };
+        let slow = simulate(&topo, &xy, &slow_cfg);
+        assert!(slow.outcome.is_deadlock_free(), "{slow}");
+        assert_eq!(slow.measured_delivered, slow.measured_injected);
+        // Each hop pays 2 extra cycles; with ~2.7 avg hops + serialization
+        // the mean should rise clearly but sublinearly.
+        assert!(
+            slow.avg_latency > fast.avg_latency + 4.0,
+            "latency-3 links must slow packets: {} vs {}",
+            slow.avg_latency,
+            fast.avg_latency
+        );
+    }
+
+    #[test]
+    fn congestion_aware_selection_works() {
+        let topo = Topology::mesh(&[4, 4]);
+        let r = TurnRouting::from_design("dyxy", &catalog::fig7b_dyxy()).unwrap();
+        let cfg = SimConfig {
+            selection: Selection::MostCredits,
+            ..quick_cfg(0.10)
+        };
+        let result = simulate(&topo, &r, &cfg);
+        assert!(result.outcome.is_deadlock_free(), "{result}");
+        assert_eq!(result.routing_faults, 0);
+        assert!(result.measured_delivered > 0);
+    }
+
+    #[test]
+    fn naive_torus_deadlocks_and_dateline_does_not() {
+        // The watchdog agrees with the exact-CDG verdicts: the single-VC
+        // shortest-way torus routing deadlocks under pressure, the
+        // dateline variant never does.
+        use ebda_routing::classic::TorusDateline;
+        let topo = Topology::torus(&[4, 4]);
+        let cfg = SimConfig {
+            injection_rate: 0.35,
+            packet_length: 8,
+            buffer_depth: 2,
+            warmup: 0,
+            measurement: 5_000,
+            drain: 1_000,
+            deadlock_threshold: 400,
+            ..SimConfig::default()
+        };
+        let naive = simulate(&topo, &TorusDateline::without_dateline(2), &cfg);
+        assert!(
+            !naive.outcome.is_deadlock_free(),
+            "expected the ring deadlock, got {naive}"
+        );
+        let safe = simulate(&topo, &TorusDateline::new(2), &cfg);
+        assert!(safe.outcome.is_deadlock_free(), "{safe}");
+    }
+
+    #[test]
+    fn zero_rate_runs_idle() {
+        let topo = Topology::mesh(&[3, 3]);
+        let xy = DimensionOrder::xy();
+        let result = simulate(&topo, &xy, &quick_cfg(0.0));
+        assert!(result.outcome.is_deadlock_free());
+        assert_eq!(result.injected_packets, 0);
+        assert_eq!(result.measured_delivered, 0);
+    }
+}

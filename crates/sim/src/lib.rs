@@ -1,0 +1,44 @@
+//! # noc-sim — a cycle-driven wormhole NoC simulator
+//!
+//! The empirical substrate of the EbDa reproduction: a deterministic,
+//! credit-based, virtual-channel wormhole simulator that runs any
+//! [`ebda_routing::RoutingRelation`] on any [`Topology`] and reports
+//! latency, throughput, per-channel load and — crucially — deadlocks, via a
+//! progress watchdog.
+//!
+//! Two details tie the simulator to the paper:
+//!
+//! * [`BufferPolicy`] switches between EbDa's unrestricted wormhole
+//!   buffers (multiple packets per input VC) and Duato's Assumption-3
+//!   single-packet buffers, the restriction Section 2 of the paper
+//!   criticises.
+//! * The watchdog turns "deadlock freedom" from a structural claim (the
+//!   acyclic CDG checked in `ebda-cdg`) into an observable: EbDa-derived
+//!   designs must never trip it, and a deliberately cyclic turn set must
+//!   (the positive control in this crate's tests).
+//!
+//! ```
+//! use noc_sim::{simulate, SimConfig};
+//! use ebda_routing::{classic::DimensionOrder, Topology};
+//!
+//! let topo = Topology::mesh(&[4, 4]);
+//! let cfg = SimConfig { injection_rate: 0.02, ..SimConfig::default() };
+//! let result = simulate(&topo, &DimensionOrder::xy(), &cfg);
+//! assert!(result.outcome.is_deadlock_free());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod metrics;
+pub mod sweep;
+pub mod traffic;
+
+pub use config::{BufferPolicy, Selection, SimConfig, Switching};
+pub use ebda_routing::Topology;
+pub use engine::simulate;
+pub use metrics::{EnergyModel, Outcome, SimResult};
+pub use sweep::{latency_curve, saturation_rate, SweepPoint};
+pub use traffic::TrafficPattern;

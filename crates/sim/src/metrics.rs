@@ -1,0 +1,276 @@
+//! Measurement results of a simulation run.
+
+use std::fmt;
+
+/// Why a simulation run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The configured horizon was reached (warm-up + measurement + drain).
+    Completed,
+    /// No flit moved for the configured threshold while traffic was in
+    /// flight: a deadlock (or a routing fault masquerading as one).
+    Deadlocked {
+        /// Cycle at which the watchdog fired.
+        at_cycle: u64,
+        /// Packets stuck inside the network when it fired.
+        blocked_packets: usize,
+        /// A wait-for cycle among blocked packets, each entry a
+        /// human-readable description of one packet's wait — the proof
+        /// that this is a genuine circular wait, not a stall.
+        wait_cycle: Vec<String>,
+    },
+}
+
+impl Outcome {
+    /// Returns `true` for a deadlock-free run.
+    pub fn is_deadlock_free(&self) -> bool {
+        matches!(self, Outcome::Completed)
+    }
+}
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Why the run ended.
+    pub outcome: Outcome,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Packets injected into source queues during the whole run.
+    pub injected_packets: u64,
+    /// Packets fully delivered during the whole run.
+    pub delivered_packets: u64,
+    /// Packets injected in the measurement window.
+    pub measured_injected: u64,
+    /// Measurement-window packets fully delivered by the end of the run.
+    pub measured_delivered: u64,
+    /// Mean packet latency (injection to tail ejection) over measured,
+    /// delivered packets, in cycles.
+    pub avg_latency: f64,
+    /// Maximum packet latency over measured, delivered packets.
+    pub max_latency: u64,
+    /// Sorted latencies of measured, delivered packets (for percentiles).
+    pub latencies: Vec<u64>,
+    /// Mean network hops per measured, delivered packet.
+    pub avg_hops: f64,
+    /// Flits ejected during the measurement window, per node per cycle —
+    /// the accepted throughput.
+    pub throughput: f64,
+    /// Absolute flit-ejection count in the measurement window.
+    pub window_ejected: u64,
+    /// Per-channel flit counts over the measurement window, for channel
+    /// load-balance analysis (indexed by internal channel slot).
+    pub channel_flits: Vec<u64>,
+    /// Routing faults (relation returned no candidates) — must be zero for
+    /// correct relations.
+    pub routing_faults: u64,
+    /// Packets delivered out of injection order relative to an earlier
+    /// packet of the same (source, destination) pair — the reordering that
+    /// adaptive routing buys its performance with (deterministic
+    /// single-path relations always report 0).
+    pub reordered_packets: u64,
+    /// Packets torn down because a scheduled link failure severed their
+    /// wormhole mid-flight.
+    pub dropped_packets: u64,
+}
+
+/// A simple Orion-style additive energy model (the paper's reference 45):
+/// each flit pays a router traversal cost (buffering + arbitration +
+/// crossbar) and a link traversal cost. Values are in arbitrary energy
+/// units; the defaults reflect the usual ~2:1 router:link ratio of
+/// published NoC power breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per flit per router traversal.
+    pub router_flit: f64,
+    /// Energy per flit per link traversal.
+    pub link_flit: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            router_flit: 2.0,
+            link_flit: 1.0,
+        }
+    }
+}
+
+impl SimResult {
+    /// Estimated dynamic energy spent in the measurement window under the
+    /// given model: every recorded channel traversal pays one router + one
+    /// link cost, every ejected flit one final router cost.
+    pub fn energy_estimate(&self, model: &EnergyModel) -> f64 {
+        let link_traversals: u64 = self.channel_flits.iter().sum();
+        link_traversals as f64 * (model.router_flit + model.link_flit)
+            + self.window_ejected as f64 * model.router_flit
+    }
+
+    /// Latency at the given percentile (0–100) over measured, delivered
+    /// packets, using nearest-rank; `None` when nothing was delivered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `0.0..=100.0`.
+    pub fn latency_percentile(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let n = self.latencies.len();
+        let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.latencies[rank - 1])
+    }
+
+    /// Coefficient of variation (stddev / mean) of per-channel flit counts
+    /// over channels that saw any traffic-capable configuration — the
+    /// paper's "better distribution of packets among channels" claim made
+    /// measurable. Lower is more balanced. Returns `None` when no flits
+    /// moved.
+    pub fn channel_balance_cv(&self) -> Option<f64> {
+        let used: Vec<f64> = self.channel_flits.iter().map(|&c| c as f64).collect();
+        let n = used.len() as f64;
+        if n == 0.0 {
+            return None;
+        }
+        let mean = used.iter().sum::<f64>() / n;
+        if mean == 0.0 {
+            return None;
+        }
+        let var = used.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        Some(var.sqrt() / mean)
+    }
+}
+
+impl fmt::Display for SimResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.outcome {
+            Outcome::Completed => write!(
+                f,
+                "completed: {} cycles, {}/{} measured packets delivered, \
+                 avg latency {:.1}, throughput {:.4} flits/node/cycle",
+                self.cycles,
+                self.measured_delivered,
+                self.measured_injected,
+                self.avg_latency,
+                self.throughput
+            ),
+            Outcome::Deadlocked {
+                at_cycle,
+                blocked_packets,
+                wait_cycle,
+            } => {
+                write!(
+                    f,
+                    "DEADLOCK at cycle {at_cycle}: {blocked_packets} packets blocked"
+                )?;
+                if !wait_cycle.is_empty() {
+                    write!(f, "; circular wait: ")?;
+                    for (i, w) in wait_cycle.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " -> ")?;
+                        }
+                        write!(f, "{w}")?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SimResult {
+        SimResult {
+            outcome: Outcome::Completed,
+            cycles: 100,
+            injected_packets: 10,
+            delivered_packets: 10,
+            measured_injected: 5,
+            measured_delivered: 5,
+            avg_latency: 12.0,
+            max_latency: 20,
+            latencies: vec![8, 10, 12, 14, 16],
+            avg_hops: 3.0,
+            throughput: 0.1,
+            window_ejected: 40,
+            channel_flits: vec![10, 10, 10, 10],
+            routing_faults: 0,
+            reordered_packets: 0,
+            dropped_packets: 0,
+        }
+    }
+
+    #[test]
+    fn energy_model_is_additive() {
+        let r = base();
+        // 40 link traversals * (2 + 1) + 40 ejections * 2 = 200.
+        assert_eq!(r.energy_estimate(&EnergyModel::default()), 200.0);
+        let free_links = EnergyModel {
+            router_flit: 2.0,
+            link_flit: 0.0,
+        };
+        assert_eq!(r.energy_estimate(&free_links), 160.0);
+    }
+
+    #[test]
+    fn balance_cv_zero_for_uniform_loads() {
+        assert!(base().channel_balance_cv().unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn balance_cv_grows_with_imbalance() {
+        let mut r = base();
+        r.channel_flits = vec![40, 0, 0, 0];
+        assert!(r.channel_balance_cv().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn balance_cv_none_when_idle() {
+        let mut r = base();
+        r.channel_flits = vec![0, 0];
+        assert_eq!(r.channel_balance_cv(), None);
+        r.channel_flits = vec![];
+        assert_eq!(r.channel_balance_cv(), None);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let r = base();
+        assert_eq!(r.latency_percentile(0.0), Some(8));
+        assert_eq!(r.latency_percentile(50.0), Some(12));
+        assert_eq!(r.latency_percentile(90.0), Some(16));
+        assert_eq!(r.latency_percentile(100.0), Some(16));
+        let mut empty = base();
+        empty.latencies.clear();
+        assert_eq!(empty.latency_percentile(50.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_range_checked() {
+        let _ = base().latency_percentile(101.0);
+    }
+
+    #[test]
+    fn outcome_display() {
+        assert!(base().to_string().contains("completed"));
+        let d = SimResult {
+            outcome: Outcome::Deadlocked {
+                at_cycle: 55,
+                blocked_packets: 3,
+                wait_cycle: vec![
+                    "p1 waits on X1+@n3 held by p2".into(),
+                    "p2 waits on Y1-@n4 held by p1".into(),
+                ],
+            },
+            ..base()
+        };
+        let text = d.to_string();
+        assert!(text.contains("DEADLOCK at cycle 55"));
+        assert!(text.contains("circular wait"));
+        assert!(!d.outcome.is_deadlock_free());
+    }
+}

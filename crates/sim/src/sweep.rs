@@ -1,0 +1,247 @@
+//! Load-sweep utilities: latency/throughput curves and saturation-point
+//! estimation — the standard NoC evaluation loop, packaged.
+
+use crate::config::SimConfig;
+use crate::engine::simulate;
+use crate::metrics::{Outcome, SimResult};
+use ebda_routing::{RoutingRelation, Topology};
+
+/// One point of a load sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Offered injection rate (packets/node/cycle).
+    pub rate: f64,
+    /// Mean latency of measured, delivered packets.
+    pub avg_latency: f64,
+    /// 99th-percentile latency, when available.
+    pub p99_latency: Option<u64>,
+    /// Accepted throughput (flits/node/cycle).
+    pub throughput: f64,
+    /// Whether every measured packet drained before the horizon.
+    pub drained: bool,
+    /// Whether the watchdog fired.
+    pub deadlocked: bool,
+}
+
+impl SweepPoint {
+    fn from_result(rate: f64, r: &SimResult) -> SweepPoint {
+        SweepPoint {
+            rate,
+            avg_latency: r.avg_latency,
+            p99_latency: r.latency_percentile(99.0),
+            throughput: r.throughput,
+            drained: r.measured_delivered == r.measured_injected,
+            deadlocked: !matches!(r.outcome, Outcome::Completed),
+        }
+    }
+}
+
+/// Runs the relation at each rate and collects the curve. The `base`
+/// configuration supplies everything except the injection rate.
+pub fn latency_curve(
+    topo: &Topology,
+    relation: &dyn RoutingRelation,
+    base: &SimConfig,
+    rates: &[f64],
+) -> Vec<SweepPoint> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let cfg = SimConfig {
+                injection_rate: rate,
+                ..base.clone()
+            };
+            SweepPoint::from_result(rate, &simulate(topo, relation, &cfg))
+        })
+        .collect()
+}
+
+/// Estimates the saturation rate by bisection: the highest rate (within
+/// `tolerance`) at which every measured packet still drains. Returns
+/// `None` if the relation saturates below `lo` or deadlocks anywhere.
+pub fn saturation_rate(
+    topo: &Topology,
+    relation: &dyn RoutingRelation,
+    base: &SimConfig,
+    mut lo: f64,
+    mut hi: f64,
+    tolerance: f64,
+) -> Option<f64> {
+    assert!(lo < hi && tolerance > 0.0, "bad bisection bounds");
+    let drained_at = |rate: f64| -> Option<bool> {
+        let cfg = SimConfig {
+            injection_rate: rate,
+            ..base.clone()
+        };
+        let r = simulate(topo, relation, &cfg);
+        match r.outcome {
+            Outcome::Completed => Some(r.measured_delivered == r.measured_injected),
+            Outcome::Deadlocked { .. } => None,
+        }
+    };
+    if !drained_at(lo)? {
+        return None;
+    }
+    while hi - lo > tolerance {
+        let mid = (lo + hi) / 2.0;
+        match drained_at(mid) {
+            Some(true) => lo = mid,
+            Some(false) => hi = mid,
+            None => return None,
+        }
+    }
+    Some(lo)
+}
+
+/// Mean and sample standard deviation over replicated runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanStd {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single replicate).
+    pub std: f64,
+}
+
+/// Replicated measurements of one configuration across `seeds` RNG seeds —
+/// the confidence-interval hygiene single-seed runs lack.
+#[derive(Debug, Clone)]
+pub struct Replication {
+    /// Latency statistics over replicates.
+    pub latency: MeanStd,
+    /// Throughput statistics over replicates.
+    pub throughput: MeanStd,
+    /// Number of replicates that completed without deadlock.
+    pub clean_runs: usize,
+    /// Number of replicates.
+    pub replicates: usize,
+}
+
+/// Runs `cfg` under `replicates` different seeds (derived from `cfg.seed`)
+/// and aggregates latency and throughput.
+///
+/// # Panics
+///
+/// Panics if `replicates == 0`.
+pub fn replicate(
+    topo: &Topology,
+    relation: &dyn RoutingRelation,
+    cfg: &SimConfig,
+    replicates: usize,
+) -> Replication {
+    assert!(replicates >= 1, "at least one replicate");
+    let mut latencies = Vec::with_capacity(replicates);
+    let mut throughputs = Vec::with_capacity(replicates);
+    let mut clean = 0;
+    for i in 0..replicates {
+        let run_cfg = SimConfig {
+            seed: cfg.seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B9),
+            ..cfg.clone()
+        };
+        let r = simulate(topo, relation, &run_cfg);
+        if matches!(r.outcome, Outcome::Completed) {
+            clean += 1;
+        }
+        latencies.push(r.avg_latency);
+        throughputs.push(r.throughput);
+    }
+    Replication {
+        latency: mean_std(&latencies),
+        throughput: mean_std(&throughputs),
+        clean_runs: clean,
+        replicates,
+    }
+}
+
+fn mean_std(xs: &[f64]) -> MeanStd {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let std = if xs.len() < 2 {
+        0.0
+    } else {
+        (xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0)).sqrt()
+    };
+    MeanStd { mean, std }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebda_routing::classic::DimensionOrder;
+    use ebda_routing::TurnRouting;
+
+    fn base() -> SimConfig {
+        SimConfig {
+            warmup: 200,
+            measurement: 800,
+            drain: 1_200,
+            deadlock_threshold: 800,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn curve_is_monotone_at_the_low_end() {
+        let topo = Topology::mesh(&[4, 4]);
+        let xy = DimensionOrder::xy();
+        let curve = latency_curve(&topo, &xy, &base(), &[0.01, 0.05, 0.12]);
+        assert_eq!(curve.len(), 3);
+        assert!(curve[0].drained && curve[1].drained);
+        assert!(!curve[0].deadlocked);
+        assert!(
+            curve[2].avg_latency >= curve[0].avg_latency,
+            "latency should not drop with load"
+        );
+        assert!(curve[2].throughput >= curve[0].throughput * 2.0);
+        for p in &curve {
+            assert!(p.p99_latency.unwrap_or(0) as f64 >= p.avg_latency * 0.8);
+        }
+    }
+
+    #[test]
+    fn saturation_estimate_is_reasonable() {
+        let topo = Topology::mesh(&[4, 4]);
+        let xy = DimensionOrder::xy();
+        let sat = saturation_rate(&topo, &xy, &base(), 0.01, 0.6, 0.05).unwrap();
+        // XY on uniform 4x4 saturates somewhere past 0.1 packets/node/cycle
+        // (5-flit packets; bisection-level accuracy only).
+        assert!(sat > 0.05, "saturation estimate {sat} too low");
+        assert!(sat < 0.6, "saturation estimate {sat} did not bound");
+    }
+
+    #[test]
+    fn saturation_none_below_lower_bound() {
+        // A tiny drain window makes even the low bound fail to drain.
+        let topo = Topology::mesh(&[4, 4]);
+        let xy = DimensionOrder::xy();
+        let cfg = SimConfig { drain: 1, ..base() };
+        assert_eq!(saturation_rate(&topo, &xy, &cfg, 0.2, 0.5, 0.1), None);
+    }
+
+    #[test]
+    fn replication_aggregates_across_seeds() {
+        let topo = Topology::mesh(&[4, 4]);
+        let xy = DimensionOrder::xy();
+        let cfg = SimConfig {
+            injection_rate: 0.03,
+            ..base()
+        };
+        let rep = replicate(&topo, &xy, &cfg, 5);
+        assert_eq!(rep.replicates, 5);
+        assert_eq!(rep.clean_runs, 5);
+        assert!(rep.latency.mean > 5.0);
+        // Different seeds produce (slightly) different loads.
+        assert!(rep.latency.std >= 0.0);
+        assert!(rep.throughput.mean > 0.0);
+        // Single replicate has zero std by definition.
+        let one = replicate(&topo, &xy, &cfg, 1);
+        assert_eq!(one.latency.std, 0.0);
+    }
+
+    #[test]
+    fn adaptive_curve_runs_clean() {
+        let topo = Topology::mesh(&[4, 4]);
+        let fa = TurnRouting::from_design("dyxy", &ebda_core::catalog::fig7b_dyxy()).unwrap();
+        let curve = latency_curve(&topo, &fa, &base(), &[0.02, 0.08]);
+        assert!(curve.iter().all(|p| !p.deadlocked));
+    }
+}

@@ -1,0 +1,231 @@
+//! Synthetic traffic patterns.
+
+use ebda_routing::{NodeId, Topology};
+use rand::Rng;
+
+/// Destination selection per injected packet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrafficPattern {
+    /// Uniform random over all other nodes.
+    Uniform,
+    /// Matrix transpose: `(x, y, …) → (y, x, …)` (first two coordinates
+    /// swapped). Self-addressed packets are skipped.
+    Transpose,
+    /// Bit complement per coordinate: `c → radix-1-c` in every dimension.
+    BitComplement,
+    /// Bit reversal of the node index (requires a power-of-two node count).
+    BitReverse,
+    /// A fraction of traffic targets the given hotspot nodes (uniformly
+    /// chosen among them); the rest is uniform random.
+    Hotspot {
+        /// The hotspot destinations.
+        nodes: Vec<NodeId>,
+        /// Probability that a packet targets a hotspot.
+        fraction: f64,
+    },
+    /// Deterministic replay of an explicit event list
+    /// `(injection cycle, source, destination)`, sorted by cycle — the
+    /// stand-in for application traces. The configured injection rate is
+    /// ignored; events past the measurement horizon are dropped.
+    Trace {
+        /// The events, sorted by injection cycle.
+        events: Vec<(u64, NodeId, NodeId)>,
+    },
+    /// Bursty uniform traffic: sources alternate between an ON state
+    /// (injecting at the configured rate scaled by `burst_scale`) and an
+    /// OFF state (silent), switching with the given per-cycle
+    /// probabilities — a two-state Markov-modulated process approximating
+    /// application burstiness.
+    Bursty {
+        /// Probability an OFF source turns ON each cycle.
+        p_on: f64,
+        /// Probability an ON source turns OFF each cycle.
+        p_off: f64,
+        /// Multiplier applied to the injection rate while ON (so the
+        /// long-run average stays comparable, pick
+        /// `burst_scale ≈ (p_on + p_off) / p_on`).
+        burst_scale: f64,
+    },
+}
+
+impl TrafficPattern {
+    /// Builds a trace pattern, sorting the events by cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event is self-addressed.
+    pub fn trace<I: IntoIterator<Item = (u64, NodeId, NodeId)>>(events: I) -> TrafficPattern {
+        let mut events: Vec<_> = events.into_iter().collect();
+        assert!(
+            events.iter().all(|&(_, s, d)| s != d),
+            "trace events must not be self-addressed"
+        );
+        events.sort_by_key(|&(c, s, d)| (c, s, d));
+        TrafficPattern::Trace { events }
+    }
+}
+
+impl TrafficPattern {
+    /// Picks a destination for a packet injected at `src`, or `None` when
+    /// the pattern maps the source to itself (no packet is injected).
+    pub fn destination<R: Rng>(&self, topo: &Topology, src: NodeId, rng: &mut R) -> Option<NodeId> {
+        let n = topo.node_count();
+        match self {
+            TrafficPattern::Uniform => {
+                if n < 2 {
+                    return None;
+                }
+                let mut dst = rng.gen_range(0..n - 1);
+                if dst >= src {
+                    dst += 1;
+                }
+                Some(dst)
+            }
+            TrafficPattern::Transpose => {
+                let mut c = topo.coords(src);
+                if c.len() < 2 {
+                    return None;
+                }
+                c.swap(0, 1);
+                // The transposed coordinate must exist (non-square meshes
+                // drop out-of-range sources).
+                let radix = topo.radix();
+                if c[0] as usize >= radix[0] || c[1] as usize >= radix[1] {
+                    return None;
+                }
+                let dst = topo.node_at(&c);
+                (dst != src).then_some(dst)
+            }
+            TrafficPattern::BitComplement => {
+                let c = topo.coords(src);
+                let radix = topo.radix();
+                let d: Vec<i64> = c
+                    .iter()
+                    .zip(radix.iter())
+                    .map(|(&v, &r)| r as i64 - 1 - v)
+                    .collect();
+                let dst = topo.node_at(&d);
+                (dst != src).then_some(dst)
+            }
+            TrafficPattern::BitReverse => {
+                let bits = n.trailing_zeros();
+                assert!(n.is_power_of_two(), "bit-reverse needs 2^k nodes");
+                let dst = (src.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+                (dst != src).then_some(dst)
+            }
+            TrafficPattern::Hotspot { nodes, fraction } => {
+                assert!(!nodes.is_empty(), "hotspot pattern needs target nodes");
+                if rng.gen_bool(*fraction) {
+                    let dst = nodes[rng.gen_range(0..nodes.len())];
+                    (dst != src).then_some(dst)
+                } else {
+                    TrafficPattern::Uniform.destination(topo, src, rng)
+                }
+            }
+            TrafficPattern::Trace { .. } => {
+                unreachable!("trace injection is event-driven, not per-source")
+            }
+            // Bursty destinations are uniform; the burst gating happens in
+            // the engine's injection stage.
+            TrafficPattern::Bursty { .. } => TrafficPattern::Uniform.destination(topo, src, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_never_self_addresses() {
+        let topo = Topology::mesh(&[4, 4]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for src in topo.nodes() {
+            for _ in 0..50 {
+                let dst = TrafficPattern::Uniform
+                    .destination(&topo, src, &mut rng)
+                    .unwrap();
+                assert_ne!(dst, src);
+                assert!(dst < topo.node_count());
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let topo = Topology::mesh(&[4, 4]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let src = topo.node_at(&[1, 3]);
+        let dst = TrafficPattern::Transpose
+            .destination(&topo, src, &mut rng)
+            .unwrap();
+        assert_eq!(topo.coords(dst), vec![3, 1]);
+        // Diagonal nodes send nothing.
+        let diag = topo.node_at(&[2, 2]);
+        assert_eq!(
+            TrafficPattern::Transpose.destination(&topo, diag, &mut rng),
+            None
+        );
+    }
+
+    #[test]
+    fn bit_complement_mirrors() {
+        let topo = Topology::mesh(&[4, 4]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let src = topo.node_at(&[0, 1]);
+        let dst = TrafficPattern::BitComplement
+            .destination(&topo, src, &mut rng)
+            .unwrap();
+        assert_eq!(topo.coords(dst), vec![3, 2]);
+    }
+
+    #[test]
+    fn bit_reverse_is_involutive() {
+        let topo = Topology::mesh(&[4, 4]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for src in topo.nodes() {
+            if let Some(dst) = TrafficPattern::BitReverse.destination(&topo, src, &mut rng) {
+                let back = TrafficPattern::BitReverse
+                    .destination(&topo, dst, &mut rng)
+                    .unwrap();
+                assert_eq!(back, src);
+            }
+        }
+    }
+
+    #[test]
+    fn bursty_destinations_are_uniform() {
+        let topo = Topology::mesh(&[4, 4]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let pattern = TrafficPattern::Bursty {
+            p_on: 0.1,
+            p_off: 0.3,
+            burst_scale: 4.0,
+        };
+        for _ in 0..100 {
+            let dst = pattern.destination(&topo, 5, &mut rng).unwrap();
+            assert_ne!(dst, 5);
+            assert!(dst < 16);
+        }
+    }
+
+    #[test]
+    fn hotspot_biases_targets() {
+        let topo = Topology::mesh(&[4, 4]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let pattern = TrafficPattern::Hotspot {
+            nodes: vec![5],
+            fraction: 0.9,
+        };
+        let mut hits = 0;
+        let trials = 500;
+        for _ in 0..trials {
+            if pattern.destination(&topo, 0, &mut rng) == Some(5) {
+                hits += 1;
+            }
+        }
+        assert!(hits > trials / 2, "hotspot received only {hits}/{trials}");
+    }
+}

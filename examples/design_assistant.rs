@@ -1,0 +1,88 @@
+//! A design assistant: given a VC budget and a traffic profile, enumerate
+//! the EbDa design space, verify every candidate, simulate the finalists
+//! and recommend a routing algorithm — the end-to-end workflow the theory
+//! enables.
+//!
+//! Run with: `cargo run --release --example design_assistant`
+
+use ebda::core::adaptiveness::adaptiveness_profile;
+use ebda::core::algorithm2::{derive_all, transition_reorderings};
+use ebda::core::sets::{arrangement1, arrangement2};
+use ebda::prelude::*;
+use std::collections::BTreeSet;
+
+fn main() -> Result<(), EbdaError> {
+    let vcs = [1u8, 2];
+    let traffic = TrafficPattern::Transpose;
+    let rate = 0.05;
+    let topo = Topology::mesh(&[8, 8]);
+    println!(
+        "assistant brief: {vcs:?} VCs per dimension, transpose traffic at rate {rate}, 8x8 mesh\n"
+    );
+
+    // 1. Enumerate the candidate space (Algorithms 1+2 across arrangements,
+    //    plus transition reorderings).
+    let mut seen = BTreeSet::new();
+    let mut candidates = Vec::new();
+    let mut arrangements = vec![arrangement1(&vcs)?];
+    arrangements.extend(arrangement2(&vcs)?);
+    for arr in arrangements {
+        for seq in derive_all(arr)? {
+            for alt in transition_reorderings(&seq) {
+                if seen.insert(alt.canonical_string()) {
+                    candidates.push(alt);
+                }
+            }
+        }
+    }
+    println!("step 1: {} candidate designs enumerated", candidates.len());
+
+    // 2. Verify every candidate (Dally on the target topology) and rank by
+    //    static adaptiveness; keep the top three.
+    let mut ranked = Vec::new();
+    for seq in &candidates {
+        let report = verify_design(&topo, seq)?;
+        assert!(report.is_deadlock_free(), "{seq}: {report}");
+        let ex = extract_turns(seq)?;
+        let channels = seq.channels();
+        let profile = adaptiveness_profile(ex.turn_set(), &channels, 4, 2);
+        ranked.push((profile.sum as f64 / profile.pairs as f64, seq.clone()));
+    }
+    ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+    println!("step 2: all candidates verified deadlock-free; top 3 by adaptiveness:");
+    for (score, seq) in ranked.iter().take(3) {
+        println!("   {score:.2} avg minimal paths  {seq}");
+    }
+
+    // 3. Simulate the finalists under the target workload.
+    let cfg = SimConfig {
+        injection_rate: rate,
+        traffic,
+        warmup: 500,
+        measurement: 2_000,
+        drain: 3_000,
+        deadlock_threshold: 1_500,
+        ..SimConfig::default()
+    };
+    println!("\nstep 3: simulating the finalists under the brief's workload:");
+    let mut best: Option<(f64, &PartitionSeq)> = None;
+    for (_, seq) in ranked.iter().take(3) {
+        let relation = TurnRouting::from_design("candidate", seq)?;
+        let result = simulate(&topo, &relation, &cfg);
+        assert!(result.outcome.is_deadlock_free());
+        println!(
+            "   {seq}\n      avg latency {:.1}, p99 {}, throughput {:.4}",
+            result.avg_latency,
+            result.latency_percentile(99.0).unwrap_or(0),
+            result.throughput
+        );
+        if best.is_none() || result.avg_latency < best.as_ref().unwrap().0 {
+            best = Some((result.avg_latency, seq));
+        }
+    }
+
+    let (latency, winner) = best.expect("at least one finalist");
+    println!("\nrecommendation: {winner}");
+    println!("  ({latency:.1} cycles average latency under the brief's workload; deadlock-free by construction, Dally-verified, simulation-validated)");
+    Ok(())
+}

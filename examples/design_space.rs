@@ -1,0 +1,95 @@
+//! The Section 5 design-space walk: from maximally adaptive routing down
+//! to deterministic routing, all generated systematically and all verified
+//! deadlock-free.
+//!
+//! Run with: `cargo run --example design_space`
+
+use ebda::core::algorithm2::{enumerate_partitionings, transition_reorderings};
+use ebda::core::exceptional::exceptional_partitionings;
+use ebda::core::sets::arrangement2;
+use ebda::core::{algorithm1, theorems};
+use ebda::prelude::*;
+
+fn verify_and_report(label: &str, seq: &PartitionSeq, topo: &Topology) {
+    let report = verify_design(topo, seq).expect("valid design");
+    let analysis = theorems::analyze(seq, topo.dims()).expect("analyzable");
+    println!(
+        "  {label:<34} {seq}  [{} turns, {}]",
+        analysis.turns.total(),
+        if report.is_deadlock_free() {
+            "deadlock-free"
+        } else {
+            "CYCLIC!"
+        }
+    );
+    assert!(report.is_deadlock_free());
+}
+
+fn main() -> Result<(), EbdaError> {
+    let topo = Topology::mesh(&[6, 6]);
+
+    println!("== Algorithm 1: maximum adaptiveness (2 partitions) ==");
+    for arr in arrangement2(&[1, 1])? {
+        let seq = algorithm1::partition_sets(arr)?;
+        verify_and_report("algorithm-1 output", &seq, &topo);
+        // Section 5.3.3: tracing the partitions in the other order.
+        for alt in transition_reorderings(&seq) {
+            if alt != seq {
+                verify_and_report("  reordered transitions", &alt, &topo);
+            }
+        }
+    }
+
+    println!("\n== The exceptional no-VC options (Section 5.2.2) ==");
+    for seq in exceptional_partitionings(2)? {
+        verify_and_report("exceptional split", &seq, &topo);
+    }
+
+    println!("\n== More partitions, less adaptiveness (Section 5.3.2) ==");
+    let channels = parse_channels("X+ X- Y+ Y-")?;
+    let three = enumerate_partitionings(&channels, 3);
+    println!(
+        "  {} valid three-partition options; four examples:",
+        three.len()
+    );
+    for seq in three.iter().take(4) {
+        verify_and_report("three partitions", seq, &topo);
+    }
+
+    println!("\n== Deterministic routing: four singleton partitions ==");
+    let four = enumerate_partitionings(&channels, 4);
+    println!(
+        "  all {} orderings are deadlock-free; two examples:",
+        four.len()
+    );
+    verify_and_report(
+        "XY (X+ X- then Y+ Y-)",
+        &PartitionSeq::parse("X+ | X- | Y+ | Y-")?,
+        &topo,
+    );
+    verify_and_report(
+        "interleaved order",
+        &PartitionSeq::parse("X+ | Y+ | X- | Y-")?,
+        &topo,
+    );
+
+    println!("\n== Adaptiveness, quantified ==");
+    let universe = parse_channels("X+ X- Y+ Y-")?;
+    for (name, seq) in [
+        ("XY (deterministic)", catalog::p1_xy()),
+        ("west-first", catalog::p3_west_first()),
+        ("negative-first", catalog::p4_negative_first()),
+        ("north-last", catalog::north_last()),
+    ] {
+        let ex = extract_turns(&seq)?;
+        let profile =
+            ebda::core::adaptiveness::adaptiveness_profile(ex.turn_set(), &universe, 5, 2);
+        println!(
+            "  {name:<22} minimal paths per pair: min {} / max {} / avg {:.2}",
+            profile.min,
+            profile.max,
+            profile.sum as f64 / profile.pairs as f64
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Dual-path multicast over the Hamiltonian-path strategy (Section 6.2's
+//! second case study, in its original multicast context).
+//!
+//! Run with: `cargo run --example multicast`
+
+use ebda::prelude::*;
+use ebda::routing::multicast::{hamiltonian_label, DualPathMulticast};
+
+fn main() -> Result<(), EbdaError> {
+    let topo = Topology::mesh(&[6, 6]);
+
+    // The snake labelling, printed as the paper draws it (row 0 at the
+    // bottom).
+    println!("hamiltonian (snake) labels of the 6x6 mesh:");
+    for y in (0..6).rev() {
+        let row: Vec<String> = (0..6)
+            .map(|x| format!("{:>3}", hamiltonian_label(&topo, topo.node_at(&[x, y]))))
+            .collect();
+        println!("  {}", row.join(" "));
+    }
+
+    // The two subnetworks are the two partitions of the EbDa design.
+    let design = catalog::hamiltonian();
+    println!("\npartitioning: {design}");
+    let report = verify_design(&topo, &design)?;
+    println!("dally check : {report}");
+    assert!(report.is_deadlock_free());
+
+    // Multicast from the mesh centre to six destinations.
+    let mc = DualPathMulticast::new();
+    let src = topo.node_at(&[2, 2]);
+    let dests: Vec<_> = [[0, 0], [5, 0], [0, 5], [5, 5], [4, 2], [1, 3]]
+        .iter()
+        .map(|c| topo.node_at(&[c[0], c[1]]))
+        .collect();
+    let plan = mc.plan(&topo, src, &dests);
+    println!(
+        "\nmulticast from {:?} to {} destinations:",
+        topo.coords(src),
+        dests.len()
+    );
+    let show = |label: &str, chain: &[usize], path: &[usize]| {
+        let chain_coords: Vec<Vec<i64>> = chain.iter().map(|&n| topo.coords(n)).collect();
+        println!(
+            "  {label}: visits {chain_coords:?} in {} hops",
+            path.len().saturating_sub(1)
+        );
+    };
+    show("high copy", &plan.high_chain, &plan.high_path);
+    show("low copy ", &plan.low_chain, &plan.low_path);
+    println!("  total: {} hops across both copies", plan.total_hops());
+
+    // Sanity: every destination is on one of the two paths.
+    for &d in &dests {
+        assert!(plan.high_path.contains(&d) || plan.low_path.contains(&d));
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Quickstart: design a deadlock-free routing algorithm with EbDa, verify
+//! it with Dally's criterion, and run it through the wormhole simulator.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ebda::prelude::*;
+
+fn main() -> Result<(), EbdaError> {
+    // ------------------------------------------------------------------
+    // 1. Design: divide the channels of a 2D network into disjoint
+    //    partitions, each with at most one complete D-pair (Theorem 1).
+    //    This one is the paper's P3 — the west-first turn model.
+    // ------------------------------------------------------------------
+    let design = PartitionSeq::parse("X- | X+ Y+ Y-")?;
+    design.validate()?;
+    println!("design      : {design}");
+
+    // ------------------------------------------------------------------
+    // 2. Extract every allowable turn (Theorems 1 + 2 + 3).
+    // ------------------------------------------------------------------
+    let extraction = extract_turns(&design)?;
+    let counts = extraction.turn_set().counts();
+    println!("turns       : {counts}");
+    for turn in extraction.turn_set().iter() {
+        println!("   allowed  : {turn} ({})", turn.kind());
+    }
+
+    // ------------------------------------------------------------------
+    // 3. Verify: build the channel dependency graph on a concrete 8x8
+    //    mesh and check it is acyclic (Dally's criterion).
+    // ------------------------------------------------------------------
+    let topo = Topology::mesh(&[8, 8]);
+    let report = verify_design(&topo, &design)?;
+    println!("dally check : {report}");
+    assert!(report.is_deadlock_free());
+
+    // ------------------------------------------------------------------
+    // 4. Route: turn the design into a working router and walk a packet.
+    // ------------------------------------------------------------------
+    let relation = TurnRouting::from_design("west-first", &design)?;
+    let src = topo.node_at(&[7, 0]);
+    let dst = topo.node_at(&[0, 7]);
+    let path = walk_first_choice(&relation, &topo, src, dst, 32).expect("delivers");
+    println!("sample path : {path:?} ({} hops)", path.len() - 1);
+
+    // ------------------------------------------------------------------
+    // 5. Simulate: uniform random traffic, multi-packet wormhole buffers
+    //    (the unrestricted mode EbDa permits), deadlock watchdog armed.
+    // ------------------------------------------------------------------
+    let cfg = SimConfig {
+        injection_rate: 0.05,
+        ..SimConfig::default()
+    };
+    let result = simulate(&topo, &relation, &cfg);
+    println!("simulation  : {result}");
+    assert!(result.outcome.is_deadlock_free());
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Latency/load sweep: deterministic vs partially vs fully adaptive EbDa
+//! designs on an 8x8 mesh — the classic NoC evaluation, driven by the
+//! `noc_sim::sweep` utilities (curves + bisected saturation points).
+//!
+//! Run with: `cargo run --release --example saturation_sweep`
+
+use ebda::prelude::*;
+use ebda::sim::{latency_curve, saturation_rate};
+
+fn base_cfg() -> SimConfig {
+    SimConfig {
+        warmup: 500,
+        measurement: 2_000,
+        drain: 3_000,
+        deadlock_threshold: 1_500,
+        ..SimConfig::default()
+    }
+}
+
+fn main() -> Result<(), EbdaError> {
+    let topo = Topology::mesh(&[8, 8]);
+    let rates = [0.005, 0.01, 0.02, 0.04, 0.06, 0.08];
+
+    let designs: Vec<(&str, TurnRouting)> = vec![
+        (
+            "XY (deterministic)",
+            TurnRouting::from_design("xy", &catalog::p1_xy())?,
+        ),
+        (
+            "west-first (partial)",
+            TurnRouting::from_design("wf", &catalog::p3_west_first())?,
+        ),
+        (
+            "odd-even (partial)",
+            TurnRouting::from_design("oe", &catalog::odd_even())?,
+        ),
+        (
+            "DyXY 6ch (fully adpt)",
+            TurnRouting::from_design("fa", &catalog::fig7b_dyxy())?,
+        ),
+    ];
+
+    println!("average packet latency (cycles) on an 8x8 mesh, uniform traffic");
+    print!("{:<24}", "rate (pkts/node/cycle)");
+    for r in rates {
+        print!(" {r:>8}");
+    }
+    println!(" {:>10}", "saturation");
+
+    for (name, relation) in &designs {
+        let curve = latency_curve(&topo, relation, &base_cfg(), &rates);
+        print!("{name:<24}");
+        for point in &curve {
+            if point.deadlocked {
+                print!(" {:>8}", "DEADLOCK");
+            } else if point.drained {
+                print!(" {:>8.1}", point.avg_latency);
+            } else {
+                print!(" {:>8}", "sat");
+            }
+        }
+        let sat = saturation_rate(&topo, relation, &base_cfg(), 0.005, 0.30, 0.01);
+        match sat {
+            Some(rate) => println!(" {rate:>10.3}"),
+            None => println!(" {:>10}", "-"),
+        }
+    }
+    println!(
+        "\n'sat' = saturated (not all measured packets drained in time);\n\
+         the last column is the bisected saturation estimate."
+    );
+    Ok(())
+}

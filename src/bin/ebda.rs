@@ -1,0 +1,399 @@
+//! The `ebda` command-line tool: design, inspect, verify and simulate
+//! deadlock-free routing algorithms from the shell.
+//!
+//! ```text
+//! ebda design   --vcs 3,2,3                     # Algorithm 1
+//! ebda turns    "X- | X+ Y+ Y-"                 # Theorem 1-3 extraction
+//! ebda verify   "X- | X+ Y+ Y-" --mesh 8x8      # Dally check
+//! ebda options  --vcs 1,1                       # Algorithm 2 derivations
+//! ebda simulate "X1+ Y1+ Y1- | X1- Y2+ Y2-" --mesh 8x8 --rate 0.05
+//! ```
+
+use ebda::core::algorithm1::{partition_network, partition_network_region_covering};
+use ebda::core::algorithm2::derive_all;
+use ebda::core::sets::arrangement1;
+use ebda::core::theorems::analyze;
+use ebda::prelude::catalog;
+use ebda::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  ebda design   --vcs <a,b[,c...]> [--arrangement region|plain]
+                                             run Algorithm 1 on a VC budget
+  ebda options  --vcs <a,b[,c...]>           enumerate Algorithm 2 derivations
+  ebda turns    \"<design>\" [--dot]            extract all allowable turns
+                                             (--dot: Graphviz output)
+  ebda verify   \"<design>\" [--mesh AxB[xC]] [--torus AxB[xC]]
+  ebda certify  --turns \"X1+>Y1+,Y1->X1-,...\"  reconstruct a partitioning
+                                             certificate from raw turns
+  ebda report   \"<design>\"                    markdown design review
+  ebda simulate \"<design>\" [--mesh AxB] [--rate R] [--traffic uniform|transpose|bitcomp]
+                 [--policy multi|single] [--switching wh|vct|saf]
+
+a <design> is partitions separated by '|' or '->', channels like X1+, Ye2-
+(example: \"X- | X+ Y+ Y-\" is the west-first turn model), or a preset:
+xy, west-first, north-last, negative-first, odd-even, dyxy, fig7c, fig9b,
+fig9c, hamiltonian, table5.";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "design" => cmd_design(rest),
+        "options" => cmd_options(rest),
+        "turns" => cmd_turns(rest),
+        "verify" => cmd_verify(rest),
+        "certify" => cmd_certify(rest),
+        "report" => cmd_report(rest),
+        "simulate" => cmd_simulate(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_vcs(args: &[String]) -> Result<Vec<u8>, String> {
+    let spec = flag_value(args, "--vcs").ok_or("missing --vcs a,b[,c...]")?;
+    spec.split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<u8>()
+                .map_err(|e| format!("bad VC count {t:?}: {e}"))
+        })
+        .collect()
+}
+
+fn parse_radix(spec: &str) -> Result<Vec<usize>, String> {
+    spec.split(['x', 'X'])
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|e| format!("bad radix {t:?}: {e}"))
+        })
+        .collect()
+}
+
+/// Named design presets accepted wherever a design string is.
+fn preset(name: &str) -> Option<PartitionSeq> {
+    Some(match name {
+        "xy" => catalog::p1_xy(),
+        "west-first" | "wf" => catalog::p3_west_first(),
+        "north-last" | "nl" => catalog::north_last(),
+        "negative-first" | "nf" => catalog::p4_negative_first(),
+        "odd-even" | "oe" => catalog::odd_even(),
+        "dyxy" | "fig7b" => catalog::fig7b_dyxy(),
+        "fig7c" => catalog::fig7c(),
+        "fig9b" => catalog::fig9b(),
+        "fig9c" => catalog::fig9c(),
+        "hamiltonian" => catalog::hamiltonian(),
+        "table5" => catalog::table5_partial3d(),
+        _ => return None,
+    })
+}
+
+fn parse_design(args: &[String]) -> Result<PartitionSeq, String> {
+    if let Some(seq) = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .find_map(|a| preset(a))
+    {
+        return Ok(seq);
+    }
+    let spec = args
+        .iter()
+        .find(|a| !a.starts_with("--") && !a.contains('=') && a.contains(['+', '-']))
+        .ok_or("missing design argument (a preset like west-first, or \"X- | X+ Y+ Y-\")")?;
+    let seq = PartitionSeq::parse(spec).map_err(|e| e.to_string())?;
+    seq.validate().map_err(|e| e.to_string())?;
+    Ok(seq)
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let seq = parse_design(args)?;
+    let n = design_dims(&seq);
+    let report = ebda::core::theorems::markdown_report(&seq, n, 3).map_err(|e| e.to_string())?;
+    print!("{report}");
+    Ok(())
+}
+
+fn topology(args: &[String], default_dims: usize) -> Result<Topology, String> {
+    if let Some(spec) = flag_value(args, "--torus") {
+        return Ok(Topology::torus(&parse_radix(spec)?));
+    }
+    if let Some(spec) = flag_value(args, "--mesh") {
+        return Ok(Topology::mesh(&parse_radix(spec)?));
+    }
+    Ok(Topology::mesh(&vec![4; default_dims.max(1)]))
+}
+
+fn design_dims(seq: &PartitionSeq) -> usize {
+    seq.partitions()
+        .iter()
+        .flat_map(|p| p.channels().iter())
+        .map(|c| c.dim.index() + 1)
+        .max()
+        .unwrap_or(1)
+}
+
+fn cmd_design(args: &[String]) -> Result<(), String> {
+    let vcs = parse_vcs(args)?;
+    let seq = match flag_value(args, "--arrangement") {
+        None | Some("region") => {
+            partition_network_region_covering(&vcs).map_err(|e| e.to_string())?
+        }
+        Some("plain") => partition_network(&vcs).map_err(|e| e.to_string())?,
+        Some(other) => return Err(format!("unknown arrangement {other:?}")),
+    };
+    println!("{seq}");
+    let report = analyze(&seq, vcs.len()).map_err(|e| e.to_string())?;
+    println!("{report}");
+    Ok(())
+}
+
+fn cmd_options(args: &[String]) -> Result<(), String> {
+    let vcs = parse_vcs(args)?;
+    let options =
+        derive_all(arrangement1(&vcs).map_err(|e| e.to_string())?).map_err(|e| e.to_string())?;
+    println!("{} derivations from Algorithm 2:", options.len());
+    for seq in options {
+        println!("  {seq}");
+    }
+    Ok(())
+}
+
+fn cmd_turns(args: &[String]) -> Result<(), String> {
+    let seq = parse_design(args)?;
+    let ex = extract_turns(&seq).map_err(|e| e.to_string())?;
+    if args.iter().any(|a| a == "--dot") {
+        print!("{}", ebda::core::dot::extraction_dot(&seq, &ex));
+        return Ok(());
+    }
+    println!("design: {seq}");
+    for (kind, label) in [
+        (TurnKind::Ninety, "90-degree"),
+        (TurnKind::UTurn, "U-turns"),
+        (TurnKind::ITurn, "I-turns"),
+    ] {
+        let list: Vec<String> = ex.turn_set().of_kind(kind).map(|t| t.to_string()).collect();
+        if !list.is_empty() {
+            println!("{label:>10}: {}", list.join(", "));
+        }
+    }
+    println!("{}", ex.turn_set().counts());
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let seq = parse_design(args)?;
+    let topo = topology(args, design_dims(&seq))?;
+    if topo.dims() < design_dims(&seq) {
+        return Err(format!(
+            "the design uses {} dimensions but the topology has {}",
+            design_dims(&seq),
+            topo.dims()
+        ));
+    }
+    let report = verify_design(&topo, &seq).map_err(|e| e.to_string())?;
+    println!("{report}");
+    if report.is_deadlock_free() {
+        Ok(())
+    } else {
+        Err("design is NOT deadlock-free on this topology".into())
+    }
+}
+
+fn cmd_certify(args: &[String]) -> Result<(), String> {
+    let spec = flag_value(args, "--turns").ok_or("missing --turns \"A>B,C>D,...\"")?;
+    let mut turns = TurnSet::new();
+    let mut universe: Vec<Channel> = Vec::new();
+    for token in spec.split(',').filter(|t| !t.trim().is_empty()) {
+        let (a, b) = token
+            .split_once('>')
+            .ok_or_else(|| format!("turn {token:?} must look like X1+>Y1+"))?;
+        let from = Channel::parse(a.trim()).map_err(|e| e.to_string())?;
+        let to = Channel::parse(b.trim()).map_err(|e| e.to_string())?;
+        if from == to {
+            return Err(format!("turn {token:?} repeats one channel"));
+        }
+        for c in [from, to] {
+            if !universe.contains(&c) {
+                universe.push(c);
+            }
+        }
+        turns.insert(Turn::new(from, to));
+    }
+    if turns.is_empty() {
+        return Err("no turns given".into());
+    }
+    match ebda::core::certify::certify_checked(&universe, &turns) {
+        Ok((cert, surplus)) => {
+            println!("CERTIFIED deadlock-free by the partitioning:");
+            println!("  {cert}");
+            if !surplus.is_empty() {
+                println!(
+                    "the certificate additionally allows {} unused turns",
+                    surplus.len()
+                );
+            }
+            Ok(())
+        }
+        Err(e) => Err(format!(
+            "not certifiable: {e} (this does not prove deadlock; EbDa certificates are sufficient, not necessary)"
+        )),
+    }
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let seq = parse_design(args)?;
+    let topo = topology(args, design_dims(&seq))?;
+    let relation = TurnRouting::from_design("cli", &seq).map_err(|e| e.to_string())?;
+    let mut cfg = SimConfig::default();
+    if let Some(r) = flag_value(args, "--rate") {
+        cfg.injection_rate = r.parse().map_err(|e| format!("bad rate: {e}"))?;
+    }
+    if let Some(t) = flag_value(args, "--traffic") {
+        cfg.traffic = match t {
+            "uniform" => TrafficPattern::Uniform,
+            "transpose" => TrafficPattern::Transpose,
+            "bitcomp" => TrafficPattern::BitComplement,
+            other => return Err(format!("unknown traffic pattern {other:?}")),
+        };
+    }
+    if let Some(p) = flag_value(args, "--policy") {
+        cfg.buffer_policy = match p {
+            "multi" => BufferPolicy::MultiPacket,
+            "single" => BufferPolicy::SinglePacket,
+            other => return Err(format!("unknown buffer policy {other:?}")),
+        };
+    }
+    if let Some(s) = flag_value(args, "--switching") {
+        cfg.switching = match s {
+            "wh" => ebda::sim::config::Switching::Wormhole,
+            "vct" => ebda::sim::config::Switching::VirtualCutThrough,
+            "saf" => ebda::sim::config::Switching::StoreAndForward,
+            other => return Err(format!("unknown switching {other:?}")),
+        };
+        if cfg.switching != ebda::sim::config::Switching::Wormhole {
+            cfg.buffer_depth = cfg.buffer_depth.max(cfg.packet_length);
+        }
+    }
+    let result = simulate(&topo, &relation, &cfg);
+    println!("{result}");
+    if let Some(cv) = result.channel_balance_cv() {
+        println!("channel balance (CV, lower is better): {cv:.3}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn design_subcommand() {
+        run(&s(&["design", "--vcs", "1,2"])).unwrap();
+    }
+
+    #[test]
+    fn verify_subcommand_accepts_good_designs() {
+        run(&s(&["verify", "X- | X+ Y+ Y-", "--mesh", "5x5"])).unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_invalid_designs() {
+        assert!(run(&s(&["verify", "X+ X- Y+ Y-"])).is_err());
+    }
+
+    #[test]
+    fn turns_subcommand() {
+        run(&s(&["turns", "X+ X- Y-"])).unwrap();
+        run(&s(&["turns", "X+ X- Y-", "--dot"])).unwrap();
+    }
+
+    #[test]
+    fn options_subcommand() {
+        run(&s(&["options", "--vcs", "1,1"])).unwrap();
+    }
+
+    #[test]
+    fn simulate_subcommand_small() {
+        run(&s(&[
+            "simulate",
+            "X- | X+ Y+ Y-",
+            "--mesh",
+            "4x4",
+            "--rate",
+            "0.02",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn presets_and_report_subcommand() {
+        run(&s(&["verify", "west-first", "--mesh", "4x4"])).unwrap();
+        run(&s(&["report", "dyxy"])).unwrap();
+        run(&s(&["turns", "odd-even"])).unwrap();
+        assert!(run(&s(&["report", "no-such-preset"])).is_err());
+    }
+
+    #[test]
+    fn certify_subcommand_accepts_west_first_turns() {
+        run(&s(&[
+            "certify",
+            "--turns",
+            "X1+>Y1+,Y1+>X1+,X1+>Y1-,Y1->X1+,X1->Y1+,X1->Y1-",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn certify_subcommand_rejects_all_turns() {
+        let result = run(&s(&[
+            "certify",
+            "--turns",
+            "X1+>Y1+,Y1+>X1+,X1+>Y1-,Y1->X1+,X1->Y1+,Y1+>X1-,X1->Y1-,Y1->X1-",
+        ]));
+        assert!(result.is_err());
+        assert!(result.unwrap_err().contains("not certifiable"));
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn radix_and_vcs_parsing() {
+        assert_eq!(parse_radix("4x4x2").unwrap(), vec![4, 4, 2]);
+        assert!(parse_radix("4xq").is_err());
+        assert_eq!(parse_vcs(&s(&["--vcs", "3,2,3"])).unwrap(), vec![3, 2, 3]);
+    }
+}

@@ -1,0 +1,79 @@
+//! API-guideline conformance checks: iteration conventions, conversion
+//! traits, Display/FromStr pairs, builder ergonomics and witness
+//! reporting — the small contracts that make the crate pleasant to embed.
+
+use ebda::cdg::verify_turn_set;
+use ebda::core::builder::DesignBuilder;
+use ebda::prelude::*;
+use std::str::FromStr;
+
+#[test]
+fn partition_iteration_conventions() {
+    let p = Partition::parse("X+ X- Y-").unwrap();
+    // iter() and (&p).into_iter() agree with channels().
+    let a: Vec<_> = p.iter().copied().collect();
+    let b: Vec<_> = (&p).into_iter().copied().collect();
+    assert_eq!(a, p.channels());
+    assert_eq!(b, p.channels());
+    // FromIterator round-trip.
+    let q: Partition = p.iter().copied().collect();
+    assert_eq!(q, p);
+}
+
+#[test]
+fn fromstr_parses_and_validates() {
+    let seq = PartitionSeq::from_str("X- | X+ Y+ Y-").unwrap();
+    assert_eq!(seq, catalog::p3_west_first());
+    // FromStr validates, unlike parse().
+    assert!(PartitionSeq::from_str("X+ X- Y+ Y-").is_err());
+    assert!(PartitionSeq::parse("X+ X- Y+ Y-").is_ok());
+    // Channel FromStr.
+    let c: Channel = "Ye2-".parse().unwrap();
+    assert_eq!(c.to_string(), "Ye2-");
+}
+
+#[test]
+fn builder_and_parser_agree() {
+    let built = DesignBuilder::new()
+        .partition(["X+", "X-", "Y-"])
+        .unwrap()
+        .partition(["Y+"])
+        .unwrap()
+        .build()
+        .unwrap();
+    assert_eq!(built, PartitionSeq::from_str("X+ X- Y- | Y+").unwrap());
+}
+
+#[test]
+fn witness_scenarios_read_as_blocked_packets() {
+    // A deliberately cyclic turn set produces a report whose scenario
+    // rendering names packets and the channels they hold/await.
+    let universe = parse_channels("X+ X- Y+ Y-").unwrap();
+    let mut turns = TurnSet::new();
+    for &a in &universe {
+        for &b in &universe {
+            if a != b && a.dim != b.dim {
+                turns.insert(Turn::new(a, b));
+            }
+        }
+    }
+    let report = verify_turn_set(&Topology::mesh(&[4, 4]), &[1, 1], &universe, &turns);
+    assert!(!report.is_deadlock_free());
+    let scenario = report.witness_scenario().expect("cyclic report");
+    assert!(scenario.contains("packet A holds"));
+    assert!(scenario.contains("no packet can advance"));
+    // Deadlock-free reports have no scenario.
+    let clean = ebda::cdg::verify_design(&Topology::mesh(&[4, 4]), &catalog::p1_xy()).unwrap();
+    assert_eq!(clean.witness_scenario(), None);
+}
+
+#[test]
+fn error_values_are_well_behaved() {
+    fn assert_error<T: std::error::Error + Send + Sync + 'static>() {}
+    assert_error::<EbdaError>();
+    // Error messages are lowercase, concise, no trailing period.
+    let err = PartitionSeq::from_str("X+ X- Y+ Y-").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.chars().next().unwrap().is_lowercase());
+    assert!(!msg.ends_with('.'));
+}

@@ -1,0 +1,96 @@
+//! Process-level tests of the `ebda` CLI binary.
+
+use std::process::Command;
+
+fn ebda(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_ebda"))
+        .args(args)
+        .output()
+        .expect("spawn ebda binary")
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = ebda(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("usage:"));
+    assert!(text.contains("ebda verify"));
+}
+
+#[test]
+fn design_and_verify_roundtrip() {
+    let out = ebda(&["design", "--vcs", "1,2"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let design_line = text.lines().next().unwrap().replace(['[', ']'], " ");
+    let spec = design_line.replace(" -> ", "|");
+    let out = ebda(&["verify", spec.trim(), "--mesh", "5x5"]);
+    assert!(
+        out.status.success(),
+        "verify failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("deadlock-free"));
+}
+
+#[test]
+fn verify_fails_on_invalid_design_with_nonzero_exit() {
+    let out = ebda(&["verify", "X+ X- Y+ Y-"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("Theorem 1") || err.contains("complete D-pairs"),
+        "stderr: {err}"
+    );
+}
+
+#[test]
+fn turns_lists_the_extraction() {
+    let out = ebda(&["turns", "X+ X- Y-"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("90-degree"));
+    assert!(text.contains("X1+->Y1-"));
+}
+
+#[test]
+fn simulate_reports_completion() {
+    let out = ebda(&[
+        "simulate",
+        "X- | X+ Y+ Y-",
+        "--mesh",
+        "4x4",
+        "--rate",
+        "0.02",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("completed"), "got: {text}");
+}
+
+#[test]
+fn certify_both_ways() {
+    let ok = ebda(&[
+        "certify",
+        "--turns",
+        "X1+>Y1+,Y1+>X1+,X1+>Y1-,Y1->X1+,X1->Y1+,X1->Y1-",
+    ]);
+    assert!(ok.status.success());
+    assert!(String::from_utf8(ok.stdout).unwrap().contains("CERTIFIED"));
+
+    let bad = ebda(&["certify", "--turns", "X1+>Y1+,Y1+>X1-,X1->Y1-,Y1->X1+"]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8(bad.stderr)
+        .unwrap()
+        .contains("not certifiable"));
+}
+
+#[test]
+fn unknown_flags_do_not_crash() {
+    let out = ebda(&["design"]);
+    assert!(!out.status.success());
+    let out = ebda(&["bogus"]);
+    assert!(!out.status.success());
+}

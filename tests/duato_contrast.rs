@@ -1,0 +1,57 @@
+//! The headline E1b experiment as a regression test: Duato's
+//! adaptive+escape routing is deadlock-free under its own Assumption 3
+//! (single-packet input buffers) and deadlocks under EbDa's unrestricted
+//! multi-packet wormhole buffers — while the EbDa fully adaptive design
+//! needs no such restriction. This is Section 2's criticism of Duato's
+//! theory, observed.
+
+use ebda::prelude::*;
+use ebda::routing::classic::DuatoFullyAdaptive;
+
+fn pressure(policy: BufferPolicy) -> SimConfig {
+    SimConfig {
+        injection_rate: 0.30,
+        buffer_policy: policy,
+        warmup: 500,
+        measurement: 2_000,
+        drain: 3_000,
+        deadlock_threshold: 1_500,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn duato_safe_under_assumption_3_deadlocks_without_it() {
+    let topo = Topology::mesh(&[8, 8]);
+    let duato = DuatoFullyAdaptive::new(2);
+
+    let single = simulate(&topo, &duato, &pressure(BufferPolicy::SinglePacket));
+    assert!(
+        single.outcome.is_deadlock_free(),
+        "duato must be safe under its own assumption: {single}"
+    );
+
+    let multi = simulate(&topo, &duato, &pressure(BufferPolicy::MultiPacket));
+    assert!(
+        !multi.outcome.is_deadlock_free(),
+        "duato with multi-packet buffers should deadlock at this load: {multi}"
+    );
+    // The watchdog's diagnosis names a genuine circular wait.
+    if let Outcome::Deadlocked { wait_cycle, .. } = &multi.outcome {
+        assert!(wait_cycle.len() >= 2, "no circular wait found: {multi}");
+    }
+}
+
+#[test]
+fn ebda_design_is_safe_in_both_buffer_regimes() {
+    let topo = Topology::mesh(&[8, 8]);
+    let fa = TurnRouting::from_design("dyxy", &catalog::fig7b_dyxy()).unwrap();
+    for policy in [BufferPolicy::SinglePacket, BufferPolicy::MultiPacket] {
+        let r = simulate(&topo, &fa, &pressure(policy));
+        assert!(
+            r.outcome.is_deadlock_free(),
+            "EbDa design deadlocked under {policy:?}: {r}"
+        );
+        assert_eq!(r.routing_faults, 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! A census of relation-level certification across every routing
+//! implementation in the repository: which certify, under which channel
+//! classes, and which expose the (documented) incompleteness of
+//! class-level certificates.
+
+use ebda::prelude::*;
+use ebda::routing::certify_relation::{certify_relation, ClassScheme};
+use ebda::routing::classic::{
+    DimensionOrder, ElevatorFirst, NegativeFirst, NorthLast, OddEven, TorusDateline, UpDown,
+    WestFirst,
+};
+use ebda::routing::verify_relation;
+
+#[test]
+fn certification_census_over_all_relations() {
+    let mesh = Topology::mesh(&[5, 5]);
+
+    // Plain-class certifiable: the classic turn models.
+    for (name, relation) in [
+        (
+            "xy",
+            Box::new(DimensionOrder::xy()) as Box<dyn RoutingRelation>,
+        ),
+        ("yx", Box::new(DimensionOrder::yx())),
+        ("west-first", Box::new(WestFirst::new())),
+        ("north-last", Box::new(NorthLast::new())),
+        ("negative-first", Box::new(NegativeFirst::new(2))),
+    ] {
+        let cert = certify_relation(&mesh, relation.as_ref())
+            .unwrap_or_else(|| panic!("{name} must certify"));
+        assert_eq!(cert.scheme, ClassScheme::Plain, "{name}");
+    }
+
+    // Parity-class certifiable: Odd-Even (column split) and the
+    // Hamiltonian-derived relation (row split).
+    let oe = certify_relation(&mesh, &OddEven::new()).expect("odd-even certifies");
+    assert_eq!(oe.scheme, ClassScheme::ParityOf(Dimension::X));
+    let ham = TurnRouting::from_design("ham", &catalog::hamiltonian()).unwrap();
+    let ham_cert = certify_relation(&mesh, &ham).expect("hamiltonian certifies");
+    assert_ne!(
+        ham_cert.scheme,
+        ClassScheme::Plain,
+        "hamiltonian needs a split scheme"
+    );
+}
+
+#[test]
+fn elevator_first_certifies_on_its_partial_topology() {
+    let topo = Topology::mesh(&[3, 3, 2]).with_partial_dim(Dimension::Z, [vec![0, 0], vec![2, 2]]);
+    let ef = ElevatorFirst::new([vec![0, 0], vec![2, 2]]);
+    let cert = certify_relation(&topo, &ef).expect("elevator-first certifies");
+    assert!(cert.design.validate().is_ok());
+}
+
+#[test]
+fn up_down_root_placement_decides_certifiability() {
+    // Corner-rooted Up*/Down* on a mesh *is* negative-first ("up" hops are
+    // exactly the negative directions), so it certifies with plain classes
+    // in two partitions. A central root makes up/down position-dependent
+    // in a way no scheme in the ladder captures — deadlock-free (exact CDG
+    // acyclic) yet uncertifiable: the documented incompleteness of
+    // channel-class certificates.
+    let topo = Topology::mesh(&[4, 4]);
+
+    let corner = UpDown::new(&topo);
+    let cert = certify_relation(&topo, &corner).expect("corner root certifies");
+    assert_eq!(cert.scheme, ClassScheme::Plain);
+    assert_eq!(cert.design.len(), 2, "the negative-first shape");
+
+    let center = UpDown::with_root(&topo, topo.node_at(&[1, 1]));
+    assert!(verify_relation(&topo, &center).is_ok(), "still safe");
+    assert!(
+        certify_relation(&topo, &center).is_none(),
+        "central root should exceed the class-scheme ladder"
+    );
+}
+
+#[test]
+fn torus_relations_respect_the_exact_precheck() {
+    let torus = Topology::torus(&[4, 4]);
+    assert!(certify_relation(&torus, &TorusDateline::new(2)).is_some());
+    assert!(certify_relation(&torus, &TorusDateline::without_dateline(2)).is_none());
+    // The EbDa class-level dateline design certifies as well.
+    let d = TurnRouting::from_design("dl", &catalog::torus_dateline(&[4, 4])).unwrap();
+    assert!(certify_relation(&torus, &d).is_some());
+}

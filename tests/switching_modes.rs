@@ -1,0 +1,82 @@
+//! Paper Assumption 1 across the board: wormhole, virtual cut-through and
+//! store-and-forward all stay deadlock-free for EbDa designs, with the
+//! expected latency ordering (WH ≤ VCT ≤ SAF at low load).
+
+use ebda::prelude::*;
+use ebda::sim::Switching;
+
+fn cfg(switching: Switching) -> SimConfig {
+    SimConfig {
+        switching,
+        buffer_depth: 8,
+        packet_length: 5,
+        injection_rate: 0.03,
+        warmup: 300,
+        measurement: 1_200,
+        drain: 3_000,
+        deadlock_threshold: 1_200,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn all_switching_modes_for_representative_designs() {
+    let topo = Topology::mesh(&[4, 4]);
+    for (name, seq) in [
+        ("xy", catalog::p1_xy()),
+        ("west-first", catalog::p3_west_first()),
+        ("dyxy", catalog::fig7b_dyxy()),
+        ("odd-even", catalog::odd_even()),
+    ] {
+        let relation = TurnRouting::from_design(name, &seq).unwrap();
+        let mut latencies = Vec::new();
+        for mode in [
+            Switching::Wormhole,
+            Switching::VirtualCutThrough,
+            Switching::StoreAndForward,
+        ] {
+            let r = simulate(&topo, &relation, &cfg(mode));
+            assert!(r.outcome.is_deadlock_free(), "{name}/{mode:?}: {r}");
+            assert_eq!(
+                r.measured_delivered, r.measured_injected,
+                "{name}/{mode:?} failed to drain"
+            );
+            latencies.push(r.avg_latency);
+        }
+        // SAF pays per-hop serialization: strictly slower than wormhole.
+        assert!(
+            latencies[2] > latencies[0],
+            "{name}: SAF {} must exceed WH {}",
+            latencies[2],
+            latencies[0]
+        );
+        // VCT sits between (equal-ish at low load is fine).
+        assert!(
+            latencies[1] <= latencies[2] + 1e-9,
+            "{name}: VCT {} above SAF {}",
+            latencies[1],
+            latencies[2]
+        );
+    }
+}
+
+#[test]
+fn saf_latency_scales_with_packet_length() {
+    // SAF per-hop cost is proportional to the packet length; doubling the
+    // packet should far more than double SAF transit time relative to WH.
+    let topo = Topology::mesh(&[4, 4]);
+    let relation = TurnRouting::from_design("xy", &catalog::p1_xy()).unwrap();
+    let run = |mode, len| {
+        let mut c = cfg(mode);
+        c.packet_length = len;
+        c.buffer_depth = len + 2;
+        let r = simulate(&topo, &relation, &c);
+        assert!(r.outcome.is_deadlock_free());
+        r.avg_latency
+    };
+    let wh_long = run(Switching::Wormhole, 10);
+    let saf_long = run(Switching::StoreAndForward, 10);
+    let saf_short = run(Switching::StoreAndForward, 3);
+    assert!(saf_long > wh_long * 1.5, "{saf_long} vs wh {wh_long}");
+    assert!(saf_long > saf_short, "{saf_long} vs short {saf_short}");
+}

@@ -1,0 +1,76 @@
+//! Torus coverage beyond the basic example: rectangular tori, mixed
+//! mesh/torus dimensions, and the dateline designs end to end.
+
+use ebda::prelude::*;
+use ebda::routing::{find_delivery_failure, verify_relation};
+
+#[test]
+fn dateline_design_on_rectangular_tori() {
+    for radix in [[5usize, 3], [3, 6], [4, 4]] {
+        let topo = Topology::torus(&radix);
+        let seq = catalog::torus_dateline(&radix);
+        let report = verify_design(&topo, &seq).unwrap();
+        assert!(report.is_deadlock_free(), "{radix:?}: {report}");
+        let relation = TurnRouting::from_design("dl", &seq).unwrap();
+        assert_eq!(
+            find_delivery_failure(&relation, &topo, 24),
+            None,
+            "delivery failed on {radix:?}"
+        );
+        assert!(verify_relation(&topo, &relation).is_ok());
+    }
+}
+
+#[test]
+fn mixed_mesh_torus_dimensions() {
+    // X wraps (k-ary ring), Y is a mesh dimension.
+    let radix = [5usize, 4];
+    let wrap = [true, false];
+    let topo = Topology::mesh(&radix).with_wrap(&wrap);
+    let seq = catalog::dateline_design(&radix, &wrap);
+    // Class-level verification passes on the mixed topology.
+    let report = verify_design(&topo, &seq).unwrap();
+    assert!(report.is_deadlock_free(), "{report}");
+    // The derived router uses the wrap when shorter and delivers all pairs.
+    let relation = TurnRouting::from_design("mixed", &seq).unwrap();
+    assert_eq!(find_delivery_failure(&relation, &topo, 24), None);
+    let a = topo.node_at(&[0, 0]);
+    let b = topo.node_at(&[4, 0]);
+    let path = walk_first_choice(&relation, &topo, a, b, 8).unwrap();
+    assert_eq!(path.len(), 2, "one wrap hop, not four mesh hops");
+    // And it simulates cleanly under pressure.
+    let cfg = SimConfig {
+        injection_rate: 0.20,
+        warmup: 300,
+        measurement: 1_500,
+        drain: 2_000,
+        deadlock_threshold: 1_000,
+        ..SimConfig::default()
+    };
+    let result = simulate(&topo, &relation, &cfg);
+    assert!(result.outcome.is_deadlock_free(), "{result}");
+}
+
+#[test]
+fn all_mesh_dateline_degenerates_to_dimension_order() {
+    // With no wrapped dimension the design is plain per-dimension pairs:
+    // dimension-ordered fully-adaptive-within-dimension routing.
+    let seq = catalog::dateline_design(&[4, 4], &[false, false]);
+    assert_eq!(seq.len(), 2);
+    assert_eq!(seq.channel_count(), 4);
+    let topo = Topology::mesh(&[4, 4]);
+    assert!(verify_design(&topo, &seq).unwrap().is_deadlock_free());
+    let relation = TurnRouting::from_design("plain", &seq).unwrap();
+    assert_eq!(find_delivery_failure(&relation, &topo, 16), None);
+}
+
+#[test]
+fn torus_dateline_channel_budget_scales_with_dimensions() {
+    // 3 stages x 2 channels per wrapped dimension.
+    for n in 2..=3usize {
+        let radix = vec![4usize; n];
+        let seq = catalog::torus_dateline(&radix);
+        assert_eq!(seq.len(), 3 * n);
+        assert_eq!(seq.channel_count(), 6 * n);
+    }
+}
