@@ -1,8 +1,10 @@
 //! Construction costs: Algorithm 1 partitioning, Theorem 1–3 turn
 //! extraction (Figures 3–9, Tables 1–3) and the Section 4 minimum-channel
 //! constructions.
+//!
+//! Run with `cargo bench -p ebda-bench --bench construction`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ebda_bench::harness::bench;
 use ebda_core::algorithm1::partition_network;
 use ebda_core::algorithm2::{derive_all, enumerate_partitionings};
 use ebda_core::exceptional::exceptional_partitionings;
@@ -11,64 +13,45 @@ use ebda_core::sets::arrangement1;
 use ebda_core::{catalog, extract_turns, parse_channels};
 use std::hint::black_box;
 
-fn bench_algorithm1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("algorithm1");
+fn main() {
+    println!("== algorithm1 ==");
     for vcs in [vec![1u8, 1], vec![2, 2], vec![3, 2, 3], vec![4, 4, 4, 4]] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{vcs:?}")),
-            &vcs,
-            |b, vcs| b.iter(|| partition_network(black_box(vcs)).unwrap()),
-        );
+        bench(&format!("algorithm1/{vcs:?}"), || {
+            partition_network(black_box(&vcs)).unwrap()
+        });
     }
-    g.finish();
-}
 
-fn bench_extraction(c: &mut Criterion) {
-    let mut g = c.benchmark_group("extract_turns");
+    println!("== extract_turns ==");
     for (name, seq) in [
         ("west-first-2d", catalog::p3_west_first()),
         ("dyxy-6ch", catalog::fig7b_dyxy()),
         ("fig9b-16ch", catalog::fig9b()),
         ("fig9a-24ch", catalog::fig9a()),
     ] {
-        g.bench_function(name, |b| b.iter(|| extract_turns(black_box(&seq)).unwrap()));
+        bench(&format!("extract_turns/{name}"), || {
+            extract_turns(black_box(&seq)).unwrap()
+        });
     }
-    g.finish();
-}
 
-fn bench_derivations(c: &mut Criterion) {
-    let mut g = c.benchmark_group("derivations");
-    g.bench_function("algorithm2-2d-2vc", |b| {
-        b.iter(|| derive_all(arrangement1(black_box(&[2, 2])).unwrap()).unwrap())
+    println!("== derivations ==");
+    bench("derivations/algorithm2-2d-2vc", || {
+        derive_all(arrangement1(black_box(&[2, 2])).unwrap()).unwrap()
     });
-    g.bench_function("enumerate-3-partitions", |b| {
-        let channels = parse_channels("X+ X- Y+ Y-").unwrap();
-        b.iter(|| enumerate_partitionings(black_box(&channels), 3))
+    let channels = parse_channels("X+ X- Y+ Y-").unwrap();
+    bench("derivations/enumerate-3-partitions", || {
+        enumerate_partitionings(black_box(&channels), 3)
     });
-    g.bench_function("exceptional-4d", |b| {
-        b.iter(|| exceptional_partitionings(black_box(4)).unwrap())
+    bench("derivations/exceptional-4d", || {
+        exceptional_partitionings(black_box(4)).unwrap()
     });
-    g.finish();
-}
 
-fn bench_min_channels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("min_channels");
+    println!("== min_channels ==");
     for n in [2usize, 3, 4, 5] {
-        g.bench_with_input(BenchmarkId::new("merged", n), &n, |b, &n| {
-            b.iter(|| merged_partitioning(black_box(n)).unwrap())
+        bench(&format!("min_channels/merged/{n}"), || {
+            merged_partitioning(black_box(n)).unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, &n| {
-            b.iter(|| region_partitioning(black_box(n)).unwrap())
+        bench(&format!("min_channels/naive/{n}"), || {
+            region_partitioning(black_box(n)).unwrap()
         });
     }
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_algorithm1,
-    bench_extraction,
-    bench_derivations,
-    bench_min_channels
-);
-criterion_main!(benches);

@@ -1,10 +1,15 @@
 //! Simulator throughput: cycles of wormhole simulation per second for
-//! deterministic and adaptive relations (E1/E2 workloads).
+//! deterministic and adaptive relations (E1/E2 workloads), plus the
+//! flight-recorder overhead check — the recorder-disabled path must cost
+//! the same as the plain `simulate` entry point.
+//!
+//! Run with `cargo bench -p ebda-bench --bench simulation`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ebda_bench::harness::bench;
+use ebda_obs::{Recorder, RecorderConfig};
 use ebda_routing::classic::DimensionOrder;
 use ebda_routing::{Topology, TurnRouting};
-use noc_sim::{simulate, SimConfig, TrafficPattern};
+use noc_sim::{simulate, simulate_traced, SimConfig, TrafficPattern};
 use std::hint::black_box;
 
 fn short_cfg(rate: f64) -> SimConfig {
@@ -18,26 +23,43 @@ fn short_cfg(rate: f64) -> SimConfig {
     }
 }
 
-fn bench_simulation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_8x8");
-    g.sample_size(10);
+fn main() {
+    println!("== simulate_8x8 ==");
     let topo = Topology::mesh(&[8, 8]);
     let xy = DimensionOrder::xy();
     let dyxy = TurnRouting::from_design("dyxy", &ebda_core::catalog::fig7b_dyxy()).unwrap();
 
-    g.bench_function("xy-rate0.05", |b| {
-        b.iter(|| simulate(black_box(&topo), &xy, &short_cfg(0.05)))
+    bench("simulate_8x8/xy-rate0.05", || {
+        simulate(black_box(&topo), &xy, &short_cfg(0.05))
     });
-    g.bench_function("dyxy-rate0.05", |b| {
-        b.iter(|| simulate(black_box(&topo), &dyxy, &short_cfg(0.05)))
+    bench("simulate_8x8/dyxy-rate0.05", || {
+        simulate(black_box(&topo), &dyxy, &short_cfg(0.05))
     });
     let mut transpose = short_cfg(0.05);
     transpose.traffic = TrafficPattern::Transpose;
-    g.bench_function("dyxy-transpose", |b| {
-        b.iter(|| simulate(black_box(&topo), &dyxy, &transpose))
+    bench("simulate_8x8/dyxy-transpose", || {
+        simulate(black_box(&topo), &dyxy, &transpose)
     });
-    g.finish();
-}
 
-criterion_group!(benches, bench_simulation);
-criterion_main!(benches);
+    println!("== recorder overhead ==");
+    // Acceptance check: with no recorder attached the traced entry point
+    // must cost the same as plain simulate; with one attached, the cost of
+    // event recording is visible and bounded.
+    let cfg = short_cfg(0.05);
+    let off = bench("recorder/disabled (simulate)", || {
+        simulate(black_box(&topo), &xy, &cfg)
+    });
+    let off_traced = bench("recorder/disabled (simulate_traced None)", || {
+        simulate_traced(black_box(&topo), &xy, &cfg, None)
+    });
+    let on = bench("recorder/enabled (full event log)", || {
+        let mut rec = Recorder::new(RecorderConfig::default());
+        let r = simulate_traced(black_box(&topo), &xy, &cfg, Some(&mut rec));
+        black_box(rec.total_events());
+        r
+    });
+    let disabled_overhead = (off_traced.best_ns - off.best_ns) / off.best_ns * 100.0;
+    let enabled_overhead = (on.best_ns - off.best_ns) / off.best_ns * 100.0;
+    println!("disabled-path overhead vs simulate: {disabled_overhead:+.1}% (noise-level expected)");
+    println!("enabled-path overhead vs simulate:  {enabled_overhead:+.1}%");
+}

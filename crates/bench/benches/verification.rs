@@ -1,45 +1,37 @@
 //! Verification costs — the Section 2 scalability story measured: one
 //! EbDa construction + Dally check vs brute-force turn-model enumeration.
+//!
+//! Run with `cargo bench -p ebda-bench --bench verification`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ebda_bench::harness::bench;
 use ebda_cdg::turn_model::deadlock_free_combinations_2d;
 use ebda_cdg::{verify_design, Topology};
 use ebda_core::algorithm1::partition_network;
 use ebda_core::catalog;
 use std::hint::black_box;
 
-fn bench_dally_check(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dally_verify");
+fn main() {
+    println!("== dally_verify ==");
+    let seq = catalog::fig7b_dyxy();
     for radix in [4usize, 8, 16] {
         let topo = Topology::mesh(&[radix, radix]);
-        let seq = catalog::fig7b_dyxy();
-        g.bench_with_input(BenchmarkId::new("dyxy-2d", radix), &topo, |b, topo| {
-            b.iter(|| verify_design(black_box(topo), black_box(&seq)).unwrap())
+        bench(&format!("dally_verify/dyxy-2d/{radix}"), || {
+            verify_design(black_box(&topo), black_box(&seq)).unwrap()
         });
     }
     let topo3 = Topology::mesh(&[4, 4, 4]);
     let seq3 = catalog::fig9b();
-    g.bench_function("fig9b-3d-4x4x4", |b| {
-        b.iter(|| verify_design(black_box(&topo3), black_box(&seq3)).unwrap())
+    bench("dally_verify/fig9b-3d-4x4x4", || {
+        verify_design(black_box(&topo3), black_box(&seq3)).unwrap()
     });
-    g.finish();
-}
 
-fn bench_ebda_vs_brute_force(c: &mut Criterion) {
-    let mut g = c.benchmark_group("design_and_verify_2d");
-    g.sample_size(20);
+    println!("== design_and_verify_2d ==");
     let topo = Topology::mesh(&[6, 6]);
-    g.bench_function("ebda-construct+verify", |b| {
-        b.iter(|| {
-            let seq = partition_network(black_box(&[1, 1])).unwrap();
-            verify_design(&topo, &seq).unwrap()
-        })
+    bench("design_and_verify_2d/ebda-construct+verify", || {
+        let seq = partition_network(black_box(&[1, 1])).unwrap();
+        verify_design(&topo, &seq).unwrap()
     });
-    g.bench_function("turn-model-brute-force-16", |b| {
-        b.iter(|| deadlock_free_combinations_2d(black_box(6)))
+    bench("design_and_verify_2d/turn-model-brute-force-16", || {
+        deadlock_free_combinations_2d(black_box(6))
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_dally_check, bench_ebda_vs_brute_force);
-criterion_main!(benches);

@@ -4,6 +4,10 @@
 //!
 //! Usage: `cargo run -p ebda-bench --bin explore [-- <vcs like 1,2>]`
 
+//! `--trace-out <path>` (or `EBDA_TRACE`) additionally writes the
+//! telemetry snapshot (Algorithm 1/2 + CDG spans and counters) as JSON.
+
+use ebda_bench::trace::{trace_path, write_telemetry};
 use ebda_cdg::{verify_design, Topology};
 use ebda_core::adaptiveness::{adaptiveness_profile, region_classes, RegionClass};
 use ebda_core::algorithm2::{derive_all, transition_reorderings};
@@ -12,8 +16,13 @@ use ebda_core::{extract_turns, PartitionSeq};
 use std::collections::BTreeSet;
 
 fn main() {
-    let vcs: Vec<u8> = std::env::args()
-        .nth(1)
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = trace_path(&mut args);
+    if trace.is_some() {
+        ebda_obs::telemetry::set_enabled(true);
+    }
+    let vcs: Vec<u8> = args
+        .first()
         .map(|s| {
             s.split(',')
                 .map(|t| t.trim().parse().expect("VC counts are small integers"))
@@ -85,4 +94,7 @@ fn main() {
          (Section 5.3's knob, ranked)",
         rows.len()
     );
+    if let Some(path) = &trace {
+        write_telemetry(path);
+    }
 }

@@ -7,6 +7,7 @@
 //! table (with the paper's quoted values for comparison), and (c) a wall-
 //! clock comparison of brute force vs EbDa construction.
 
+use ebda_bench::trace::{trace_path, write_telemetry};
 use ebda_cdg::turn_model::{
     abstract_cycle_count, combination_count, deadlock_free_combinations,
     deadlock_free_combinations_2d, unique_up_to_symmetry,
@@ -16,6 +17,14 @@ use ebda_core::algorithm1::partition_network;
 use std::time::Instant;
 
 fn main() {
+    // `--trace-out <path>` / `EBDA_TRACE`: export the verification-path
+    // telemetry (spans over find_cycle/tarjan/builds, partition counters).
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = trace_path(&mut args);
+    if trace.is_some() {
+        ebda_obs::telemetry::set_enabled(true);
+    }
+
     // (a) The exhaustive 2D check.
     let t0 = Instant::now();
     let free = deadlock_free_combinations_2d(6);
@@ -127,4 +136,8 @@ fn main() {
              tests/certification.rs and EXPERIMENTS.md)"
     );
     assert_eq!(certified2, 12);
+
+    if let Some(path) = &trace {
+        write_telemetry(path);
+    }
 }

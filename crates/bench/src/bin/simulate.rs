@@ -7,10 +7,16 @@
 //! * **E2 — packet distribution**: channel-load balance (coefficient of
 //!   variation) and latency of EbDa's escape-free fully adaptive design vs
 //!   the Duato adaptive+escape baseline, in both buffer-policy modes.
+//!
+//! Tracing: `--trace-out <path>` (or `EBDA_TRACE`) attaches a flight
+//! recorder to a representative run and writes the trace on exit;
+//! `--quick` skips the full E1/E2 experiments and runs only that traced
+//! run with a short horizon (for smoke tests and trace round-trips).
 
+use ebda_bench::trace::{recorder_for, trace_path, write_trace};
 use ebda_routing::classic::{DimensionOrder, DuatoFullyAdaptive};
 use ebda_routing::{RoutingRelation, Topology, TurnRouting};
-use noc_sim::{simulate, BufferPolicy, SimConfig, TrafficPattern};
+use noc_sim::{simulate, simulate_traced, BufferPolicy, SimConfig, TrafficPattern};
 
 fn cfg(rate: f64, traffic: TrafficPattern) -> SimConfig {
     SimConfig {
@@ -25,6 +31,38 @@ fn cfg(rate: f64, traffic: TrafficPattern) -> SimConfig {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = trace_path(&mut args);
+    let quick = args.iter().any(|a| a == "--quick");
+    if !quick {
+        run_experiments();
+    }
+    if let Some(path) = &trace {
+        let topo = Topology::mesh(&[8, 8]);
+        let dyxy = TurnRouting::from_design("dyxy", &ebda_core::catalog::fig7b_dyxy()).unwrap();
+        let mut c = cfg(0.05, TrafficPattern::Uniform);
+        if quick {
+            c.warmup = 50;
+            c.measurement = 200;
+            c.drain = 300;
+            c.deadlock_threshold = 200;
+        }
+        let mut rec = recorder_for(trace.as_ref()).expect("trace requested");
+        let r = simulate_traced(&topo, &dyxy, &c, Some(&mut rec));
+        println!(
+            "\ntraced run (ebda-dyxy, uniform, rate {}): {r}\n\
+             {} events recorded ({} retained, {} evicted), {} samples",
+            c.injection_rate,
+            rec.total_events(),
+            rec.retained(),
+            rec.evicted(),
+            rec.samples().len()
+        );
+        write_trace(&rec, path);
+    }
+}
+
+fn run_experiments() {
     let topo = Topology::mesh(&[8, 8]);
     let designs: Vec<(&str, Box<dyn RoutingRelation>)> = vec![
         ("xy", Box::new(DimensionOrder::xy())),
@@ -94,6 +132,9 @@ fn main() {
     ] {
         let mut c = cfg(0.30, TrafficPattern::Uniform);
         c.buffer_policy = policy;
+        // A traffic stream under which the multi-packet run exhibits the
+        // deadlock (single-packet survives the same stream).
+        c.seed = 1;
         let r = simulate(&topo, &duato, &c);
         println!(
             "  {:<30} {}",

@@ -4,21 +4,30 @@
 //!
 //! Usage: `cargo run --release -p ebda-bench --bin sweep [out.csv]`
 //! (defaults to stdout). Columns:
-//! `design,traffic,rate,policy,avg_latency,p99_latency,throughput,balance_cv,outcome`
+//! `design,traffic,rate,policy,avg_latency,p50_latency,p99_latency,throughput,balance_cv,outcome`
 
+//! `--trace-out <path>` (or `EBDA_TRACE`) additionally writes the
+//! telemetry snapshot (spans + counters across all runs) as JSON.
+
+use ebda_bench::trace::{trace_path, write_telemetry};
 use ebda_routing::classic::{DimensionOrder, DuatoFullyAdaptive};
 use ebda_routing::{RoutingRelation, Topology, TurnRouting};
 use noc_sim::{simulate, BufferPolicy, SimConfig, TrafficPattern};
 use std::io::Write;
 
 fn main() {
-    let mut out: Box<dyn Write> = match std::env::args().nth(1) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = trace_path(&mut args);
+    if trace.is_some() {
+        ebda_obs::telemetry::set_enabled(true);
+    }
+    let mut out: Box<dyn Write> = match args.first() {
         Some(path) => Box::new(std::fs::File::create(path).expect("create output file")),
         None => Box::new(std::io::stdout().lock()),
     };
     writeln!(
         out,
-        "design,traffic,rate,policy,avg_latency,p99_latency,throughput,balance_cv,outcome"
+        "design,traffic,rate,policy,avg_latency,p50_latency,p99_latency,throughput,balance_cv,outcome"
     )
     .expect("write header");
 
@@ -75,8 +84,9 @@ fn main() {
                     };
                     writeln!(
                         out,
-                        "{name},{tname},{rate},{pname},{:.2},{},{:.4},{:.3},{outcome}",
+                        "{name},{tname},{rate},{pname},{:.2},{},{},{:.4},{:.3},{outcome}",
                         r.avg_latency,
+                        r.latency_percentile(50.0).unwrap_or(0),
                         r.latency_percentile(99.0).unwrap_or(0),
                         r.throughput,
                         r.channel_balance_cv().unwrap_or(f64::NAN),
@@ -85,5 +95,8 @@ fn main() {
                 }
             }
         }
+    }
+    if let Some(path) = &trace {
+        write_telemetry(path);
     }
 }

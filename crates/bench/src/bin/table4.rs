@@ -45,14 +45,11 @@ fn main() {
         row(&pb_u, None)
     );
     println!(
-        "{:<16} | {:<34} | {}",
+        "{:<16} | {:<34} | {} {}",
         "transition",
         row(&tr, Some(TurnKind::Ninety)),
-        format!(
-            "{} {}",
-            row(&tr, Some(TurnKind::UTurn)),
-            row(&tr, Some(TurnKind::ITurn))
-        )
+        row(&tr, Some(TurnKind::UTurn)),
+        row(&tr, Some(TurnKind::ITurn))
     );
     println!("{:-<78}", "");
 

@@ -1,0 +1,116 @@
+//! A minimal wall-clock timing harness for the `benches/` targets: warms
+//! up, auto-scales the iteration count to a per-case time budget, and
+//! reports mean and best-batch nanoseconds per iteration.
+//!
+//! This intentionally trades statistical machinery for zero dependencies;
+//! treat the numbers as order-of-magnitude costs, not microbenchmark
+//! truth. `EBDA_BENCH_BUDGET_MS` overrides the per-case budget.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One timed case.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Case label (`group/name` by convention).
+    pub name: String,
+    /// Total timed iterations.
+    pub iters: u64,
+    /// Mean nanoseconds per iteration across all batches.
+    pub mean_ns: f64,
+    /// Mean nanoseconds per iteration of the fastest batch — the usual
+    /// "minimum sustainable cost" estimate.
+    pub best_ns: f64,
+}
+
+impl Measurement {
+    /// Renders `123.4 us/iter` style, choosing a readable unit.
+    pub fn human(ns: f64) -> String {
+        if ns >= 1e9 {
+            format!("{:.2} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.2} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.2} us", ns / 1e3)
+        } else {
+            format!("{ns:.0} ns")
+        }
+    }
+
+    /// Prints one aligned result line.
+    pub fn print(&self) {
+        println!(
+            "{:<44} {:>12}/iter (best {:>12}, {} iters)",
+            self.name,
+            Self::human(self.mean_ns),
+            Self::human(self.best_ns),
+            self.iters
+        );
+    }
+}
+
+fn budget() -> Duration {
+    let ms = std::env::var("EBDA_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Times `f`, printing and returning the measurement.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Measurement {
+    // One untimed call warms caches and estimates the per-iteration cost.
+    let t0 = Instant::now();
+    black_box(f());
+    let est = t0.elapsed().max(Duration::from_nanos(100));
+    let budget = budget();
+    let total_iters = (budget.as_nanos() / est.as_nanos()).clamp(4, 100_000) as u64;
+    // Split into batches so a best-batch figure filters scheduler noise.
+    let batches = 4u64;
+    let batch = (total_iters / batches).max(1);
+    let mut total_ns = 0u128;
+    let mut iters = 0u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..batches {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        let ns = t.elapsed().as_nanos();
+        total_ns += ns;
+        iters += batch;
+        best = best.min(ns as f64 / batch as f64);
+    }
+    let m = Measurement {
+        name: name.to_string(),
+        iters,
+        mean_ns: total_ns as f64 / iters as f64,
+        best_ns: best,
+    };
+    m.print();
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let m = bench("harness/self-test", || {
+            (0..100u64).map(black_box).sum::<u64>()
+        });
+        assert!(m.mean_ns > 0.0);
+        assert!(m.best_ns > 0.0);
+        assert!(m.best_ns <= m.mean_ns * 1.001);
+        assert!(m.iters >= 4);
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(Measurement::human(50.0), "50 ns");
+        assert_eq!(Measurement::human(2_500.0), "2.50 us");
+        assert_eq!(Measurement::human(3_200_000.0), "3.20 ms");
+        assert_eq!(Measurement::human(1.5e9), "1.50 s");
+    }
+}

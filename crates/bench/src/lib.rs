@@ -1,12 +1,17 @@
 //! # ebda-bench — experiment harness for the EbDa reproduction
 //!
 //! One binary per paper table/figure regenerates the published artefact
-//! (see `src/bin/`); the Criterion benches measure construction,
-//! verification and simulation costs. EXPERIMENTS.md in the repository
-//! root records paper-vs-measured for each.
+//! (see `src/bin/`); the `benches/` targets measure construction,
+//! verification and simulation costs with the zero-dependency harness in
+//! [`harness`]. EXPERIMENTS.md in the repository root records
+//! paper-vs-measured for each. Simulation binaries share the
+//! `--trace-out` flight-recorder wiring in [`trace`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
+pub mod trace;
 
 use ebda_core::extract::{Extraction, Justification};
 use ebda_core::{PartitionSeq, TurnKind};

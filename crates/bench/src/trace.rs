@@ -1,0 +1,129 @@
+//! Shared `--trace-out` / `EBDA_TRACE` wiring for the experiment binaries.
+//!
+//! Every simulation binary accepts `--trace-out <path>` (or the
+//! `EBDA_TRACE` environment variable as a fallback) and, when set, runs
+//! with a flight recorder attached and writes the trace there on exit:
+//! `.csv` paths get the event log as CSV plus a `<stem>.samples.csv`
+//! sibling with the time series; any other extension gets the full JSON
+//! document (events + samples + totals + telemetry spans/counters).
+
+use ebda_obs::{Recorder, RecorderConfig};
+use std::path::{Path, PathBuf};
+
+/// Extracts `--trace-out <path>` from `args` (removing both tokens), or
+/// falls back to the `EBDA_TRACE` environment variable.
+///
+/// # Panics
+///
+/// Panics when `--trace-out` is given without a value.
+pub fn trace_path(args: &mut Vec<String>) -> Option<PathBuf> {
+    if let Some(i) = args.iter().position(|a| a == "--trace-out") {
+        assert!(i + 1 < args.len(), "--trace-out needs a path argument");
+        let path = args.remove(i + 1);
+        args.remove(i);
+        return Some(PathBuf::from(path));
+    }
+    std::env::var_os("EBDA_TRACE").map(PathBuf::from)
+}
+
+/// A recorder to attach when tracing was requested: `Some` iff `path` is.
+pub fn recorder_for(path: Option<&PathBuf>) -> Option<Recorder> {
+    path.map(|_| {
+        ebda_obs::telemetry::set_enabled(true);
+        Recorder::new(RecorderConfig::default())
+    })
+}
+
+/// Writes the recorded trace to `path` in the format its extension picks.
+///
+/// # Panics
+///
+/// Panics when the file cannot be written — traces are explicitly
+/// requested, so losing one silently would be worse.
+pub fn write_trace(rec: &Recorder, path: &Path) {
+    let is_csv = path
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("csv"));
+    if is_csv {
+        std::fs::write(path, rec.events_csv())
+            .unwrap_or_else(|e| panic!("write trace {}: {e}", path.display()));
+        let samples = path.with_extension("samples.csv");
+        std::fs::write(&samples, rec.samples_csv())
+            .unwrap_or_else(|e| panic!("write trace {}: {e}", samples.display()));
+    } else {
+        // Splice the telemetry snapshot into the recorder document so one
+        // file carries events, samples and span/counter aggregates.
+        let doc = rec.write_json();
+        let body = doc
+            .trim_end()
+            .strip_suffix('}')
+            .expect("recorder JSON ends with an object brace")
+            .trim_end()
+            .to_string();
+        let merged = format!(
+            "{body},\n  \"telemetry\": {}\n}}\n",
+            ebda_obs::telemetry::snapshot().to_json()
+        );
+        std::fs::write(path, merged)
+            .unwrap_or_else(|e| panic!("write trace {}: {e}", path.display()));
+    }
+    eprintln!("trace written to {}", path.display());
+}
+
+/// Writes only the telemetry snapshot (spans + counters) as JSON — the
+/// export used by binaries that run many simulations and where a single
+/// per-run event log would be meaningless.
+///
+/// # Panics
+///
+/// Panics when the file cannot be written.
+pub fn write_telemetry(path: &Path) {
+    std::fs::write(path, ebda_obs::telemetry::snapshot().to_json())
+        .unwrap_or_else(|e| panic!("write telemetry {}: {e}", path.display()));
+    eprintln!("telemetry written to {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebda_obs::json::Value;
+    use ebda_obs::Event;
+
+    #[test]
+    fn trace_out_flag_is_extracted() {
+        let mut args = vec![
+            "positional".to_string(),
+            "--trace-out".to_string(),
+            "/tmp/t.json".to_string(),
+            "tail".to_string(),
+        ];
+        let path = trace_path(&mut args);
+        assert_eq!(path, Some(PathBuf::from("/tmp/t.json")));
+        assert_eq!(args, vec!["positional".to_string(), "tail".to_string()]);
+    }
+
+    #[test]
+    fn recorder_only_when_requested() {
+        assert!(recorder_for(None).is_none());
+        assert!(recorder_for(Some(&PathBuf::from("x.json"))).is_some());
+    }
+
+    #[test]
+    fn json_trace_roundtrips_with_telemetry() {
+        let mut rec = Recorder::with_defaults();
+        rec.record(Event::Inject {
+            cycle: 1,
+            pid: 0,
+            src: 0,
+            dst: 5,
+            len: 4,
+        });
+        let dir = std::env::temp_dir();
+        let path = dir.join("ebda-trace-test.json");
+        write_trace(&rec, &path);
+        let doc = Value::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(doc.get("events").unwrap().as_arr().unwrap().len() == 1);
+        assert!(doc.get("telemetry").is_some());
+        std::fs::remove_file(&path).ok();
+    }
+}

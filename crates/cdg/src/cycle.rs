@@ -21,6 +21,10 @@ pub fn find_cycle(edges: &[Vec<u32>]) -> Option<Vec<u32>> {
         Gray,
         Black,
     }
+    let _span = ebda_obs::span("cdg.cycle.find_cycle");
+    // Edge visits are accumulated locally and flushed once: one telemetry
+    // call per search, not per edge, keeps the hot loop clean.
+    let mut edges_visited = 0u64;
     let n = edges.len();
     let mut color = vec![Color::White; n];
     let mut parent = vec![u32::MAX; n];
@@ -37,6 +41,7 @@ pub fn find_cycle(edges: &[Vec<u32>]) -> Option<Vec<u32>> {
             if *next < succs.len() {
                 let s = succs[*next];
                 *next += 1;
+                edges_visited += 1;
                 match color[s as usize] {
                     Color::White => {
                         parent[s as usize] = node;
@@ -52,6 +57,8 @@ pub fn find_cycle(edges: &[Vec<u32>]) -> Option<Vec<u32>> {
                             cycle.push(cur);
                         }
                         cycle.reverse();
+                        ebda_obs::counter_add("cdg.cycle.edges_visited", edges_visited);
+                        ebda_obs::counter_add("cdg.cycle.cycles_found", 1);
                         return Some(cycle);
                     }
                     Color::Black => {}
@@ -62,12 +69,14 @@ pub fn find_cycle(edges: &[Vec<u32>]) -> Option<Vec<u32>> {
             }
         }
     }
+    ebda_obs::counter_add("cdg.cycle.edges_visited", edges_visited);
     None
 }
 
 /// Tarjan's strongly connected components (iterative), in reverse
 /// topological order. Singleton components without self-loops are included.
 pub fn tarjan_scc(edges: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    let _span = ebda_obs::span("cdg.cycle.tarjan_scc");
     let n = edges.len();
     let mut index = vec![u32::MAX; n];
     let mut low = vec![0u32; n];
@@ -124,6 +133,12 @@ pub fn tarjan_scc(edges: &[Vec<u32>]) -> Vec<Vec<u32>> {
             }
         }
     }
+    ebda_obs::counter_add("cdg.cycle.scc_runs", 1);
+    ebda_obs::counter_add("cdg.cycle.scc_count", sccs.len() as u64);
+    ebda_obs::counter_max(
+        "cdg.cycle.scc_max_size",
+        sccs.iter().map(Vec::len).max().unwrap_or(0) as u64,
+    );
     sccs
 }
 

@@ -131,6 +131,7 @@ impl Cdg {
     where
         F: Fn(usize, usize) -> bool,
     {
+        let _span = ebda_obs::span("cdg.graph.build");
         // Group channel indices by their source node for adjacency lookup.
         let mut outgoing: HashMap<NodeId, Vec<usize>> = HashMap::new();
         for (i, c) in channels.iter().enumerate() {
@@ -148,6 +149,9 @@ impl Cdg {
             }
         }
         let _ = topo;
+        ebda_obs::counter_add("cdg.graph.builds", 1);
+        ebda_obs::counter_add("cdg.graph.nodes", channels.len() as u64);
+        ebda_obs::counter_add("cdg.graph.edges", edge_count as u64);
         Cdg {
             channels,
             edges,

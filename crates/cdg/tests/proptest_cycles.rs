@@ -1,70 +1,86 @@
-//! Property-based tests of the cycle-detection substrate and the CDG
+//! Randomized tests of the cycle-detection substrate and the CDG
 //! construction.
+//!
+//! Driven by a seeded [`Rng64`] instead of a property-testing framework
+//! so the suite is fully deterministic and dependency-free; every assert
+//! message carries the case index for replay.
 
 use ebda_cdg::cycle::{cyclic_components, find_cycle, tarjan_scc};
 use ebda_cdg::{Cdg, Topology};
-use proptest::prelude::*;
+use ebda_obs::Rng64;
 
-/// A random directed graph as an adjacency list.
-fn arb_graph(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = Vec<Vec<u32>>> {
-    (1..max_nodes).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_edges).prop_map(move |edges| {
-            let mut g = vec![Vec::new(); n];
-            for (a, b) in edges {
-                if !g[a as usize].contains(&b) {
-                    g[a as usize].push(b);
-                }
-            }
-            g
-        })
-    })
-}
-
-proptest! {
-    /// find_cycle and Tarjan agree: a cycle exists iff some SCC is a knot.
-    #[test]
-    fn dfs_and_tarjan_agree(g in arb_graph(40, 120)) {
-        let has_cycle = find_cycle(&g).is_some();
-        let has_knot = !cyclic_components(&g).is_empty();
-        prop_assert_eq!(has_cycle, has_knot);
-    }
-
-    /// Any witness returned by find_cycle is a genuine closed walk.
-    #[test]
-    fn witness_is_a_real_cycle(g in arb_graph(40, 120)) {
-        if let Some(cycle) = find_cycle(&g) {
-            prop_assert!(!cycle.is_empty());
-            for w in cycle.windows(2) {
-                prop_assert!(g[w[0] as usize].contains(&w[1]));
-            }
-            let last = *cycle.last().unwrap();
-            prop_assert!(g[last as usize].contains(&cycle[0]));
+/// A random directed graph as an adjacency list with up to `max_nodes`
+/// nodes and `max_edges` edge draws (duplicates discarded).
+fn rand_graph(rng: &mut Rng64, max_nodes: usize, max_edges: usize) -> Vec<Vec<u32>> {
+    let n = 1 + rng.gen_index(max_nodes - 1);
+    let mut g = vec![Vec::new(); n];
+    for _ in 0..rng.gen_index(max_edges) {
+        let a = rng.gen_index(n);
+        let b = rng.gen_index(n) as u32;
+        if !g[a].contains(&b) {
+            g[a].push(b);
         }
     }
+    g
+}
 
-    /// Tarjan SCCs partition the node set.
-    #[test]
-    fn sccs_partition_nodes(g in arb_graph(40, 120)) {
+/// find_cycle and Tarjan agree: a cycle exists iff some SCC is a knot.
+#[test]
+fn dfs_and_tarjan_agree() {
+    let mut rng = Rng64::new(0xCD61);
+    for case in 0..128 {
+        let g = rand_graph(&mut rng, 40, 120);
+        let has_cycle = find_cycle(&g).is_some();
+        let has_knot = !cyclic_components(&g).is_empty();
+        assert_eq!(has_cycle, has_knot, "case {case}");
+    }
+}
+
+/// Any witness returned by find_cycle is a genuine closed walk.
+#[test]
+fn witness_is_a_real_cycle() {
+    let mut rng = Rng64::new(0xCD62);
+    for case in 0..128 {
+        let g = rand_graph(&mut rng, 40, 120);
+        if let Some(cycle) = find_cycle(&g) {
+            assert!(!cycle.is_empty(), "case {case}");
+            for w in cycle.windows(2) {
+                assert!(g[w[0] as usize].contains(&w[1]), "case {case}");
+            }
+            let last = *cycle.last().unwrap();
+            assert!(g[last as usize].contains(&cycle[0]), "case {case}");
+        }
+    }
+}
+
+/// Tarjan SCCs partition the node set.
+#[test]
+fn sccs_partition_nodes() {
+    let mut rng = Rng64::new(0xCD63);
+    for case in 0..128 {
+        let g = rand_graph(&mut rng, 40, 120);
         let sccs = tarjan_scc(&g);
         let mut seen = vec![false; g.len()];
         for comp in &sccs {
             for &v in comp {
-                prop_assert!(!seen[v as usize], "node in two SCCs");
+                assert!(!seen[v as usize], "case {case}: node in two SCCs");
                 seen[v as usize] = true;
             }
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s), "case {case}");
     }
+}
 
-    /// Edges respecting a random topological order never form a cycle.
-    #[test]
-    fn dag_by_construction_is_acyclic(
-        n in 2usize..40,
-        edges in proptest::collection::vec((0usize..40, 0usize..40), 0..100)
-    ) {
+/// Edges respecting a random topological order never form a cycle.
+#[test]
+fn dag_by_construction_is_acyclic() {
+    let mut rng = Rng64::new(0xCD64);
+    for case in 0..128 {
+        let n = 2 + rng.gen_index(38);
         let mut g = vec![Vec::new(); n];
-        for (a, b) in edges {
-            let (a, b) = (a % n, b % n);
+        for _ in 0..rng.gen_index(100) {
+            let a = rng.gen_index(n);
+            let b = rng.gen_index(n);
             if a < b {
                 // Forward edges only: a DAG by construction.
                 let e = b as u32;
@@ -73,16 +89,21 @@ proptest! {
                 }
             }
         }
-        prop_assert!(find_cycle(&g).is_none());
-        prop_assert!(cyclic_components(&g).is_empty());
+        assert!(find_cycle(&g).is_none(), "case {case}");
+        assert!(cyclic_components(&g).is_empty(), "case {case}");
     }
+}
 
-    /// CDG channel enumeration: node count equals links x VCs, and every
-    /// channel's endpoints are adjacent in the topology.
-    #[test]
-    fn cdg_channel_enumeration_is_consistent(
-        rx in 2usize..5, ry in 2usize..5, vx in 1u8..3, vy in 1u8..3
-    ) {
+/// CDG channel enumeration: node count equals links x VCs, and every
+/// channel's endpoints are adjacent in the topology.
+#[test]
+fn cdg_channel_enumeration_is_consistent() {
+    let mut rng = Rng64::new(0xCD65);
+    for case in 0..48 {
+        let rx = 2 + rng.gen_index(3);
+        let ry = 2 + rng.gen_index(3);
+        let vx = 1 + rng.gen_index(2) as u8;
+        let vy = 1 + rng.gen_index(2) as u8;
         let topo = Topology::mesh(&[rx, ry]);
         let chans = Cdg::channels_of(&topo, &[vx, vy]);
         let expected: usize = topo
@@ -93,9 +114,13 @@ proptest! {
                 _ => vy as usize,
             })
             .sum();
-        prop_assert_eq!(chans.len(), expected);
+        assert_eq!(chans.len(), expected, "case {case} ({rx}x{ry})");
         for c in chans {
-            prop_assert_eq!(topo.neighbor(c.from, c.dim, c.dir), Some(c.to));
+            assert_eq!(
+                topo.neighbor(c.from, c.dim, c.dir),
+                Some(c.to),
+                "case {case}"
+            );
         }
     }
 }

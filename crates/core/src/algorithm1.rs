@@ -47,9 +47,12 @@ use crate::sets::SetArrangement;
 /// happen for well-formed inputs — each partition takes at most one pair —
 /// but malformed custom sets are reported rather than silently accepted).
 pub fn partition_sets(mut sets: SetArrangement) -> Result<PartitionSeq> {
+    let _span = ebda_obs::span("core.algorithm1.partition_sets");
+    let mut rounds = 0u64;
     let mut partitions: Vec<Partition> = Vec::new();
     reorder(&mut sets);
     while sets.iter().any(|s| !s.is_empty()) {
+        rounds += 1;
         let mut p = Partition::new();
         let mut pair_taken = false;
         for set in sets.iter_mut() {
@@ -73,7 +76,14 @@ pub fn partition_sets(mut sets: SetArrangement) -> Result<PartitionSeq> {
         partitions.push(p);
         reorder(&mut sets);
     }
+    let before_merge = partitions.len();
     let merged = merge_matching(partitions);
+    ebda_obs::counter_add("core.algorithm1.rounds", rounds);
+    ebda_obs::counter_add("core.algorithm1.partitions_created", before_merge as u64);
+    ebda_obs::counter_add(
+        "core.algorithm1.partitions_merged",
+        (before_merge - merged.len()) as u64,
+    );
     PartitionSeq::try_from_partitions(merged)
 }
 

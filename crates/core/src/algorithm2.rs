@@ -35,6 +35,9 @@ use std::collections::BTreeSet;
 ///
 /// Propagates Algorithm 1 errors for any shift combination.
 pub fn derive_all(sets: SetArrangement) -> Result<Vec<PartitionSeq>> {
+    let _span = ebda_obs::span("core.algorithm2.derive_all");
+    let mut combinations = 0u64;
+    let mut duplicates = 0u64;
     let mut shift_counts: Vec<usize> = Vec::with_capacity(sets.len());
     for (i, s) in sets.iter().enumerate() {
         if i == 0 {
@@ -60,13 +63,19 @@ pub fn derive_all(sets: SetArrangement) -> Result<Vec<PartitionSeq>> {
             }
         }
         let seq = crate::algorithm1::partition_sets(current)?;
+        combinations += 1;
         if seen.insert(seq.canonical_string()) {
             out.push(seq);
+        } else {
+            duplicates += 1;
         }
         // Odometer increment over the shift space.
         let mut k = 0;
         loop {
             if k == shifts.len() {
+                ebda_obs::counter_add("core.algorithm2.shift_combinations", combinations);
+                ebda_obs::counter_add("core.algorithm2.duplicates_pruned", duplicates);
+                ebda_obs::counter_add("core.algorithm2.options_derived", out.len() as u64);
                 return Ok(out);
             }
             shifts[k] += 1;
@@ -105,6 +114,7 @@ pub fn transition_reorderings(seq: &PartitionSeq) -> Vec<PartitionSeq> {
 /// assert_eq!(enumerate_partitionings(&chs, 4).len(), 24);
 /// ```
 pub fn enumerate_partitionings(channels: &[Channel], k: usize) -> Vec<PartitionSeq> {
+    let _span = ebda_obs::span("core.algorithm2.enumerate_partitionings");
     let mut out = Vec::new();
     if k == 0 || k > channels.len() {
         return out;
@@ -112,8 +122,19 @@ pub fn enumerate_partitionings(channels: &[Channel], k: usize) -> Vec<PartitionS
     // Assign each channel to one of k blocks; keep assignments where every
     // block is non-empty, then order blocks in every permutation.
     let mut assignment = vec![0usize; channels.len()];
-    assign(channels, k, 0, &mut assignment, &mut out);
+    let mut stats = AssignStats::default();
+    assign(channels, k, 0, &mut assignment, &mut out, &mut stats);
+    ebda_obs::counter_add("core.algorithm2.assignments_explored", stats.explored);
+    ebda_obs::counter_add("core.algorithm2.assignments_pruned", stats.pruned);
     out
+}
+
+/// Exploration/prune counts accumulated across the [`assign`] recursion
+/// and flushed to telemetry once per enumeration.
+#[derive(Default)]
+struct AssignStats {
+    explored: u64,
+    pruned: u64,
 }
 
 fn assign(
@@ -122,14 +143,17 @@ fn assign(
     idx: usize,
     assignment: &mut Vec<usize>,
     out: &mut Vec<PartitionSeq>,
+    stats: &mut AssignStats,
 ) {
     if idx == channels.len() {
+        stats.explored += 1;
         // Build blocks.
         let mut blocks: Vec<Vec<Channel>> = vec![Vec::new(); k];
         for (i, &b) in assignment.iter().enumerate() {
             blocks[b].push(channels[i]);
         }
         if blocks.iter().any(Vec::is_empty) {
+            stats.pruned += 1;
             return;
         }
         // Canonical set-partition: require blocks in first-appearance order
@@ -141,6 +165,7 @@ fn assign(
             }
         }
         if first_seen != (0..k).collect::<Vec<_>>() {
+            stats.pruned += 1;
             return;
         }
         // …then emit every ordering of the blocks explicitly.
@@ -148,8 +173,12 @@ fn assign(
             .iter()
             .map(|b| Partition::from_channels(b.iter().copied()).ok())
             .collect();
-        let Some(parts) = parts else { return };
+        let Some(parts) = parts else {
+            stats.pruned += 1;
+            return;
+        };
         if parts.iter().any(|p| !p.theorem1_holds()) {
+            stats.pruned += 1;
             return;
         }
         for perm in permutations(k) {
@@ -163,7 +192,7 @@ fn assign(
     }
     for b in 0..k {
         assignment[idx] = b;
-        assign(channels, k, idx + 1, assignment, out);
+        assign(channels, k, idx + 1, assignment, out, stats);
     }
 }
 

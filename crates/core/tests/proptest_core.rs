@@ -1,42 +1,56 @@
-//! Property-based tests of the core channel algebra, partitions, turn sets
+//! Randomized tests of the core channel algebra, partitions, turn sets
 //! and the extraction invariants.
+//!
+//! Driven by a seeded [`Rng64`] instead of a property-testing framework
+//! so the suite is fully deterministic and dependency-free; every assert
+//! message carries the case index for replay.
 
 use ebda_core::{
     extract_turns, Channel, ChannelClass, Dimension, Direction, Parity, Partition, PartitionSeq,
     Turn, TurnKind, TurnSet,
 };
-use proptest::prelude::*;
+use ebda_obs::Rng64;
 
-fn arb_direction() -> impl Strategy<Value = Direction> {
-    prop_oneof![Just(Direction::Plus), Just(Direction::Minus)]
+fn rand_direction(rng: &mut Rng64) -> Direction {
+    if rng.gen_bool(0.5) {
+        Direction::Plus
+    } else {
+        Direction::Minus
+    }
 }
 
-fn arb_class() -> impl Strategy<Value = ChannelClass> {
-    prop_oneof![
-        3 => Just(ChannelClass::All),
-        1 => (0u8..3, prop_oneof![Just(Parity::Even), Just(Parity::Odd)]).prop_map(
-            |(axis, parity)| ChannelClass::AtParity {
-                axis: Dimension::new(axis),
-                parity,
-            }
-        ),
-    ]
+fn rand_class(rng: &mut Rng64) -> ChannelClass {
+    // 3:1 weighting towards All, mirroring the old proptest strategy.
+    if rng.gen_index(4) < 3 {
+        ChannelClass::All
+    } else {
+        ChannelClass::AtParity {
+            axis: Dimension::new(rng.gen_index(3) as u8),
+            parity: if rng.gen_bool(0.5) {
+                Parity::Even
+            } else {
+                Parity::Odd
+            },
+        }
+    }
 }
 
-fn arb_channel() -> impl Strategy<Value = Channel> {
-    (0u8..4, arb_direction(), 1u8..5, arb_class()).prop_map(|(dim, dir, vc, class)| Channel {
-        dim: Dimension::new(dim),
-        dir,
-        vc,
-        class,
-    })
+fn rand_channel(rng: &mut Rng64) -> Channel {
+    Channel {
+        dim: Dimension::new(rng.gen_index(4) as u8),
+        dir: rand_direction(rng),
+        vc: 1 + rng.gen_index(4) as u8,
+        class: rand_class(rng),
+    }
 }
 
-proptest! {
-    /// Display -> parse is the identity for every representable channel
-    /// with the conventional parity axis.
-    #[test]
-    fn channel_display_parse_roundtrip(mut c in arb_channel()) {
+/// Display -> parse is the identity for every representable channel
+/// with the conventional parity axis.
+#[test]
+fn channel_display_parse_roundtrip() {
+    let mut rng = Rng64::new(0xC0E1);
+    for case in 0..256 {
+        let mut c = rand_channel(&mut rng);
         // The textual form can only carry the conventional parity axis.
         if let ChannelClass::AtParity { parity, .. } = c.class {
             c.class = ChannelClass::AtParity {
@@ -46,65 +60,96 @@ proptest! {
         }
         let printed = c.to_string();
         let parsed = Channel::parse(&printed).unwrap();
-        prop_assert_eq!(parsed, c, "failed for {}", printed);
+        assert_eq!(parsed, c, "case {case} failed for {printed}");
     }
+}
 
-    /// Channel overlap is reflexive and symmetric.
-    #[test]
-    fn overlap_is_reflexive_and_symmetric(a in arb_channel(), b in arb_channel()) {
-        prop_assert!(a.overlaps(a));
-        prop_assert_eq!(a.overlaps(b), b.overlaps(a));
+/// Channel overlap is reflexive and symmetric.
+#[test]
+fn overlap_is_reflexive_and_symmetric() {
+    let mut rng = Rng64::new(0xC0E2);
+    for case in 0..256 {
+        let a = rand_channel(&mut rng);
+        let b = rand_channel(&mut rng);
+        assert!(a.overlaps(a), "case {case}");
+        assert_eq!(a.overlaps(b), b.overlaps(a), "case {case}: {a} vs {b}");
     }
+}
 
-    /// A partition never stores overlapping channels, and its pair
-    /// inventory is consistent with its direction profile.
-    #[test]
-    fn partition_invariants(channels in proptest::collection::vec(arb_channel(), 0..8)) {
+/// A partition never stores overlapping channels, and its pair
+/// inventory is consistent with its direction profile.
+#[test]
+fn partition_invariants() {
+    let mut rng = Rng64::new(0xC0E3);
+    for case in 0..128 {
         let mut p = Partition::new();
-        for c in channels {
-            let _ = p.push(c); // overlapping pushes are rejected
+        for _ in 0..rng.gen_index(8) {
+            let _ = p.push(rand_channel(&mut rng)); // overlapping pushes are rejected
         }
         let chans = p.channels();
         for i in 0..chans.len() {
             for j in (i + 1)..chans.len() {
-                prop_assert!(!chans[i].overlaps(chans[j]));
+                assert!(!chans[i].overlaps(chans[j]), "case {case}");
             }
         }
         // Pair dims must actually have both directions present.
         for d in p.complete_pair_dims() {
-            prop_assert!(chans.iter().any(|c| c.dim == d && c.dir == Direction::Plus));
-            prop_assert!(chans.iter().any(|c| c.dim == d && c.dir == Direction::Minus));
+            assert!(
+                chans.iter().any(|c| c.dim == d && c.dir == Direction::Plus),
+                "case {case}"
+            );
+            assert!(
+                chans
+                    .iter()
+                    .any(|c| c.dim == d && c.dir == Direction::Minus),
+                "case {case}"
+            );
         }
     }
+}
 
-    /// TurnSet::counts always sums to len, and merge is monotone.
-    #[test]
-    fn turnset_counts_and_merge(
-        pairs in proptest::collection::vec((arb_channel(), arb_channel()), 0..20)
-    ) {
+/// TurnSet::counts always sums to len, and merge is monotone.
+#[test]
+fn turnset_counts_and_merge() {
+    let mut rng = Rng64::new(0xC0E4);
+    for case in 0..128 {
         let mut a = TurnSet::new();
         let mut b = TurnSet::new();
-        for (i, (x, y)) in pairs.into_iter().enumerate() {
-            if x == y { continue; }
-            if i % 2 == 0 { a.insert(Turn::new(x, y)); } else { b.insert(Turn::new(x, y)); }
+        for i in 0..rng.gen_index(20) {
+            let x = rand_channel(&mut rng);
+            let y = rand_channel(&mut rng);
+            if x == y {
+                continue;
+            }
+            if i % 2 == 0 {
+                a.insert(Turn::new(x, y));
+            } else {
+                b.insert(Turn::new(x, y));
+            }
         }
         let ca = a.counts();
-        prop_assert_eq!(ca.total(), a.len());
+        assert_eq!(ca.total(), a.len(), "case {case}");
         let before = b.len();
         let a_len = a.len();
         b.merge(a);
-        prop_assert!(b.len() <= before + a_len);
-        prop_assert!(b.len() >= before.max(a_len));
+        assert!(b.len() <= before + a_len, "case {case}");
+        assert!(b.len() >= before.max(a_len), "case {case}");
     }
+}
 
-    /// Extraction invariants on random valid two-partition 2D designs:
-    /// every justified turn appears exactly once, same-dimension turns
-    /// inside a paired dimension are never mutual (ascending order), and
-    /// no turn crosses partitions backwards.
-    #[test]
-    fn extraction_invariants(mask_a in 1u8..255, mask_b in 1u8..255) {
-        let universe: Vec<Channel> =
-            ebda_core::parse_channels("X1+ X1- X2+ X2- Y1+ Y1- Y2+ Y2-").unwrap();
+/// Extraction invariants on random valid two-partition 2D designs:
+/// every justified turn appears exactly once, same-dimension turns
+/// inside a paired dimension are never mutual (ascending order), and
+/// no turn crosses partitions backwards.
+#[test]
+fn extraction_invariants() {
+    let mut rng = Rng64::new(0xC0E5);
+    let universe: Vec<Channel> =
+        ebda_core::parse_channels("X1+ X1- X2+ X2- Y1+ Y1- Y2+ Y2-").unwrap();
+    let mut checked = 0;
+    for case in 0..512 {
+        let mask_a = 1 + rng.gen_index(254) as u8;
+        let mask_b = 1 + rng.gen_index(254) as u8;
         let pick = |mask: u8| -> Vec<Channel> {
             universe
                 .iter()
@@ -116,27 +161,32 @@ proptest! {
         let a = pick(mask_a & !mask_b);
         let b = pick(mask_b & !mask_a);
         if a.is_empty() || b.is_empty() {
-            return Ok(());
+            continue;
         }
         let (Ok(pa), Ok(pb)) = (Partition::from_channels(a), Partition::from_channels(b)) else {
-            return Ok(());
+            continue;
         };
         let seq = PartitionSeq::from_partitions(vec![pa.clone(), pb.clone()]);
         if seq.validate().is_err() {
-            return Ok(());
+            continue;
         }
+        checked += 1;
         let ex = extract_turns(&seq).unwrap();
         // Uniqueness of justification.
-        prop_assert_eq!(ex.justified_turns().len(), ex.turn_set().len());
+        assert_eq!(
+            ex.justified_turns().len(),
+            ex.turn_set().len(),
+            "case {case}"
+        );
         // Ascending order within paired dimensions of one partition.
         for (p, part) in [(0usize, &pa), (1, &pb)] {
             let paired = part.complete_pair_dims();
             let th2 = ex.turns_for(ebda_core::Justification::Theorem2 { partition: p });
             for t in th2.iter() {
                 if paired.contains(&t.from.dim) {
-                    prop_assert!(
+                    assert!(
                         !th2.contains(t.reversed()),
-                        "mutual U/I-turns in a paired dimension"
+                        "case {case}: mutual U/I-turns in a paired dimension"
                     );
                 }
             }
@@ -145,40 +195,66 @@ proptest! {
         for t in ex.turn_set().iter() {
             let from_b = pb.contains(t.from);
             let to_a = pa.contains(t.to);
-            prop_assert!(!(from_b && to_a), "turn {} goes backwards", t);
+            assert!(!(from_b && to_a), "case {case}: turn {t} goes backwards");
         }
     }
+    assert!(checked > 20, "only {checked} valid designs drawn");
+}
 
-    /// Sequence display/parse roundtrip.
-    #[test]
-    fn sequence_roundtrip(mask_a in 1u8..15, mask_b in 1u8..15) {
-        let universe: Vec<Channel> = ebda_core::parse_channels("X1+ X1- Y1+ Y1-").unwrap();
-        let a: Vec<Channel> = universe.iter().enumerate()
-            .filter(|(i, _)| mask_a & (1 << i) != 0).map(|(_, &c)| c).collect();
-        let b: Vec<Channel> = universe.iter().enumerate()
-            .filter(|(i, _)| mask_b & !mask_a & (1 << i) != 0).map(|(_, &c)| c).collect();
-        if a.is_empty() || b.is_empty() { return Ok(()); }
+/// Sequence display/parse roundtrip.
+#[test]
+fn sequence_roundtrip() {
+    let mut rng = Rng64::new(0xC0E6);
+    let universe: Vec<Channel> = ebda_core::parse_channels("X1+ X1- Y1+ Y1-").unwrap();
+    let mut checked = 0;
+    for case in 0..256 {
+        let mask_a = 1 + rng.gen_index(14) as u8;
+        let mask_b = 1 + rng.gen_index(14) as u8;
+        let a: Vec<Channel> = universe
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask_a & (1 << i) != 0)
+            .map(|(_, &c)| c)
+            .collect();
+        let b: Vec<Channel> = universe
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask_b & !mask_a & (1 << i) != 0)
+            .map(|(_, &c)| c)
+            .collect();
+        if a.is_empty() || b.is_empty() {
+            continue;
+        }
+        checked += 1;
         let seq = PartitionSeq::from_partitions(vec![
             Partition::from_channels(a).unwrap(),
             Partition::from_channels(b).unwrap(),
         ]);
         let printed = seq.to_string().replace(['[', ']'], " ");
         let reparsed = PartitionSeq::parse(&printed.replace(" -> ", "|")).unwrap();
-        prop_assert_eq!(reparsed, seq);
+        assert_eq!(reparsed, seq, "case {case}");
     }
+    assert!(checked > 20, "only {checked} sequences drawn");
+}
 
-    /// Turn kinds partition all turns: exactly one kind per turn, and
-    /// reversal preserves U-turn-ness and I-turn-ness.
-    #[test]
-    fn turn_kind_laws(a in arb_channel(), b in arb_channel()) {
-        prop_assume!(a != b);
+/// Turn kinds partition all turns: exactly one kind per turn, and
+/// reversal preserves U-turn-ness and I-turn-ness.
+#[test]
+fn turn_kind_laws() {
+    let mut rng = Rng64::new(0xC0E7);
+    for case in 0..256 {
+        let a = rand_channel(&mut rng);
+        let b = rand_channel(&mut rng);
+        if a == b {
+            continue;
+        }
         let t = Turn::new(a, b);
         let r = t.reversed();
         match t.kind() {
-            TurnKind::UTurn => prop_assert_eq!(r.kind(), TurnKind::UTurn),
-            TurnKind::ITurn => prop_assert_eq!(r.kind(), TurnKind::ITurn),
-            TurnKind::Ninety => prop_assert_eq!(r.kind(), TurnKind::Ninety),
+            TurnKind::UTurn => assert_eq!(r.kind(), TurnKind::UTurn, "case {case}"),
+            TurnKind::ITurn => assert_eq!(r.kind(), TurnKind::ITurn, "case {case}"),
+            TurnKind::Ninety => assert_eq!(r.kind(), TurnKind::Ninety, "case {case}"),
         }
-        prop_assert_eq!(r.reversed(), t);
+        assert_eq!(r.reversed(), t, "case {case}");
     }
 }

@@ -1,0 +1,40 @@
+//! # ebda-obs — flight-recorder telemetry for the EbDa reproduction
+//!
+//! A zero-dependency observability layer shared by every crate in the
+//! workspace:
+//!
+//! * [`Recorder`] — a bounded ring-buffer **event recorder** capturing the
+//!   micro-events of a simulation run (injection, VC allocation, switch
+//!   stalls, link traversals, ejection, drops, watchdog trips and the
+//!   structured wait-for edges of a diagnosed deadlock) plus **periodic
+//!   time-series samples** of channel occupancy, credit stalls and
+//!   in-flight packet counts.
+//! * [`telemetry`] — process-wide RAII timing **spans** and named
+//!   **counters** that instrument the verification hot paths (Algorithm
+//!   1/2 partitioning, CDG construction and cycle search) at negligible
+//!   cost when disabled.
+//! * [`json`] / [`csv`] — hand-rolled writers *and* parsers, so traces can
+//!   be exported and round-tripped without pulling in serde (the build
+//!   environment has no registry access).
+//! * [`rng::Rng64`] — a splitmix64 PRNG giving the workspace deterministic
+//!   randomness without the `rand` crate.
+//!
+//! Everything in this crate is deterministic: identical inputs produce
+//! byte-identical exports, which the test suites rely on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod event;
+pub mod json;
+pub mod recorder;
+pub mod ring;
+pub mod rng;
+pub mod telemetry;
+
+pub use event::{Event, EventKind};
+pub use recorder::{Recorder, RecorderConfig, Sample};
+pub use ring::RingBuffer;
+pub use rng::Rng64;
+pub use telemetry::{counter_add, counter_max, span, Span, SpanStat, TelemetrySnapshot};

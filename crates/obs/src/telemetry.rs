@@ -1,0 +1,228 @@
+//! Process-wide timing spans and named counters.
+//!
+//! Instrumented code calls [`span`] / [`counter_add`] unconditionally;
+//! when telemetry is disabled (the default) each call is a single
+//! relaxed atomic load and an immediate return, so hot paths like the
+//! CDG cycle search stay effectively free. Enabling telemetry (the
+//! `--trace-out` / `EBDA_TRACE` flags do this) turns the same calls
+//! into registry updates behind one mutex.
+//!
+//! Names follow `crate.module.thing`, e.g.
+//! `core.algorithm1.partitions_created` or `cdg.cycle.edges_visited`;
+//! docs/OBSERVABILITY.md lists the full vocabulary.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    maxima: BTreeMap<&'static str, u64>,
+    spans: BTreeMap<&'static str, SpanStat>,
+}
+
+/// Aggregate statistics of one named span.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Completed executions.
+    pub count: u64,
+    /// Total nanoseconds across executions.
+    pub total_ns: u64,
+    /// Longest single execution in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Globally enables or disables telemetry collection.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether telemetry collection is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Adds `delta` to the named counter (no-op when disabled).
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = registry().lock().expect("telemetry registry poisoned");
+    *reg.counters.entry(name).or_insert(0) += delta;
+}
+
+/// Raises the named high-water mark to `value` if larger (no-op when
+/// disabled).
+pub fn counter_max(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = registry().lock().expect("telemetry registry poisoned");
+    let slot = reg.maxima.entry(name).or_insert(0);
+    *slot = (*slot).max(value);
+}
+
+/// An RAII timing span: construction notes the start time, drop folds
+/// the elapsed nanoseconds into the named span's statistics.
+#[must_use = "a span measures the scope it lives in"]
+#[derive(Debug)]
+pub struct Span {
+    armed: Option<(&'static str, Instant)>,
+}
+
+/// Starts a timing span named `name`. When telemetry is disabled the
+/// span is disarmed and drop does nothing.
+pub fn span(name: &'static str) -> Span {
+    Span {
+        armed: enabled().then(|| (name, Instant::now())),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some((name, start)) = self.armed.take() else {
+            return;
+        };
+        let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let mut reg = registry().lock().expect("telemetry registry poisoned");
+        let stat = reg.spans.entry(name).or_default();
+        stat.count += 1;
+        stat.total_ns += ns;
+        stat.max_ns = stat.max_ns.max(ns);
+    }
+}
+
+/// A point-in-time copy of every counter, high-water mark and span.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySnapshot {
+    /// Monotonic counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// High-water marks, sorted by name.
+    pub maxima: Vec<(String, u64)>,
+    /// Span statistics, sorted by name.
+    pub spans: Vec<(String, SpanStat)>,
+}
+
+impl TelemetrySnapshot {
+    /// Serializes the snapshot as a JSON document.
+    pub fn to_json(&self) -> String {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("    {}: {v}", crate::json::escape(k)))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let maxima = self
+            .maxima
+            .iter()
+            .map(|(k, v)| format!("    {}: {v}", crate::json::escape(k)))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let spans = self
+            .spans
+            .iter()
+            .map(|(k, s)| {
+                format!(
+                    "    {}: {{\"count\": {}, \"total_ns\": {}, \"max_ns\": {}}}",
+                    crate::json::escape(k),
+                    s.count,
+                    s.total_ns,
+                    s.max_ns
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"counters\": {{\n{counters}\n  }},\n  \"maxima\": {{\n{maxima}\n  }},\n  \"spans\": {{\n{spans}\n  }}\n}}\n"
+        )
+    }
+}
+
+/// Copies the current telemetry state.
+pub fn snapshot() -> TelemetrySnapshot {
+    let reg = registry().lock().expect("telemetry registry poisoned");
+    TelemetrySnapshot {
+        counters: reg
+            .counters
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), v))
+            .collect(),
+        maxima: reg
+            .maxima
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), v))
+            .collect(),
+        spans: reg
+            .spans
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), v))
+            .collect(),
+    }
+}
+
+/// Clears all counters, maxima and spans (telemetry stays enabled or
+/// disabled as it was).
+pub fn reset() {
+    let mut reg = registry().lock().expect("telemetry registry poisoned");
+    *reg = Registry::default();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global, so exercise everything in one test
+    // to avoid cross-test interference under the parallel test runner.
+    #[test]
+    fn disabled_then_enabled_lifecycle() {
+        reset();
+        set_enabled(false);
+        counter_add("test.disabled", 5);
+        counter_max("test.disabled_max", 5);
+        {
+            let _s = span("test.disabled_span");
+        }
+        let snap = snapshot();
+        assert!(snap.counters.iter().all(|(k, _)| !k.starts_with("test.")));
+
+        set_enabled(true);
+        counter_add("test.counter", 2);
+        counter_add("test.counter", 3);
+        counter_max("test.max", 7);
+        counter_max("test.max", 4);
+        {
+            let _s = span("test.span");
+        }
+        let snap = snapshot();
+        set_enabled(false);
+        assert!(snap.counters.contains(&("test.counter".to_string(), 5)));
+        assert!(snap.maxima.contains(&("test.max".to_string(), 7)));
+        let (_, stat) = snap
+            .spans
+            .iter()
+            .find(|(k, _)| k == "test.span")
+            .expect("span recorded");
+        assert_eq!(stat.count, 1);
+        assert!(stat.total_ns >= stat.max_ns);
+
+        let doc = crate::json::Value::parse(&snap.to_json()).unwrap();
+        assert_eq!(
+            doc.get("counters")
+                .unwrap()
+                .get("test.counter")
+                .unwrap()
+                .as_u64(),
+            Some(5)
+        );
+        reset();
+    }
+}

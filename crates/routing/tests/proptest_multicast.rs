@@ -1,39 +1,49 @@
-//! Property-based tests of the dual-path Hamiltonian multicast: label
+//! Randomized tests of the dual-path Hamiltonian multicast: label
 //! monotonicity, full coverage and path validity over random meshes and
 //! destination sets.
+//!
+//! Driven by a seeded [`Rng64`] instead of a property-testing framework
+//! so the suite is fully deterministic and dependency-free; every assert
+//! message carries the case index for replay.
 
+use ebda_obs::Rng64;
 use ebda_routing::multicast::{hamiltonian_label, DualPathMulticast};
 use ebda_routing::Topology;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn labels_are_a_hamiltonian_permutation(w in 2usize..7, h in 2usize..7) {
+#[test]
+fn labels_are_a_hamiltonian_permutation() {
+    let mut rng = Rng64::new(0xACA1);
+    for case in 0..64 {
+        let w = 2 + rng.gen_index(5);
+        let h = 2 + rng.gen_index(5);
         let topo = Topology::mesh(&[w, h]);
         let mut by_label = vec![usize::MAX; w * h];
         for node in topo.nodes() {
             let l = hamiltonian_label(&topo, node);
-            prop_assert!(l < w * h);
-            prop_assert_eq!(by_label[l], usize::MAX, "duplicate label {}", l);
+            assert!(l < w * h, "case {case}");
+            assert_eq!(
+                by_label[l],
+                usize::MAX,
+                "case {case}: duplicate label {l} on {w}x{h}"
+            );
             by_label[l] = node;
         }
         for pair in by_label.windows(2) {
-            prop_assert_eq!(topo.distance(pair[0], pair[1]), 1);
+            assert_eq!(topo.distance(pair[0], pair[1]), 1, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn multicast_covers_all_destinations_monotonically(
-        w in 2usize..6,
-        h in 2usize..6,
-        src_pick in 0usize..1000,
-        dest_mask in 1u32..0xFFFF_FFFF,
-    ) {
+#[test]
+fn multicast_covers_all_destinations_monotonically() {
+    let mut rng = Rng64::new(0xACA2);
+    for case in 0..64 {
+        let w = 2 + rng.gen_index(4);
+        let h = 2 + rng.gen_index(4);
         let topo = Topology::mesh(&[w, h]);
         let n = topo.node_count();
-        let src = src_pick % n;
+        let src = rng.gen_index(n);
+        let dest_mask = 1 + (rng.next_u64() as u32 % 0xFFFF_FFFE);
         let dests: Vec<usize> = (0..n)
             .filter(|&d| d != src && dest_mask & (1 << (d % 32)) != 0)
             .collect();
@@ -41,23 +51,23 @@ proptest! {
         let plan = mc.plan(&topo, src, &dests);
         // Coverage.
         for &d in &dests {
-            prop_assert!(
+            assert!(
                 plan.high_path.contains(&d) || plan.low_path.contains(&d),
-                "destination {} missed", d
+                "case {case}: destination {d} missed"
             );
         }
         // Paths are contiguous and label-monotone.
         for (path, increasing) in [(&plan.high_path, true), (&plan.low_path, false)] {
             for pair in path.windows(2) {
-                prop_assert_eq!(topo.distance(pair[0], pair[1]), 1);
+                assert_eq!(topo.distance(pair[0], pair[1]), 1, "case {case}");
                 let (a, b) = (
                     hamiltonian_label(&topo, pair[0]),
                     hamiltonian_label(&topo, pair[1]),
                 );
                 if increasing {
-                    prop_assert!(a < b, "high path label regressed");
+                    assert!(a < b, "case {case}: high path label regressed");
                 } else {
-                    prop_assert!(a > b, "low path label regressed");
+                    assert!(a > b, "case {case}: low path label regressed");
                 }
             }
         }
@@ -71,6 +81,6 @@ proptest! {
         all.sort_unstable();
         let mut expected = dests.clone();
         expected.sort_unstable();
-        prop_assert_eq!(all, expected);
+        assert_eq!(all, expected, "case {case}");
     }
 }

@@ -1,12 +1,16 @@
-//! Property-based tests of the turn-based routing bridge: for random valid
+//! Randomized tests of the turn-based routing bridge: for random valid
 //! EbDa designs, the derived relation must deliver, stay minimal on full
 //! meshes, and never take a turn outside its turn set.
+//!
+//! Driven by a seeded [`Rng64`] instead of a property-testing framework
+//! so the suite is fully deterministic and dependency-free; every assert
+//! message carries the case index for replay.
 
 use ebda_core::{parse_channels, Channel, Partition, PartitionSeq};
+use ebda_obs::Rng64;
 use ebda_routing::{
     find_delivery_failure, verify_relation, RoutingRelation, Topology, TurnRouting, INJECT,
 };
-use proptest::prelude::*;
 
 /// Builds a random two-partition 2D design over the 8-channel universe.
 fn build(mask_a: u8, mask_b: u8) -> Option<PartitionSeq> {
@@ -32,6 +36,17 @@ fn build(mask_a: u8, mask_b: u8) -> Option<PartitionSeq> {
     Some(seq)
 }
 
+/// Draws mask pairs until one builds a valid design.
+fn random_design(rng: &mut Rng64) -> PartitionSeq {
+    loop {
+        let mask_a = 1 + rng.gen_index(254) as u8;
+        let mask_b = 1 + rng.gen_index(254) as u8;
+        if let Some(seq) = build(mask_a, mask_b) {
+            return seq;
+        }
+    }
+}
+
 /// A design can route all pairs only if each direction is present somewhere.
 fn covers_all_directions(seq: &PartitionSeq) -> bool {
     use ebda_core::Direction::*;
@@ -45,48 +60,65 @@ fn covers_all_directions(seq: &PartitionSeq) -> bool {
         .all(|&(d, dir)| chans.iter().any(|c| c.dim.index() == d && c.dir == dir))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every random valid design that covers all four directions delivers
-    /// everywhere on a mesh, and its exact relation-level CDG is acyclic.
-    #[test]
-    fn random_designs_deliver_and_stay_acyclic(mask_a in 1u8..255, mask_b in 1u8..255) {
-        let Some(seq) = build(mask_a, mask_b) else { return Ok(()) };
+/// Every random valid design that covers all four directions delivers
+/// everywhere on a mesh, and its exact relation-level CDG is acyclic.
+#[test]
+fn random_designs_deliver_and_stay_acyclic() {
+    let mut rng = Rng64::new(0xF061);
+    for case in 0..64 {
+        let seq = random_design(&mut rng);
         let relation = TurnRouting::from_design("prop", &seq).unwrap();
         let topo = Topology::mesh(&[4, 4]);
         if covers_all_directions(&seq) {
-            prop_assert_eq!(
+            assert_eq!(
                 find_delivery_failure(&relation, &topo, 32),
                 None,
-                "design {} failed delivery", seq
+                "case {case}: design {seq} failed delivery"
             );
         }
-        prop_assert!(
+        assert!(
             verify_relation(&topo, &relation).is_ok(),
-            "design {} produced a cyclic exact CDG", seq
+            "case {case}: design {seq} produced a cyclic exact CDG"
         );
     }
+}
 
-    /// Paths are always minimal on full meshes (the product-graph distance
-    /// equals the Manhattan distance whenever the pair is deliverable).
-    #[test]
-    fn deliverable_pairs_route_minimally(mask_a in 1u8..255, mask_b in 1u8..255, s in 0usize..16, d in 0usize..16) {
-        prop_assume!(s != d);
-        let Some(seq) = build(mask_a, mask_b) else { return Ok(()) };
+/// Paths are always minimal on full meshes (the product-graph distance
+/// equals the Manhattan distance whenever the pair is deliverable).
+#[test]
+fn deliverable_pairs_route_minimally() {
+    let mut rng = Rng64::new(0xF062);
+    for case in 0..64 {
+        let seq = random_design(&mut rng);
+        let s = rng.gen_index(16);
+        let d = rng.gen_index(16);
+        if s == d {
+            continue;
+        }
         let relation = TurnRouting::from_design("prop", &seq).unwrap();
         let topo = Topology::mesh(&[4, 4]);
         if let Some(dist) = relation.legal_distance(&topo, s, INJECT, d) {
-            prop_assert_eq!(u64::from(dist), topo.distance(s, d));
+            assert_eq!(
+                u64::from(dist),
+                topo.distance(s, d),
+                "case {case}: design {seq}, {s}->{d}"
+            );
         }
     }
+}
 
-    /// The relation only ever emits ports matching a channel of its own
-    /// universe that exists at the current node.
-    #[test]
-    fn emitted_ports_are_in_universe(mask_a in 1u8..255, mask_b in 1u8..255, s in 0usize..16, d in 0usize..16) {
-        prop_assume!(s != d);
-        let Some(seq) = build(mask_a, mask_b) else { return Ok(()) };
+/// The relation only ever emits ports matching a channel of its own
+/// universe that exists at the current node.
+#[test]
+fn emitted_ports_are_in_universe() {
+    let mut rng = Rng64::new(0xF063);
+    for case in 0..64 {
+        let seq = random_design(&mut rng);
+        let s = rng.gen_index(16);
+        let d = rng.gen_index(16);
+        if s == d {
+            continue;
+        }
         let relation = TurnRouting::from_design("prop", &seq).unwrap();
         let topo = Topology::mesh(&[4, 4]);
         let coords = topo.coords(s);
@@ -97,7 +129,11 @@ proptest! {
                     && c.vc == ch.port.vc
                     && c.class.contains(&coords)
             });
-            prop_assert!(matching, "port {} not in universe at {coords:?}", ch.port);
+            assert!(
+                matching,
+                "case {case}: port {} not in universe at {coords:?}",
+                ch.port
+            );
         }
     }
 }

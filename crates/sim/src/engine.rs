@@ -19,9 +19,8 @@
 use crate::config::{BufferPolicy, Selection, SimConfig, Switching};
 use crate::metrics::{Outcome, SimResult};
 
+use ebda_obs::{Event, Recorder, Rng64, Sample};
 use ebda_routing::{NodeId, RouteState, RoutingRelation, Topology, INJECT};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 
 type Pid = u32;
@@ -151,15 +150,50 @@ impl Layout {
 /// Panics on invalid configuration (see [`SimConfig::validate`]) or when
 /// the relation requests more VCs than its universe declares.
 pub fn simulate(topo: &Topology, relation: &dyn RoutingRelation, cfg: &SimConfig) -> SimResult {
+    simulate_traced(topo, relation, cfg, None)
+}
+
+/// Runs one simulation with an optional flight recorder attached.
+///
+/// With `rec = None` this is exactly [`simulate`]: every emission site
+/// guards on the option, so the disabled path costs one branch per site.
+/// With a recorder, the engine logs inject / VC-alloc / switch-stall /
+/// link-traversal / eject / drop events into the recorder's ring buffer,
+/// takes periodic [`Sample`]s at the recorder's cadence, and — when the
+/// watchdog fires — emits the structured wait-for edges whose labels
+/// match [`Outcome::Deadlocked`]'s `wait_cycle` strings one-for-one.
+///
+/// # Panics
+///
+/// Panics on invalid configuration (see [`SimConfig::validate`]) or when
+/// the relation requests more VCs than its universe declares.
+pub fn simulate_traced(
+    topo: &Topology,
+    relation: &dyn RoutingRelation,
+    cfg: &SimConfig,
+    rec: Option<&mut Recorder>,
+) -> SimResult {
     cfg.validate();
-    Simulator::new(topo, relation, cfg).run()
+    let _span = ebda_obs::span("sim.engine.run");
+    Simulator::new(topo, relation, cfg, rec).run()
+}
+
+/// One edge of a diagnosed circular wait: `waiter` cannot advance until
+/// `waits_on` does, for the reason in `label`.
+#[derive(Debug, Clone)]
+struct WaitEdge {
+    waiter: Pid,
+    waits_on: Pid,
+    label: String,
 }
 
 struct Simulator<'a> {
     topo: Topology,
-    _lifetime: std::marker::PhantomData<&'a ()>,
     relation: &'a dyn RoutingRelation,
     cfg: &'a SimConfig,
+    /// Optional flight recorder; `None` keeps every emission site on a
+    /// single-branch fast path.
+    rec: Option<&'a mut Recorder>,
     layout: Layout,
     in_vcs: Vec<InVc>,
     out_vcs: Vec<OutVc>,
@@ -169,7 +203,7 @@ struct Simulator<'a> {
     in_transit: VecDeque<(u64, usize, FlitTag)>,
     /// Next unconsumed event index for trace-driven traffic.
     trace_cursor: usize,
-    rng: StdRng,
+    rng: Rng64,
     // statistics
     injected: u64,
     delivered: u64,
@@ -194,7 +228,12 @@ struct Simulator<'a> {
 }
 
 impl<'a> Simulator<'a> {
-    fn new(topo: &'a Topology, relation: &'a dyn RoutingRelation, cfg: &'a SimConfig) -> Self {
+    fn new(
+        topo: &'a Topology,
+        relation: &'a dyn RoutingRelation,
+        cfg: &'a SimConfig,
+        rec: Option<&'a mut Recorder>,
+    ) -> Self {
         let vcs = relation.vcs(topo);
         let layout = Layout::new(topo, &vcs);
         let n = topo.node_count();
@@ -216,9 +255,9 @@ impl<'a> Simulator<'a> {
         faults_sorted.sort_by_key(|&(c, ..)| c);
         Simulator {
             topo: topo.clone(),
-            _lifetime: std::marker::PhantomData,
             relation,
             cfg,
+            rec,
             layout,
             in_vcs,
             out_vcs,
@@ -226,7 +265,7 @@ impl<'a> Simulator<'a> {
             packets: Vec::new(),
             in_transit: VecDeque::new(),
             trace_cursor: 0,
-            rng: StdRng::seed_from_u64(cfg.seed),
+            rng: Rng64::new(cfg.seed),
             injected: 0,
             delivered: 0,
             measured_injected: 0,
@@ -252,6 +291,7 @@ impl<'a> Simulator<'a> {
         let mut last_progress = 0u64;
         let mut cycle = 0u64;
         while cycle < horizon {
+            self.take_sample(cycle);
             self.apply_due_faults(cycle);
             // Link traversal completes: deliver due flits.
             while self
@@ -274,7 +314,19 @@ impl<'a> Simulator<'a> {
                 !self.in_transit.is_empty() || self.in_vcs.iter().any(|v| !v.buf.is_empty());
             if in_flight && cycle - last_progress > self.cfg.deadlock_threshold {
                 let blocked = self.blocked_packet_count();
-                let wait_cycle = self.diagnose_deadlock();
+                let wait_edges = self.diagnose_deadlock();
+                if let Some(rec) = self.rec.as_deref_mut() {
+                    rec.record(Event::Watchdog { cycle, blocked });
+                    for e in &wait_edges {
+                        rec.record(Event::WaitFor {
+                            cycle,
+                            waiter: u64::from(e.waiter),
+                            waits_on: u64::from(e.waits_on),
+                            label: e.label.clone(),
+                        });
+                    }
+                }
+                let wait_cycle = wait_edges.into_iter().map(|e| e.label).collect();
                 return self.finish(
                     Outcome::Deadlocked {
                         at_cycle: cycle,
@@ -323,7 +375,43 @@ impl<'a> Simulator<'a> {
         );
     }
 
+    /// Takes one periodic telemetry sample if a recorder is attached and
+    /// its cadence says a sample is due this cycle.
+    fn take_sample(&mut self, cycle: u64) {
+        let Some(rec) = self.rec.as_deref_mut() else {
+            return;
+        };
+        if !rec.sample_due(cycle) {
+            return;
+        }
+        let depth = self.cfg.buffer_depth;
+        let occupancy: Vec<u32> = self
+            .out_vcs
+            .iter()
+            .map(|o| (depth - o.credits.min(depth)) as u32)
+            .collect();
+        let credit_stalls = self
+            .out_vcs
+            .iter()
+            .filter(|o| o.owner.is_some() && o.credits == 0)
+            .count() as u64;
+        let buffered_flits = self.in_vcs.iter().map(|v| v.buf.len() as u64).sum::<u64>()
+            + self.in_transit.len() as u64;
+        rec.push_sample(Sample {
+            cycle,
+            in_flight: self.injected - self.delivered - self.dropped,
+            buffered_flits,
+            credit_stalls,
+            occupancy,
+        });
+    }
+
     fn finish(mut self, outcome: Outcome, cycles: u64) -> SimResult {
+        ebda_obs::counter_add("sim.engine.runs", 1);
+        ebda_obs::counter_add("sim.engine.cycles", cycles);
+        ebda_obs::counter_add("sim.engine.packets_injected", self.injected);
+        ebda_obs::counter_add("sim.engine.packets_delivered", self.delivered);
+        ebda_obs::counter_add("sim.engine.routing_faults", self.routing_faults);
         let delivered = self.measured_delivered.max(1);
         self.latencies.sort_unstable();
         SimResult {
@@ -349,9 +437,10 @@ impl<'a> Simulator<'a> {
     }
 
     /// Builds the wait-for graph among blocked packets and extracts one
-    /// circular wait, described hop by hop. Empty when no cycle is found
-    /// (e.g. a stall caused by a routing fault rather than a deadlock).
-    fn diagnose_deadlock(&self) -> Vec<String> {
+    /// circular wait as structured edges (waiter, waited-on, reason),
+    /// described hop by hop. Empty when no cycle is found (e.g. a stall
+    /// caused by a routing fault rather than a deadlock).
+    fn diagnose_deadlock(&self) -> Vec<WaitEdge> {
         use std::collections::HashMap;
         // Wait edges with a description of the waiting side.
         let mut pids: Vec<Pid> = Vec::new();
@@ -459,9 +548,16 @@ impl<'a> Simulator<'a> {
             }
         }
         match find_cycle_indices(&edges) {
-            Some(cycle) => cycle
-                .into_iter()
-                .map(|i| labels[i as usize].clone())
+            Some(cycle) => (0..cycle.len())
+                .map(|k| {
+                    let i = cycle[k] as usize;
+                    let j = cycle[(k + 1) % cycle.len()] as usize;
+                    WaitEdge {
+                        waiter: pids[i],
+                        waits_on: pids[j],
+                        label: labels[i].clone(),
+                    }
+                })
                 .collect(),
             None => Vec::new(),
         }
@@ -506,7 +602,7 @@ impl<'a> Simulator<'a> {
                 self.in_vcs[islot].alloc = Alloc::None;
             } else {
                 // The wormhole is severed mid-packet: tear the packet down.
-                self.teardown_packet(pid);
+                self.teardown_packet(pid, cycle);
             }
         }
         // Flits in transit toward now-dead links cannot exist (they were
@@ -528,12 +624,18 @@ impl<'a> Simulator<'a> {
 
     /// Removes every trace of a packet from the network and counts it as
     /// dropped. The sentinel `delivered == Some(u64::MAX)` marks drops.
-    fn teardown_packet(&mut self, pid: Pid) {
+    fn teardown_packet(&mut self, pid: Pid, cycle: u64) {
         if self.packets[pid as usize].delivered.is_some() {
             return;
         }
         self.packets[pid as usize].delivered = Some(u64::MAX);
         self.dropped += 1;
+        if let Some(rec) = self.rec.as_deref_mut() {
+            rec.record(Event::Drop {
+                cycle,
+                pid: u64::from(pid),
+            });
+        }
         for slot in 0..self.in_vcs.len() {
             let had_front = self.in_vcs[slot].buf.front().is_some_and(|f| f.pid == pid);
             self.in_vcs[slot].buf.retain(|f| f.pid != pid);
@@ -672,6 +774,15 @@ impl<'a> Simulator<'a> {
             for idx in 0..self.cfg.packet_length as u32 {
                 self.in_vcs[slot].buf.push_back(FlitTag { pid, idx });
             }
+            if let Some(rec) = self.rec.as_deref_mut() {
+                rec.record(Event::Inject {
+                    cycle,
+                    pid: u64::from(pid),
+                    src: node,
+                    dst,
+                    len: self.cfg.packet_length,
+                });
+            }
         }
     }
 
@@ -763,6 +874,18 @@ impl<'a> Simulator<'a> {
                     self.out_vcs[oslot].src_in = slot;
                     self.in_vcs[slot].alloc = Alloc::Out(oslot);
                     self.packets[pid as usize].route_state = cands[k].state;
+                    if self.rec.is_some() {
+                        let ch = cands[k];
+                        let ev = Event::VcAlloc {
+                            cycle,
+                            pid: u64::from(pid),
+                            node,
+                            dim: ch.port.dim.index() as u8,
+                            dir: dir_char(ch.port.dir),
+                            vc: ch.port.vc - 1,
+                        };
+                        self.rec.as_deref_mut().expect("checked").record(ev);
+                    }
                 }
             }
         }
@@ -801,6 +924,16 @@ impl<'a> Simulator<'a> {
                         continue;
                     };
                     if self.out_vcs[oslot].credits == 0 {
+                        if let Some(rec) = self.rec.as_deref_mut() {
+                            rec.record(Event::SwitchStall {
+                                cycle,
+                                pid: u64::from(pid),
+                                node,
+                                dim: Layout::port_dim(port) as u8,
+                                dir: dir_char(Layout::port_dir(port)),
+                                vc: vc0 as u8,
+                            });
+                        }
                         continue;
                     }
                     let islot = self.out_vcs[oslot].src_in;
@@ -851,6 +984,18 @@ impl<'a> Simulator<'a> {
                         .topo
                         .neighbor(node, dim, dir)
                         .expect("allocated output must have a link");
+                    if let Some(rec) = self.rec.as_deref_mut() {
+                        rec.record(Event::LinkTraverse {
+                            cycle,
+                            pid: u64::from(flit.pid),
+                            flit: flit.idx as usize,
+                            from: node,
+                            to: nbr,
+                            dim: dim.index() as u8,
+                            dir: dir_char(dir),
+                            vc: vc0 as u8,
+                        });
+                    }
                     arrivals.push((self.layout.in_slot(nbr, port, vc0), flit));
                 }
                 None => {
@@ -861,7 +1006,7 @@ impl<'a> Simulator<'a> {
                         let (node, _, _) = self.layout.in_slot_parts(islot);
                         self.eject_owner[node] = None;
                         self.in_vcs[islot].alloc = Alloc::None;
-                        self.complete_packet(flit.pid, cycle);
+                        self.complete_packet(flit.pid, cycle, node);
                     }
                 }
             }
@@ -904,7 +1049,7 @@ impl<'a> Simulator<'a> {
         debug_assert!(self.out_vcs[oslot].credits <= self.cfg.buffer_depth);
     }
 
-    fn complete_packet(&mut self, pid: Pid, cycle: u64) {
+    fn complete_packet(&mut self, pid: Pid, cycle: u64, node: NodeId) {
         let latency;
         let (src, dst, injected);
         {
@@ -913,6 +1058,14 @@ impl<'a> Simulator<'a> {
             p.delivered = Some(cycle);
             latency = cycle + 1 - p.inject_cycle;
             (src, dst, injected) = (p.src, p.dst, p.inject_cycle);
+        }
+        if let Some(rec) = self.rec.as_deref_mut() {
+            rec.record(Event::Eject {
+                cycle,
+                pid: u64::from(pid),
+                node,
+                latency,
+            });
         }
         let last = self.last_delivered.entry((src, dst)).or_insert(0);
         if injected < *last {
@@ -928,6 +1081,14 @@ impl<'a> Simulator<'a> {
             self.latencies.push(latency);
             self.hop_sum += u64::from(self.packets[pid as usize].hops);
         }
+    }
+}
+
+/// Renders a direction as the `+`/`-` character used in trace events.
+fn dir_char(dir: ebda_core::Direction) -> char {
+    match dir {
+        ebda_core::Direction::Plus => '+',
+        ebda_core::Direction::Minus => '-',
     }
 }
 

@@ -38,7 +38,7 @@ pub mod traffic;
 
 pub use config::{BufferPolicy, Selection, SimConfig, Switching};
 pub use ebda_routing::Topology;
-pub use engine::simulate;
+pub use engine::{simulate, simulate_traced};
 pub use metrics::{EnergyModel, Outcome, SimResult};
 pub use sweep::{latency_curve, saturation_rate, SweepPoint};
 pub use traffic::TrafficPattern;

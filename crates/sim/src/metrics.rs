@@ -122,10 +122,12 @@ impl SimResult {
     }
 
     /// Coefficient of variation (stddev / mean) of per-channel flit counts
-    /// over channels that saw any traffic-capable configuration — the
-    /// paper's "better distribution of packets among channels" claim made
-    /// measurable. Lower is more balanced. Returns `None` when no flits
-    /// moved.
+    /// over **all** channel slots of the configuration, idle ones included
+    /// — the paper's "better distribution of packets among channels" claim
+    /// made measurable. Counting idle slots is deliberate: a design that
+    /// funnels traffic through few channels while leaving the rest unused
+    /// should score as imbalanced. Lower is more balanced. Returns `None`
+    /// when there are no channel slots or no flits moved.
     pub fn channel_balance_cv(&self) -> Option<f64> {
         let used: Vec<f64> = self.channel_flits.iter().map(|&c| c as f64).collect();
         let n = used.len() as f64;
@@ -144,16 +146,18 @@ impl SimResult {
 impl fmt::Display for SimResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.outcome {
-            Outcome::Completed => write!(
-                f,
-                "completed: {} cycles, {}/{} measured packets delivered, \
-                 avg latency {:.1}, throughput {:.4} flits/node/cycle",
-                self.cycles,
-                self.measured_delivered,
-                self.measured_injected,
-                self.avg_latency,
-                self.throughput
-            ),
+            Outcome::Completed => {
+                write!(
+                    f,
+                    "completed: {} cycles, {}/{} measured packets delivered, \
+                     avg latency {:.1}",
+                    self.cycles, self.measured_delivered, self.measured_injected, self.avg_latency,
+                )?;
+                if let Some(p99) = self.latency_percentile(99.0) {
+                    write!(f, " (p99 {p99})")?;
+                }
+                write!(f, ", throughput {:.4} flits/node/cycle", self.throughput)
+            }
             Outcome::Deadlocked {
                 at_cycle,
                 blocked_packets,
@@ -256,7 +260,13 @@ mod tests {
 
     #[test]
     fn outcome_display() {
-        assert!(base().to_string().contains("completed"));
+        let text = base().to_string();
+        assert!(text.contains("completed"));
+        assert!(text.contains("(p99 16)"), "missing p99 in: {text}");
+        // No delivered packets => no p99 clause, but still well-formed.
+        let mut idle = base();
+        idle.latencies.clear();
+        assert!(!idle.to_string().contains("p99"));
         let d = SimResult {
             outcome: Outcome::Deadlocked {
                 at_cycle: 55,

@@ -13,10 +13,15 @@ pub struct SweepPoint {
     pub rate: f64,
     /// Mean latency of measured, delivered packets.
     pub avg_latency: f64,
+    /// Median latency, when available.
+    pub p50_latency: Option<u64>,
     /// 99th-percentile latency, when available.
     pub p99_latency: Option<u64>,
     /// Accepted throughput (flits/node/cycle).
     pub throughput: f64,
+    /// Channel load-balance CV ([`SimResult::channel_balance_cv`]), when
+    /// any flits moved.
+    pub channel_balance_cv: Option<f64>,
     /// Whether every measured packet drained before the horizon.
     pub drained: bool,
     /// Whether the watchdog fired.
@@ -28,8 +33,10 @@ impl SweepPoint {
         SweepPoint {
             rate,
             avg_latency: r.avg_latency,
+            p50_latency: r.latency_percentile(50.0),
             p99_latency: r.latency_percentile(99.0),
             throughput: r.throughput,
+            channel_balance_cv: r.channel_balance_cv(),
             drained: r.measured_delivered == r.measured_injected,
             deadlocked: !matches!(r.outcome, Outcome::Completed),
         }
@@ -194,6 +201,8 @@ mod tests {
         assert!(curve[2].throughput >= curve[0].throughput * 2.0);
         for p in &curve {
             assert!(p.p99_latency.unwrap_or(0) as f64 >= p.avg_latency * 0.8);
+            assert!(p.p50_latency.unwrap() <= p.p99_latency.unwrap());
+            assert!(p.channel_balance_cv.unwrap() >= 0.0);
         }
     }
 

@@ -1,7 +1,7 @@
 //! Synthetic traffic patterns.
 
+use ebda_obs::Rng64;
 use ebda_routing::{NodeId, Topology};
-use rand::Rng;
 
 /// Destination selection per injected packet.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,14 +68,14 @@ impl TrafficPattern {
 impl TrafficPattern {
     /// Picks a destination for a packet injected at `src`, or `None` when
     /// the pattern maps the source to itself (no packet is injected).
-    pub fn destination<R: Rng>(&self, topo: &Topology, src: NodeId, rng: &mut R) -> Option<NodeId> {
+    pub fn destination(&self, topo: &Topology, src: NodeId, rng: &mut Rng64) -> Option<NodeId> {
         let n = topo.node_count();
         match self {
             TrafficPattern::Uniform => {
                 if n < 2 {
                     return None;
                 }
-                let mut dst = rng.gen_range(0..n - 1);
+                let mut dst = rng.gen_index(n - 1);
                 if dst >= src {
                     dst += 1;
                 }
@@ -116,7 +116,7 @@ impl TrafficPattern {
             TrafficPattern::Hotspot { nodes, fraction } => {
                 assert!(!nodes.is_empty(), "hotspot pattern needs target nodes");
                 if rng.gen_bool(*fraction) {
-                    let dst = nodes[rng.gen_range(0..nodes.len())];
+                    let dst = nodes[rng.gen_index(nodes.len())];
                     (dst != src).then_some(dst)
                 } else {
                     TrafficPattern::Uniform.destination(topo, src, rng)
@@ -135,13 +135,11 @@ impl TrafficPattern {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn uniform_never_self_addresses() {
         let topo = Topology::mesh(&[4, 4]);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::new(1);
         for src in topo.nodes() {
             for _ in 0..50 {
                 let dst = TrafficPattern::Uniform
@@ -156,7 +154,7 @@ mod tests {
     #[test]
     fn transpose_swaps_coordinates() {
         let topo = Topology::mesh(&[4, 4]);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::new(1);
         let src = topo.node_at(&[1, 3]);
         let dst = TrafficPattern::Transpose
             .destination(&topo, src, &mut rng)
@@ -173,7 +171,7 @@ mod tests {
     #[test]
     fn bit_complement_mirrors() {
         let topo = Topology::mesh(&[4, 4]);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::new(1);
         let src = topo.node_at(&[0, 1]);
         let dst = TrafficPattern::BitComplement
             .destination(&topo, src, &mut rng)
@@ -184,7 +182,7 @@ mod tests {
     #[test]
     fn bit_reverse_is_involutive() {
         let topo = Topology::mesh(&[4, 4]);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::new(1);
         for src in topo.nodes() {
             if let Some(dst) = TrafficPattern::BitReverse.destination(&topo, src, &mut rng) {
                 let back = TrafficPattern::BitReverse
@@ -198,7 +196,7 @@ mod tests {
     #[test]
     fn bursty_destinations_are_uniform() {
         let topo = Topology::mesh(&[4, 4]);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng64::new(3);
         let pattern = TrafficPattern::Bursty {
             p_on: 0.1,
             p_off: 0.3,
@@ -214,7 +212,7 @@ mod tests {
     #[test]
     fn hotspot_biases_targets() {
         let topo = Topology::mesh(&[4, 4]);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng64::new(7);
         let pattern = TrafficPattern::Hotspot {
             nodes: vec![5],
             fraction: 0.9,

@@ -1,120 +1,141 @@
-//! Property-based tests of the simulator: conservation, determinism and
+//! Randomized tests of the simulator: conservation, determinism and
 //! deadlock freedom across random configurations.
+//!
+//! Driven by a seeded [`Rng64`] instead of a property-testing framework
+//! so the suite is fully deterministic and dependency-free; every assert
+//! message carries the case index and seed for replay.
 
+use ebda_obs::Rng64;
 use ebda_routing::classic::DimensionOrder;
 use ebda_routing::{Topology, TurnRouting};
 use noc_sim::{simulate, BufferPolicy, Outcome, Selection, SimConfig, Switching, TrafficPattern};
-use proptest::prelude::*;
 
-fn arb_cfg() -> impl Strategy<Value = SimConfig> {
-    (
-        1usize..4,    // buffer depth
-        1usize..6,    // packet length
-        0.0f64..0.15, // injection rate
-        any::<u64>(), // seed
-        prop_oneof![
-            Just(TrafficPattern::Uniform),
-            Just(TrafficPattern::Transpose),
-            Just(TrafficPattern::BitComplement),
-        ],
-        prop_oneof![
-            Just(BufferPolicy::MultiPacket),
-            Just(BufferPolicy::SinglePacket)
-        ],
-        prop_oneof![
-            Just(Selection::RotatingFirstFit),
-            Just(Selection::MostCredits)
-        ],
-    )
-        .prop_map(
-            |(depth, len, rate, seed, traffic, policy, selection)| SimConfig {
-                buffer_depth: depth,
-                packet_length: len,
-                injection_rate: rate,
-                seed,
-                traffic,
-                buffer_policy: policy,
-                selection,
-                warmup: 100,
-                measurement: 400,
-                drain: 2_000,
-                deadlock_threshold: 600,
-                ..SimConfig::default()
-            },
-        )
+/// Draws one random configuration in the same ranges the old proptest
+/// strategy used.
+fn random_cfg(rng: &mut Rng64) -> SimConfig {
+    let traffic = match rng.gen_index(3) {
+        0 => TrafficPattern::Uniform,
+        1 => TrafficPattern::Transpose,
+        _ => TrafficPattern::BitComplement,
+    };
+    SimConfig {
+        buffer_depth: 1 + rng.gen_index(3),
+        packet_length: 1 + rng.gen_index(5),
+        injection_rate: rng.gen_f64() * 0.15,
+        seed: rng.next_u64(),
+        traffic,
+        buffer_policy: if rng.gen_bool(0.5) {
+            BufferPolicy::MultiPacket
+        } else {
+            BufferPolicy::SinglePacket
+        },
+        selection: if rng.gen_bool(0.5) {
+            Selection::RotatingFirstFit
+        } else {
+            Selection::MostCredits
+        },
+        warmup: 100,
+        measurement: 400,
+        drain: 2_000,
+        deadlock_threshold: 600,
+        ..SimConfig::default()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// XY on a 4x4 mesh never deadlocks, never faults, and conserves
-    /// packets under any random configuration.
-    #[test]
-    fn xy_never_deadlocks_under_random_configs(cfg in arb_cfg()) {
+/// XY on a 4x4 mesh never deadlocks, never faults, and conserves
+/// packets under any random configuration.
+#[test]
+fn xy_never_deadlocks_under_random_configs() {
+    let mut rng = Rng64::new(0x51A1);
+    for case in 0..48 {
+        let cfg = random_cfg(&mut rng);
         let topo = Topology::mesh(&[4, 4]);
         let result = simulate(&topo, &DimensionOrder::xy(), &cfg);
-        prop_assert!(result.outcome.is_deadlock_free(), "{}", result);
-        prop_assert_eq!(result.routing_faults, 0);
-        prop_assert!(result.delivered_packets <= result.injected_packets);
-        prop_assert!(result.measured_delivered <= result.measured_injected);
-        // When the run completed, the drain was long enough for this size:
-        // every measured packet must have made it out.
+        assert!(
+            result.outcome.is_deadlock_free(),
+            "case {case} seed {}: {result}",
+            cfg.seed
+        );
+        assert_eq!(result.routing_faults, 0, "case {case}");
+        assert!(result.delivered_packets <= result.injected_packets);
+        assert!(result.measured_delivered <= result.measured_injected);
+        // When the run completed, the drain was long enough for this
+        // size: every measured packet must have made it out.
         if matches!(result.outcome, Outcome::Completed) && cfg.injection_rate < 0.1 {
-            prop_assert_eq!(result.measured_delivered, result.measured_injected);
+            assert_eq!(
+                result.measured_delivered, result.measured_injected,
+                "case {case} seed {}",
+                cfg.seed
+            );
         }
         // Latency sanity: sorted and consistent with the reported extrema.
         if let Some(&last) = result.latencies.last() {
-            prop_assert_eq!(last, result.max_latency);
-            prop_assert!(result.latencies.windows(2).all(|w| w[0] <= w[1]));
+            assert_eq!(last, result.max_latency, "case {case}");
+            assert!(result.latencies.windows(2).all(|w| w[0] <= w[1]));
         }
     }
+}
 
-    /// The adaptive EbDa design is deadlock-free under the same sweep.
-    #[test]
-    fn dyxy_never_deadlocks_under_random_configs(cfg in arb_cfg()) {
+/// The adaptive EbDa design is deadlock-free under the same sweep.
+#[test]
+fn dyxy_never_deadlocks_under_random_configs() {
+    let mut rng = Rng64::new(0x51A2);
+    let r = TurnRouting::from_design("dyxy", &ebda_core::catalog::fig7b_dyxy()).unwrap();
+    for case in 0..48 {
+        let cfg = random_cfg(&mut rng);
         let topo = Topology::mesh(&[4, 4]);
-        let r = TurnRouting::from_design("dyxy", &ebda_core::catalog::fig7b_dyxy()).unwrap();
         let result = simulate(&topo, &r, &cfg);
-        prop_assert!(result.outcome.is_deadlock_free(), "{}", result);
-        prop_assert_eq!(result.routing_faults, 0);
+        assert!(
+            result.outcome.is_deadlock_free(),
+            "case {case} seed {}: {result}",
+            cfg.seed
+        );
+        assert_eq!(result.routing_faults, 0, "case {case}");
     }
+}
 
-    /// Identical configurations give identical results (determinism).
-    #[test]
-    fn simulation_is_deterministic(cfg in arb_cfg()) {
+/// Identical configurations give identical results (determinism).
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = Rng64::new(0x51A3);
+    for case in 0..24 {
+        let cfg = random_cfg(&mut rng);
         let topo = Topology::mesh(&[3, 3]);
         let a = simulate(&topo, &DimensionOrder::xy(), &cfg);
         let b = simulate(&topo, &DimensionOrder::xy(), &cfg);
-        prop_assert_eq!(a.injected_packets, b.injected_packets);
-        prop_assert_eq!(a.delivered_packets, b.delivered_packets);
-        prop_assert_eq!(a.latencies, b.latencies);
-        prop_assert_eq!(a.channel_flits, b.channel_flits);
+        assert_eq!(a.injected_packets, b.injected_packets, "case {case}");
+        assert_eq!(a.delivered_packets, b.delivered_packets, "case {case}");
+        assert_eq!(a.latencies, b.latencies, "case {case}");
+        assert_eq!(a.channel_flits, b.channel_flits, "case {case}");
     }
+}
 
-    /// A random single mid-run link failure never breaks conservation:
-    /// every packet is delivered or accounted as dropped, and the run
-    /// stays deadlock-free (north-last can detour any single fault whose
-    /// removal keeps all destinations turn-reachable; unreachable cases
-    /// surface as routing faults, which we tolerate but bound).
-    #[test]
-    fn single_fault_conserves_packets(
-        node in 0usize..16,
-        dim_pick in 0u8..2,
-        dir_pick in 0u8..2,
-        fault_cycle in 100u64..400,
-        seed in any::<u64>(),
-    ) {
-        use ebda_routing::TurnRouting;
-        let topo = Topology::mesh(&[4, 4]);
-        let dim = ebda_core::Dimension::new(dim_pick);
-        let dir = if dir_pick == 0 {
+/// A random single mid-run link failure never breaks conservation:
+/// every packet is delivered or accounted as dropped, and the run
+/// stays deadlock-free (north-last can detour any single fault whose
+/// removal keeps all destinations turn-reachable; unreachable cases
+/// surface as routing faults, which we tolerate but bound).
+#[test]
+fn single_fault_conserves_packets() {
+    let mut rng = Rng64::new(0x51A4);
+    let topo = Topology::mesh(&[4, 4]);
+    let r = TurnRouting::from_design("nl", &ebda_core::catalog::north_last()).unwrap();
+    let mut tried = 0;
+    while tried < 32 {
+        let node = rng.gen_index(16);
+        let dim = ebda_core::Dimension::new(rng.gen_index(2) as u8);
+        let dir = if rng.gen_bool(0.5) {
             ebda_core::Direction::Plus
         } else {
             ebda_core::Direction::Minus
         };
+        let fault_cycle = 100 + rng.gen_range(300);
+        let seed = rng.next_u64();
         // Skip mesh-edge "faults" that remove nothing.
-        prop_assume!(topo.neighbor(node, dim, dir).is_some());
-        let r = TurnRouting::from_design("nl", &ebda_core::catalog::north_last()).unwrap();
+        if topo.neighbor(node, dim, dir).is_none() {
+            continue;
+        }
+        tried += 1;
         let cfg = SimConfig {
             injection_rate: 0.03,
             seed,
@@ -126,22 +147,27 @@ proptest! {
             ..SimConfig::default()
         };
         let result = simulate(&topo, &r, &cfg);
-        prop_assert!(
-            result.delivered_packets + result.dropped_packets <= result.injected_packets
+        assert!(
+            result.delivered_packets + result.dropped_packets <= result.injected_packets,
+            "node {node} seed {seed}"
         );
         if result.outcome.is_deadlock_free() && result.routing_faults == 0 {
-            prop_assert_eq!(
+            assert_eq!(
                 result.delivered_packets + result.dropped_packets,
                 result.injected_packets,
-                "clean faulted run must account for every packet"
+                "clean faulted run must account for every packet (node {node} seed {seed})"
             );
         }
     }
+}
 
-    /// VCT and SAF (with adequate buffers) also conserve and complete.
-    #[test]
-    fn switching_modes_conserve(mut cfg in arb_cfg(), mode in 0u8..2) {
-        cfg.switching = if mode == 0 {
+/// VCT and SAF (with adequate buffers) also conserve and complete.
+#[test]
+fn switching_modes_conserve() {
+    let mut rng = Rng64::new(0x51A5);
+    for case in 0..32 {
+        let mut cfg = random_cfg(&mut rng);
+        cfg.switching = if rng.gen_bool(0.5) {
             Switching::VirtualCutThrough
         } else {
             Switching::StoreAndForward
@@ -150,7 +176,11 @@ proptest! {
         cfg.injection_rate = cfg.injection_rate.min(0.05);
         let topo = Topology::mesh(&[3, 3]);
         let result = simulate(&topo, &DimensionOrder::xy(), &cfg);
-        prop_assert!(result.outcome.is_deadlock_free(), "{}", result);
-        prop_assert_eq!(result.routing_faults, 0);
+        assert!(
+            result.outcome.is_deadlock_free(),
+            "case {case} seed {}: {result}",
+            cfg.seed
+        );
+        assert_eq!(result.routing_faults, 0, "case {case}");
     }
 }

@@ -42,6 +42,8 @@ const USAGE: &str = "usage:
   ebda report   \"<design>\"                    markdown design review
   ebda simulate \"<design>\" [--mesh AxB] [--rate R] [--traffic uniform|transpose|bitcomp]
                  [--policy multi|single] [--switching wh|vct|saf]
+                 [--trace-out FILE]          flight-recorder trace (.json or
+                                             .csv; EBDA_TRACE env works too)
 
 a <design> is partitions separated by '|' or '->', channels like X1+, Ye2-
 (example: \"X- | X+ Y+ Y-\" is the west-first turn model), or a preset:
@@ -300,7 +302,43 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             cfg.buffer_depth = cfg.buffer_depth.max(cfg.packet_length);
         }
     }
-    let result = simulate(&topo, &relation, &cfg);
+    let trace = flag_value(args, "--trace-out")
+        .map(std::path::PathBuf::from)
+        .or_else(|| std::env::var_os("EBDA_TRACE").map(std::path::PathBuf::from));
+    if trace.is_none() && args.iter().any(|a| a == "--trace-out") {
+        return Err("--trace-out needs a path argument".into());
+    }
+    let result = if let Some(path) = &trace {
+        ebda_obs::telemetry::set_enabled(true);
+        let mut rec = ebda_obs::Recorder::with_defaults();
+        let result = ebda::sim::simulate_traced(&topo, &relation, &cfg, Some(&mut rec));
+        let text = if path
+            .extension()
+            .is_some_and(|e| e.eq_ignore_ascii_case("csv"))
+        {
+            rec.events_csv()
+        } else {
+            // Splice the telemetry snapshot in as a fifth top-level key,
+            // matching the bench binaries' trace format.
+            let mut doc = rec.write_json();
+            let end = doc.rfind('}').expect("write_json emits an object");
+            doc.truncate(end);
+            doc.push_str(",\n  \"telemetry\": ");
+            doc.push_str(ebda_obs::telemetry::snapshot().to_json().trim_end());
+            doc.push_str("\n}\n");
+            doc
+        };
+        std::fs::write(path, text).map_err(|e| format!("write trace {}: {e}", path.display()))?;
+        eprintln!(
+            "trace written to {} ({} events, {} samples)",
+            path.display(),
+            rec.total_events(),
+            rec.samples().len()
+        );
+        result
+    } else {
+        simulate(&topo, &relation, &cfg)
+    };
     println!("{result}");
     if let Some(cv) = result.channel_balance_cv() {
         println!("channel balance (CV, lower is better): {cv:.3}");

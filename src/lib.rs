@@ -41,6 +41,7 @@
 
 pub use ebda_cdg as cdg;
 pub use ebda_core as core;
+pub use ebda_obs as obs;
 pub use ebda_routing as routing;
 pub use noc_sim as sim;
 

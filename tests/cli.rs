@@ -71,6 +71,57 @@ fn simulate_reports_completion() {
 }
 
 #[test]
+fn simulate_trace_out_roundtrips_through_obs_parser() {
+    let dir = std::env::temp_dir();
+    let json_path = dir.join(format!("ebda-cli-trace-{}.json", std::process::id()));
+    let out = ebda(&[
+        "simulate",
+        "X- | X+ Y+ Y-",
+        "--mesh",
+        "4x4",
+        "--rate",
+        "0.02",
+        "--trace-out",
+        json_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&json_path).expect("trace file written");
+    std::fs::remove_file(&json_path).ok();
+    let doc = ebda::obs::json::Value::parse(&text).expect("trace JSON parses");
+    let events = doc.get("events").unwrap().as_arr().unwrap();
+    assert!(!events.is_empty());
+    assert!(doc.get("totals").unwrap().get("inject").unwrap().as_u64() > Some(0));
+    assert!(!doc.get("samples").unwrap().as_arr().unwrap().is_empty());
+
+    // The CSV flavour: an events table our own parser accepts.
+    let csv_path = dir.join(format!("ebda-cli-trace-{}.csv", std::process::id()));
+    let out = ebda(&[
+        "simulate",
+        "X- | X+ Y+ Y-",
+        "--mesh",
+        "4x4",
+        "--rate",
+        "0.02",
+        "--trace-out",
+        csv_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let csv = std::fs::read_to_string(&csv_path).expect("CSV trace written");
+    std::fs::remove_file(&csv_path).ok();
+    let mut lines = csv.lines();
+    let header = lines.next().unwrap();
+    let cols = header.split(',').count();
+    for line in lines {
+        let fields = ebda::obs::csv::parse_line(line).expect("CSV row parses");
+        assert_eq!(fields.len(), cols);
+    }
+}
+
+#[test]
 fn certify_both_ways() {
     let ok = ebda(&[
         "certify",

@@ -1,177 +1,30 @@
-//! Property-based tests of the EbDa theorems: randomly generated designs
+//! Randomized tests of the EbDa theorems: randomly generated designs
 //! that satisfy the hypotheses of Theorems 1–3 must always produce acyclic
 //! channel dependency graphs, and the corollaries must hold.
+//!
+//! Driven by a seeded [`Rng64`] instead of a property-testing framework
+//! so the suite is fully deterministic and dependency-free; every assert
+//! message carries the case index for replay.
 
 use ebda::core::adaptiveness::{count_minimal_paths, max_minimal_paths};
 use ebda::prelude::*;
-use proptest::prelude::*;
+use ebda_obs::Rng64;
 
 /// The 2D channel universe with up to 2 VCs per dimension (8 classes).
 fn universe_2d() -> Vec<Channel> {
     parse_channels("X1+ X1- X2+ X2- Y1+ Y1- Y2+ Y2-").expect("static universe")
 }
 
-/// Strategy: an ordered assignment of a random subset of the 8 channels
-/// into up to 4 partitions (assignment value 0 = unused).
-fn assignment() -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(0u8..=4, 8)
+/// An ordered assignment of a random subset of `len` channels into up to
+/// 4 partitions (assignment value 0 = unused).
+fn random_assignment(rng: &mut Rng64, len: usize) -> Vec<u8> {
+    (0..len).map(|_| rng.gen_index(5) as u8).collect()
 }
 
 /// Builds the partition sequence from an assignment, returning `None` when
 /// the result violates Theorem 1 / disjointness or is empty.
 fn build_seq(assign: &[u8]) -> Option<PartitionSeq> {
-    let universe = universe_2d();
-    let mut parts: Vec<Partition> = Vec::new();
-    for block in 1..=4u8 {
-        let channels: Vec<Channel> = universe
-            .iter()
-            .zip(assign.iter())
-            .filter(|(_, &a)| a == block)
-            .map(|(&c, _)| c)
-            .collect();
-        if channels.is_empty() {
-            continue;
-        }
-        parts.push(Partition::from_channels(channels).ok()?);
-    }
-    if parts.is_empty() {
-        return None;
-    }
-    let seq = PartitionSeq::from_partitions(parts);
-    seq.validate().ok()?;
-    Some(seq)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// THE theorem: any partitioning satisfying Theorems 1–3 has an
-    /// acyclic CDG on a concrete mesh (checked on 4x4).
-    #[test]
-    fn valid_partitionings_always_have_acyclic_cdgs(assign in assignment()) {
-        if let Some(seq) = build_seq(&assign) {
-            let topo = Topology::mesh(&[4, 4]);
-            let report = verify_design(&topo, &seq).unwrap();
-            prop_assert!(report.is_deadlock_free(), "{seq} gave {report}");
-        }
-    }
-
-    /// Corollary of Theorem 1: any sub-partition of a cycle-free partition
-    /// is cycle-free, and dropping whole partitions keeps the design valid
-    /// and acyclic.
-    #[test]
-    fn sub_designs_remain_acyclic(assign in assignment(), keep_mask in 1u8..16) {
-        if let Some(seq) = build_seq(&assign) {
-            let kept: Vec<Partition> = seq
-                .partitions()
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| keep_mask & (1 << i) != 0)
-                .map(|(_, p)| p.clone())
-                .collect();
-            if kept.is_empty() {
-                return Ok(());
-            }
-            let sub = PartitionSeq::from_partitions(kept);
-            prop_assert!(sub.validate().is_ok());
-            let topo = Topology::mesh(&[4, 4]);
-            let report = verify_design(&topo, &sub).unwrap();
-            prop_assert!(report.is_deadlock_free());
-        }
-    }
-
-    /// Corollary of Theorem 3: any permutation of the partitions is also a
-    /// valid, deadlock-free design (only the turn sets differ).
-    #[test]
-    fn permuted_transition_orders_remain_acyclic(assign in assignment(), seed in 0u64..1000) {
-        if let Some(seq) = build_seq(&assign) {
-            let n = seq.len();
-            let mut order: Vec<usize> = (0..n).collect();
-            // Cheap deterministic shuffle from the seed.
-            for i in (1..n).rev() {
-                let j = (seed as usize).wrapping_mul(31).wrapping_add(i) % (i + 1);
-                order.swap(i, j);
-            }
-            let permuted = seq.permuted(&order);
-            let topo = Topology::mesh(&[4, 4]);
-            let report = verify_design(&topo, &permuted).unwrap();
-            prop_assert!(report.is_deadlock_free());
-        }
-    }
-
-    /// Algorithm 1 produces valid, acyclic designs for every VC budget.
-    #[test]
-    fn algorithm1_is_total_and_sound(x in 1u8..=4, y in 1u8..=4, z in 1u8..=3) {
-        let seq = ebda::core::algorithm1::partition_network(&[x, y, z]).unwrap();
-        prop_assert!(seq.validate().is_ok());
-        prop_assert_eq!(seq.channel_count(), 2 * (x + y + z) as usize);
-        let topo = Topology::mesh(&[3, 3, 3]);
-        let report = verify_design(&topo, &seq).unwrap();
-        prop_assert!(report.is_deadlock_free(), "vcs ({},{},{})", x, y, z);
-    }
-
-    /// Path counting never exceeds the fully adaptive multinomial bound,
-    /// and a valid design always allows at least one minimal path in 2D
-    /// full meshes when its channels cover all four directions.
-    #[test]
-    fn path_counts_bounded(assign in assignment(), sx in 0i64..4, sy in 0i64..4, dx in 0i64..4, dy in 0i64..4) {
-        prop_assume!((sx, sy) != (dx, dy));
-        if let Some(seq) = build_seq(&assign) {
-            let ex = extract_turns(&seq).unwrap();
-            let universe = seq.channels();
-            let count = count_minimal_paths(ex.turn_set(), &universe, &[sx, sy], &[dx, dy]);
-            let bound = max_minimal_paths(&[sx, sy], &[dx, dy]);
-            prop_assert!(count <= bound, "{count} > bound {bound} for {seq}");
-        }
-    }
-
-    /// Certification round-trip: the extraction of any valid design is
-    /// always certifiable, and the certificate covers every extracted
-    /// turn (EbDa certificates are complete over EbDa-generated sets).
-    #[test]
-    fn certification_roundtrips_on_valid_designs(assign in assignment()) {
-        if let Some(seq) = build_seq(&assign) {
-            let ex = extract_turns(&seq).unwrap();
-            let universe = seq.channels();
-            let (cert, _surplus) =
-                ebda::core::certify::certify_checked(&universe, ex.turn_set())
-                    .unwrap_or_else(|e| panic!("{seq} not certifiable: {e}"));
-            prop_assert!(cert.validate().is_ok());
-            // The certificate itself verifies on a concrete mesh.
-            let report = verify_design(&Topology::mesh(&[4, 4]), &cert).unwrap();
-            prop_assert!(report.is_deadlock_free());
-        }
-    }
-
-    /// The Figure 4 identity holds for arbitrary channel counts.
-    #[test]
-    fn fig4_identity(a in 0u64..500, b in 0u64..500) {
-        let (total, u, i) = ebda::core::adaptiveness::fig4_turn_counts(a, b);
-        prop_assert_eq!(total, u + i);
-        prop_assert_eq!(u, a * b);
-    }
-
-    /// Exceptional partitionings are valid and acyclic for any dimension
-    /// count in range.
-    #[test]
-    fn exceptional_options_sound(n in 1usize..=3) {
-        for seq in ebda::core::exceptional::exceptional_partitionings(n).unwrap() {
-            prop_assert!(seq.validate().is_ok());
-            let radix = vec![3usize; n];
-            let report = verify_design(&Topology::mesh(&radix), &seq).unwrap();
-            prop_assert!(report.is_deadlock_free());
-        }
-    }
-}
-
-/// 3D universe with an extra VC on Z: 8 channel classes.
-fn universe_3d() -> Vec<Channel> {
-    parse_channels("X1+ X1- Y1+ Y1- Z1+ Z1- Z2+ Z2-").expect("static universe")
-}
-
-/// Parity-split 2D universe (the Odd-Even shape): 6 channel classes.
-fn universe_parity() -> Vec<Channel> {
-    parse_channels("X1+ X1- Ye1+ Ye1- Yo1+ Yo1-").expect("static universe")
+    build_seq_over(&universe_2d(), assign)
 }
 
 fn build_seq_over(universe: &[Channel], assign: &[u8]) -> Option<PartitionSeq> {
@@ -196,39 +49,221 @@ fn build_seq_over(universe: &[Channel], assign: &[u8]) -> Option<PartitionSeq> {
     Some(seq)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// The theorem holds in 3D with mixed VCs too.
-    #[test]
-    fn valid_3d_partitionings_have_acyclic_cdgs(
-        assign in proptest::collection::vec(0u8..=4, 8)
-    ) {
-        if let Some(seq) = build_seq_over(&universe_3d(), &assign) {
-            let topo = Topology::mesh(&[3, 3, 3]);
+/// THE theorem: any partitioning satisfying Theorems 1–3 has an
+/// acyclic CDG on a concrete mesh (checked on 4x4).
+#[test]
+fn valid_partitionings_always_have_acyclic_cdgs() {
+    let mut rng = Rng64::new(0xEBDA_0001);
+    let mut checked = 0;
+    for case in 0..256 {
+        let assign = random_assignment(&mut rng, 8);
+        if let Some(seq) = build_seq(&assign) {
+            checked += 1;
+            let topo = Topology::mesh(&[4, 4]);
             let report = verify_design(&topo, &seq).unwrap();
-            prop_assert!(report.is_deadlock_free(), "{seq} gave {report}");
+            assert!(
+                report.is_deadlock_free(),
+                "case {case}: {seq} gave {report}"
+            );
         }
     }
+    assert!(checked > 20, "only {checked} valid designs drawn");
+}
 
-    /// And with parity-split channel classes (Odd-Even-style universes),
-    /// on meshes of both radix parities.
-    #[test]
-    fn valid_parity_partitionings_have_acyclic_cdgs(
-        assign in proptest::collection::vec(0u8..=4, 6)
-    ) {
-        if let Some(seq) = build_seq_over(&universe_parity(), &assign) {
-            for radix in [4usize, 5] {
-                let topo = Topology::mesh(&[radix, radix]);
+/// Corollary of Theorem 1: any sub-partition of a cycle-free partition
+/// is cycle-free, and dropping whole partitions keeps the design valid
+/// and acyclic.
+#[test]
+fn sub_designs_remain_acyclic() {
+    let mut rng = Rng64::new(0xEBDA_0002);
+    for case in 0..256 {
+        let assign = random_assignment(&mut rng, 8);
+        let keep_mask = 1 + rng.gen_index(15) as u8;
+        if let Some(seq) = build_seq(&assign) {
+            let kept: Vec<Partition> = seq
+                .partitions()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| keep_mask & (1 << i) != 0)
+                .map(|(_, p)| p.clone())
+                .collect();
+            if kept.is_empty() {
+                continue;
+            }
+            let sub = PartitionSeq::from_partitions(kept);
+            assert!(sub.validate().is_ok(), "case {case}");
+            let topo = Topology::mesh(&[4, 4]);
+            let report = verify_design(&topo, &sub).unwrap();
+            assert!(report.is_deadlock_free(), "case {case}");
+        }
+    }
+}
+
+/// Corollary of Theorem 3: any permutation of the partitions is also a
+/// valid, deadlock-free design (only the turn sets differ).
+#[test]
+fn permuted_transition_orders_remain_acyclic() {
+    let mut rng = Rng64::new(0xEBDA_0003);
+    for case in 0..256 {
+        let assign = random_assignment(&mut rng, 8);
+        if let Some(seq) = build_seq(&assign) {
+            let n = seq.len();
+            let mut order: Vec<usize> = (0..n).collect();
+            rng.shuffle(&mut order);
+            let permuted = seq.permuted(&order);
+            let topo = Topology::mesh(&[4, 4]);
+            let report = verify_design(&topo, &permuted).unwrap();
+            assert!(report.is_deadlock_free(), "case {case}");
+        }
+    }
+}
+
+/// Algorithm 1 produces valid, acyclic designs for every VC budget.
+#[test]
+fn algorithm1_is_total_and_sound() {
+    for x in 1u8..=4 {
+        for y in 1u8..=4 {
+            for z in 1u8..=3 {
+                let seq = ebda::core::algorithm1::partition_network(&[x, y, z]).unwrap();
+                assert!(seq.validate().is_ok());
+                assert_eq!(seq.channel_count(), 2 * (x + y + z) as usize);
+                let topo = Topology::mesh(&[3, 3, 3]);
                 let report = verify_design(&topo, &seq).unwrap();
-                prop_assert!(report.is_deadlock_free(), "{seq} on {radix}: {report}");
+                assert!(report.is_deadlock_free(), "vcs ({x},{y},{z})");
             }
         }
     }
 }
 
-/// A deterministic negative control outside proptest: two complete pairs in
-/// one partition must be rejected before any CDG is built.
+/// Path counting never exceeds the fully adaptive multinomial bound,
+/// and a valid design always allows at least one minimal path in 2D
+/// full meshes when its channels cover all four directions.
+#[test]
+fn path_counts_bounded() {
+    let mut rng = Rng64::new(0xEBDA_0004);
+    for case in 0..256 {
+        let assign = random_assignment(&mut rng, 8);
+        let (sx, sy) = (rng.gen_index(4) as i64, rng.gen_index(4) as i64);
+        let (dx, dy) = (rng.gen_index(4) as i64, rng.gen_index(4) as i64);
+        if (sx, sy) == (dx, dy) {
+            continue;
+        }
+        if let Some(seq) = build_seq(&assign) {
+            let ex = extract_turns(&seq).unwrap();
+            let universe = seq.channels();
+            let count = count_minimal_paths(ex.turn_set(), &universe, &[sx, sy], &[dx, dy]);
+            let bound = max_minimal_paths(&[sx, sy], &[dx, dy]);
+            assert!(
+                count <= bound,
+                "case {case}: {count} > bound {bound} for {seq}"
+            );
+        }
+    }
+}
+
+/// Certification round-trip: the extraction of any valid design is
+/// always certifiable, and the certificate covers every extracted
+/// turn (EbDa certificates are complete over EbDa-generated sets).
+#[test]
+fn certification_roundtrips_on_valid_designs() {
+    let mut rng = Rng64::new(0xEBDA_0005);
+    for case in 0..256 {
+        let assign = random_assignment(&mut rng, 8);
+        if let Some(seq) = build_seq(&assign) {
+            let ex = extract_turns(&seq).unwrap();
+            let universe = seq.channels();
+            let (cert, _surplus) = ebda::core::certify::certify_checked(&universe, ex.turn_set())
+                .unwrap_or_else(|e| panic!("case {case}: {seq} not certifiable: {e}"));
+            assert!(cert.validate().is_ok(), "case {case}");
+            // The certificate itself verifies on a concrete mesh.
+            let report = verify_design(&Topology::mesh(&[4, 4]), &cert).unwrap();
+            assert!(report.is_deadlock_free(), "case {case}");
+        }
+    }
+}
+
+/// The Figure 4 identity holds for arbitrary channel counts.
+#[test]
+fn fig4_identity() {
+    let mut rng = Rng64::new(0xEBDA_0006);
+    for case in 0..256 {
+        let a = rng.gen_range(500);
+        let b = rng.gen_range(500);
+        let (total, u, i) = ebda::core::adaptiveness::fig4_turn_counts(a, b);
+        assert_eq!(total, u + i, "case {case}");
+        assert_eq!(u, a * b, "case {case}");
+    }
+}
+
+/// Exceptional partitionings are valid and acyclic for any dimension
+/// count in range.
+#[test]
+fn exceptional_options_sound() {
+    for n in 1usize..=3 {
+        for seq in ebda::core::exceptional::exceptional_partitionings(n).unwrap() {
+            assert!(seq.validate().is_ok());
+            let radix = vec![3usize; n];
+            let report = verify_design(&Topology::mesh(&radix), &seq).unwrap();
+            assert!(report.is_deadlock_free());
+        }
+    }
+}
+
+/// 3D universe with an extra VC on Z: 8 channel classes.
+fn universe_3d() -> Vec<Channel> {
+    parse_channels("X1+ X1- Y1+ Y1- Z1+ Z1- Z2+ Z2-").expect("static universe")
+}
+
+/// Parity-split 2D universe (the Odd-Even shape): 6 channel classes.
+fn universe_parity() -> Vec<Channel> {
+    parse_channels("X1+ X1- Ye1+ Ye1- Yo1+ Yo1-").expect("static universe")
+}
+
+/// The theorem holds in 3D with mixed VCs too.
+#[test]
+fn valid_3d_partitionings_have_acyclic_cdgs() {
+    let mut rng = Rng64::new(0xEBDA_0007);
+    let mut checked = 0;
+    for case in 0..96 {
+        let assign = random_assignment(&mut rng, 8);
+        if let Some(seq) = build_seq_over(&universe_3d(), &assign) {
+            checked += 1;
+            let topo = Topology::mesh(&[3, 3, 3]);
+            let report = verify_design(&topo, &seq).unwrap();
+            assert!(
+                report.is_deadlock_free(),
+                "case {case}: {seq} gave {report}"
+            );
+        }
+    }
+    assert!(checked > 5, "only {checked} valid 3D designs drawn");
+}
+
+/// And with parity-split channel classes (Odd-Even-style universes),
+/// on meshes of both radix parities.
+#[test]
+fn valid_parity_partitionings_have_acyclic_cdgs() {
+    let mut rng = Rng64::new(0xEBDA_0008);
+    let mut checked = 0;
+    for case in 0..96 {
+        let assign = random_assignment(&mut rng, 6);
+        if let Some(seq) = build_seq_over(&universe_parity(), &assign) {
+            checked += 1;
+            for radix in [4usize, 5] {
+                let topo = Topology::mesh(&[radix, radix]);
+                let report = verify_design(&topo, &seq).unwrap();
+                assert!(
+                    report.is_deadlock_free(),
+                    "case {case}: {seq} on {radix}: {report}"
+                );
+            }
+        }
+    }
+    assert!(checked > 5, "only {checked} valid parity designs drawn");
+}
+
+/// A deterministic negative control: two complete pairs in one partition
+/// must be rejected before any CDG is built.
 #[test]
 fn negative_control_invalid_designs_rejected() {
     let seq = PartitionSeq::parse("X+ X- Y+ Y-").unwrap();
