@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod oracle_cli;
 pub mod trace;
 
 use ebda_core::extract::{Extraction, Justification};

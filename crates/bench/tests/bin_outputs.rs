@@ -48,6 +48,64 @@ fn table5_prints_thirty_turns() {
     assert!(text.contains("verified deadlock-free on the partially connected"));
 }
 
+/// Exact golden-file snapshots of the table binaries. The key-line checks
+/// above survive layout churn; these do not — any byte of drift in a
+/// table's output fails with the first differing line. Regenerate a
+/// snapshot with e.g.
+/// `cargo run --release -p ebda-bench --bin table1 > crates/bench/tests/golden/table1.txt`
+/// after verifying the new output is intentional.
+#[test]
+fn table_outputs_match_their_golden_files() {
+    for (bin, exe, golden) in [
+        (
+            "table1",
+            env!("CARGO_BIN_EXE_table1"),
+            include_str!("golden/table1.txt"),
+        ),
+        (
+            "table2",
+            env!("CARGO_BIN_EXE_table2"),
+            include_str!("golden/table2.txt"),
+        ),
+        (
+            "table3",
+            env!("CARGO_BIN_EXE_table3"),
+            include_str!("golden/table3.txt"),
+        ),
+        (
+            "table4",
+            env!("CARGO_BIN_EXE_table4"),
+            include_str!("golden/table4.txt"),
+        ),
+        (
+            "table5",
+            env!("CARGO_BIN_EXE_table5"),
+            include_str!("golden/table5.txt"),
+        ),
+    ] {
+        let text = run(bin, exe);
+        if text == golden {
+            continue;
+        }
+        let diff = text
+            .lines()
+            .zip(golden.lines())
+            .enumerate()
+            .find(|(_, (got, want))| got != want);
+        match diff {
+            Some((i, (got, want))) => panic!(
+                "{bin} drifted from its golden file at line {}:\n  got:  {got}\n  want: {want}",
+                i + 1
+            ),
+            None => panic!(
+                "{bin} drifted from its golden file: {} output lines vs {} golden lines",
+                text.lines().count(),
+                golden.lines().count()
+            ),
+        }
+    }
+}
+
 #[test]
 fn figures_print_their_paper_matches() {
     for (bin, exe, needle) in [

@@ -36,6 +36,12 @@ impl VerificationReport {
             .as_ref()
             .map(|c| crate::witness::describe_scenario(c))
     }
+
+    /// Exports the witness cycle as machine-readable JSON (see
+    /// [`crate::witness::cycle_json`]); `None` for deadlock-free designs.
+    pub fn witness_json(&self) -> Option<String> {
+        self.cycle.as_ref().map(|c| crate::witness::cycle_json(c))
+    }
 }
 
 impl fmt::Display for VerificationReport {

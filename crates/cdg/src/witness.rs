@@ -83,6 +83,30 @@ pub fn describe_scenario(cycle: &[ConcreteChannel]) -> String {
     out
 }
 
+/// Renders a dependency cycle as a machine-readable JSON array, one object
+/// per concrete channel in cycle order — the export consumed by the
+/// differential oracle when it persists a disagreement witness next to the
+/// flight-recorder trace.
+///
+/// Fields per element: `from`/`to` node ids, `dim` (printable dimension
+/// name), `dir` (`"+"`/`"-"`) and `vc` (1-based).
+pub fn cycle_json(cycle: &[ConcreteChannel]) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("[");
+    for (i, c) in cycle.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"from\":{},\"to\":{},\"dim\":\"{}\",\"dir\":\"{}\",\"vc\":{}}}",
+            c.from, c.to, c.dim, c.dir, c.vc
+        );
+    }
+    out.push(']');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +157,23 @@ mod tests {
         assert!(text.contains("packet D holds"));
         assert!(text.contains("no packet can advance"));
         assert_eq!(text.matches("waits for").count(), cycle.len());
+    }
+
+    #[test]
+    fn cycle_json_is_parseable_and_complete() {
+        let cdg = cyclic_cdg(3);
+        let cycle = shortest_cycle(&cdg).unwrap();
+        let json = cycle_json(&cycle);
+        let doc = ebda_obs::json::Value::parse(&json).unwrap();
+        let arr = doc.as_arr().unwrap();
+        assert_eq!(arr.len(), cycle.len());
+        for (v, c) in arr.iter().zip(&cycle) {
+            assert_eq!(v.get("from").unwrap().as_u64().unwrap(), c.from as u64);
+            assert_eq!(v.get("to").unwrap().as_u64().unwrap(), c.to as u64);
+            assert_eq!(v.get("vc").unwrap().as_u64().unwrap(), u64::from(c.vc));
+            let dir = v.get("dir").unwrap().as_str().unwrap();
+            assert!(dir == "+" || dir == "-");
+        }
     }
 
     #[test]

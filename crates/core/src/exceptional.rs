@@ -99,5 +99,62 @@ mod tests {
     fn bounds_are_enforced() {
         assert!(exceptional_partitionings(0).is_err());
         assert!(exceptional_partitionings(17).is_err());
+        let msg = exceptional_partitionings(0).unwrap_err().to_string();
+        assert!(msg.contains("dimension"), "unhelpful error: {msg}");
+    }
+
+    #[test]
+    fn one_dimension_yields_exactly_the_two_ring_orders() {
+        // The smallest accepting boundary: a 1-D network has one channel
+        // per direction, so the only options are which direction leads.
+        let opts = exceptional_partitionings(1).unwrap();
+        let strings: Vec<String> = opts.iter().map(|s| s.to_string()).collect();
+        assert_eq!(strings, ["[X1+] -> [X1-]", "[X1-] -> [X1+]"]);
+        for seq in &opts {
+            assert!(seq.validate().is_ok());
+            assert!(crate::theorems::design_verdict(seq).is_deadlock_free());
+        }
+    }
+
+    #[test]
+    fn sixteen_dimensions_is_the_accepted_boundary() {
+        // n = 16 is the last accepted dimension count: 2^16 options, each
+        // pairing a 16-channel PA with its opposite PB. Enumerating all of
+        // them is cheap; validating every one is not, so spot-check the
+        // corners of the sign-vector lattice.
+        let opts = exceptional_partitionings(16).unwrap();
+        assert_eq!(opts.len(), 1 << 16);
+        for seq in [&opts[0], &opts[(1 << 16) - 1]] {
+            assert!(seq.validate().is_ok());
+            for p in seq.partitions() {
+                assert_eq!(p.len(), 16);
+                assert!(p.complete_pair_dims().is_empty());
+            }
+        }
+        // The first option is all-Plus-first; the last is its mirror.
+        assert!(opts[0].to_string().starts_with("[X1+ Y1+ Z1+"));
+        assert!(opts[(1 << 16) - 1].to_string().starts_with("[X1- Y1- Z1-"));
+    }
+
+    #[test]
+    fn merging_the_exceptional_partitions_violates_theorem_1() {
+        // The whole point of the exceptional case: each partition alone has
+        // no complete pair, but their union has one per dimension — merging
+        // them back into a single partition must be rejected, with the
+        // verdict naming Theorem 1.
+        let opts = exceptional_partitionings(2).unwrap();
+        let mut merged = Partition::new();
+        for p in opts[0].partitions() {
+            for &c in p.channels() {
+                merged.push(c).unwrap();
+            }
+        }
+        assert_eq!(merged.complete_pair_dims().len(), 2);
+        let seq = PartitionSeq::from_partitions(vec![merged]);
+        let err = seq.validate().unwrap_err();
+        assert!(err.to_string().contains("Theorem 1"), "{err}");
+        let verdict = crate::theorems::design_verdict(&seq);
+        assert!(!verdict.is_deadlock_free());
+        assert!(verdict.reason().unwrap().contains("Theorem 1"));
     }
 }

@@ -76,6 +76,7 @@ pub use error::{EbdaError, Result};
 pub use extract::{extract_turns, Extraction, Justification};
 pub use partition::{DirectionCoverage, Partition};
 pub use sequence::PartitionSeq;
+pub use theorems::{design_verdict, DesignVerdict};
 pub use turn::{Turn, TurnCounts, TurnKind, TurnSet};
 
 #[cfg(test)]

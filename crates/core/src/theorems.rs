@@ -81,6 +81,86 @@ impl fmt::Display for DesignAnalysis {
     }
 }
 
+/// A one-call EbDa verdict on a partition sequence, with the reason
+/// attached — the machine-friendly face of [`analyze`] used by the
+/// differential oracle and any caller that needs to know *why* a design
+/// was rejected without pattern-matching on error types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesignVerdict {
+    /// The design satisfies Theorem 1 and partition disjointness, so the
+    /// turn extraction (Theorems 1–3) succeeded: deadlock-free by
+    /// construction on meshes.
+    DeadlockFree {
+        /// Number of partitions in the sequence.
+        partitions: usize,
+        /// Total channel count across partitions.
+        channels: usize,
+        /// Turn counts of the full extraction.
+        turns: TurnCounts,
+    },
+    /// The design violates the EbDa preconditions; `reason` is the
+    /// rendered validation error (which theorem failed, and where).
+    Rejected {
+        /// Human-readable rejection reason.
+        reason: String,
+    },
+}
+
+impl DesignVerdict {
+    /// Returns `true` when EbDa accepts the design.
+    pub fn is_deadlock_free(&self) -> bool {
+        matches!(self, DesignVerdict::DeadlockFree { .. })
+    }
+
+    /// The rejection reason, or `None` for accepted designs.
+    pub fn reason(&self) -> Option<&str> {
+        match self {
+            DesignVerdict::DeadlockFree { .. } => None,
+            DesignVerdict::Rejected { reason } => Some(reason),
+        }
+    }
+}
+
+impl fmt::Display for DesignVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignVerdict::DeadlockFree {
+                partitions,
+                channels,
+                turns,
+            } => write!(
+                f,
+                "deadlock-free by construction: {partitions} partitions, {channels} channels, turns {turns}"
+            ),
+            DesignVerdict::Rejected { reason } => write!(f, "rejected: {reason}"),
+        }
+    }
+}
+
+/// Runs the EbDa checks on a partition sequence and returns the verdict
+/// with its reason.
+///
+/// ```
+/// use ebda_core::theorems::design_verdict;
+/// use ebda_core::PartitionSeq;
+/// let ok = design_verdict(&PartitionSeq::parse("X- | X+ Y+ Y-").unwrap());
+/// assert!(ok.is_deadlock_free());
+/// let bad = design_verdict(&PartitionSeq::parse("X+ X- Y+ Y-").unwrap());
+/// assert!(bad.reason().unwrap().contains("Theorem 1"));
+/// ```
+pub fn design_verdict(seq: &PartitionSeq) -> DesignVerdict {
+    match extract_turns(seq) {
+        Ok(extraction) => DesignVerdict::DeadlockFree {
+            partitions: seq.len(),
+            channels: seq.channel_count(),
+            turns: extraction.turn_set().counts(),
+        },
+        Err(e) => DesignVerdict::Rejected {
+            reason: e.to_string(),
+        },
+    }
+}
+
 /// Analyzes a design: validates it (Theorem 1 + disjointness), extracts all
 /// turns (Theorems 1–3) and evaluates region adaptiveness over `n`
 /// dimensions.
@@ -221,6 +301,35 @@ mod tests {
         // Invalid designs are refused.
         let bad = PartitionSeq::parse("X+ X- Y+ Y-").unwrap();
         assert!(markdown_report(&bad, 2, 3).is_err());
+    }
+
+    #[test]
+    fn verdict_accepts_catalog_designs_with_counts() {
+        let v = design_verdict(&catalog::fig7b_dyxy());
+        match &v {
+            DesignVerdict::DeadlockFree {
+                partitions,
+                channels,
+                ..
+            } => {
+                assert_eq!(*partitions, 2);
+                assert_eq!(*channels, 6);
+            }
+            other => panic!("expected acceptance, got {other}"),
+        }
+        assert!(v.is_deadlock_free());
+        assert!(v.reason().is_none());
+        assert!(v.to_string().contains("deadlock-free by construction"));
+    }
+
+    #[test]
+    fn verdict_rejects_with_the_validation_reason() {
+        let bad = PartitionSeq::parse("X+ X- Y+ Y-").unwrap();
+        let v = design_verdict(&bad);
+        assert!(!v.is_deadlock_free());
+        let reason = v.reason().unwrap();
+        assert!(reason.contains("Theorem 1"), "reason was: {reason}");
+        assert!(v.to_string().starts_with("rejected: "));
     }
 
     #[test]

@@ -1,0 +1,342 @@
+//! An exhaustive bounded deadlock searcher, independent of the CDG code.
+//!
+//! The searcher decides deadlock-freedom by reachability over *channel-wait
+//! configurations* of a wormhole network: a configuration is a set of
+//! blocked packets, each modelled as a `(hold, want)` pair of concrete
+//! channels — the packet's wormhole occupies `hold` and its head has
+//! requested `want`. A configuration is *self-supporting* when every wanted
+//! channel is held by another blocked packet of the same configuration,
+//! which is exactly the circular-wait condition of a wormhole deadlock.
+//!
+//! Starting from the set of **all** admissible pairs (every hop the routing
+//! relation allows), [`search`] computes the greatest fixed point of the
+//! blocking operator: it repeatedly discards pairs whose wanted channel is
+//! not held by any surviving pair. The fixed point is the union of all
+//! self-supporting configurations; it is nonempty iff some reachable
+//! configuration deadlocks, and a witness circular wait can be read off by
+//! following `want → hold` links until a channel repeats.
+//!
+//! The implementation deliberately shares **nothing** with `ebda-cdg`: it
+//! enumerates concrete channels its own way (per node, not per link list),
+//! represents waits as pairs (not adjacency lists) and converges by fixed
+//! point (not by three-colour DFS). Agreement between the two is therefore
+//! meaningful evidence, which is the whole point of a differential oracle.
+
+use ebda_cdg::topology::{NodeId, Topology};
+use ebda_core::{Channel, Dimension, Direction, TurnSet};
+use std::fmt;
+
+/// A concrete channel as the brute searcher sees it: one virtual channel of
+/// one directed link. Intentionally a distinct type from
+/// `ebda_cdg::ConcreteChannel` so the oracle never leans on CDG code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BruteChannel {
+    /// Source node of the link.
+    pub from: NodeId,
+    /// Destination node of the link.
+    pub to: NodeId,
+    /// Dimension the link runs along.
+    pub dim: Dimension,
+    /// Direction of travel.
+    pub dir: Direction,
+    /// Virtual channel (1-based).
+    pub vc: u8,
+}
+
+impl fmt::Display for BruteChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{} ({}→{})",
+            self.dim, self.vc, self.dir, self.from, self.to
+        )
+    }
+}
+
+/// The outcome of a brute-force deadlock search.
+#[derive(Debug, Clone)]
+pub struct BruteReport {
+    /// Number of concrete channels enumerated.
+    pub channels: usize,
+    /// Number of admissible `(hold, want)` pairs before pruning.
+    pub pairs: usize,
+    /// Pairs surviving in the greatest fixed point (0 = deadlock-free).
+    pub surviving: usize,
+    /// Pruning sweeps needed to converge.
+    pub sweeps: usize,
+    /// A circular wait read off the fixed point, or `None` when empty.
+    pub witness: Option<Vec<BruteChannel>>,
+}
+
+impl BruteReport {
+    /// Returns `true` when no self-supporting blocked configuration exists.
+    pub fn is_deadlock_free(&self) -> bool {
+        self.witness.is_none()
+    }
+}
+
+impl fmt::Display for BruteReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.witness {
+            None => write!(
+                f,
+                "brute: deadlock-free ({} channels, {} wait pairs pruned in {} sweeps)",
+                self.channels, self.pairs, self.sweeps
+            ),
+            Some(w) => {
+                write!(f, "brute: DEADLOCK, circular wait of {}: ", w.len())?;
+                for (i, c) in w.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Enumerates the concrete channels of `topo` under the per-dimension VC
+/// budget — walking nodes and ports directly rather than using the
+/// topology's link list, so the enumeration is independent of `ebda-cdg`.
+fn enumerate_channels(topo: &Topology, vcs: &[u8]) -> Vec<BruteChannel> {
+    assert_eq!(vcs.len(), topo.dims(), "one VC count per dimension");
+    let mut out = Vec::new();
+    for node in 0..topo.node_count() {
+        for (d, &dim_vcs) in vcs.iter().enumerate() {
+            let dim = Dimension::new(d as u8);
+            for dir in [Direction::Plus, Direction::Minus] {
+                if let Some(to) = topo.neighbor(node, dim, dir) {
+                    for vc in 1..=dim_vcs {
+                        out.push(BruteChannel {
+                            from: node,
+                            to,
+                            dim,
+                            dir,
+                            vc,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Decides deadlock-freedom of a class-level turn set on a concrete
+/// topology by greatest-fixed-point search over channel-wait
+/// configurations (see the module docs for the model).
+///
+/// The admissibility of a `(hold, want)` pair mirrors the routing
+/// semantics exactly: the links must be adjacent (`hold.to == want.from`),
+/// each concrete channel must match some class of `universe` (dimension,
+/// direction and VC equal; parity/coordinate restriction evaluated at the
+/// link's **source** node), and `turns` must allow some matched class of
+/// `hold` to continue on some matched class of `want` (going straight on
+/// the same class is always allowed).
+///
+/// # Panics
+///
+/// Panics if `vcs.len()` differs from the topology's dimension count.
+pub fn search(topo: &Topology, vcs: &[u8], universe: &[Channel], turns: &TurnSet) -> BruteReport {
+    let channels = enumerate_channels(topo, vcs);
+    let n = channels.len();
+
+    // Class matches per concrete channel, evaluated at the source node.
+    let matches: Vec<Vec<usize>> = channels
+        .iter()
+        .map(|c| {
+            let coords = topo.coords(c.from);
+            universe
+                .iter()
+                .enumerate()
+                .filter(|(_, cl)| {
+                    cl.dim == c.dim
+                        && cl.dir == c.dir
+                        && cl.vc == c.vc
+                        && cl.class.contains(&coords)
+                })
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+
+    // Channels grouped by source node, to find the wants of each hold.
+    let mut by_source: Vec<Vec<usize>> = vec![Vec::new(); topo.node_count()];
+    for (i, c) in channels.iter().enumerate() {
+        by_source[c.from].push(i);
+    }
+
+    // All admissible (hold, want) pairs.
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for hold in 0..n {
+        for &want in &by_source[channels[hold].to] {
+            let admissible = matches[hold].iter().any(|&ca| {
+                matches[want]
+                    .iter()
+                    .any(|&cb| turns.allows(universe[ca], universe[cb]))
+            });
+            if admissible {
+                pairs.push((hold, want));
+            }
+        }
+    }
+    let pair_count = pairs.len();
+
+    // Greatest fixed point: discard pairs whose wanted channel is not held
+    // by any surviving pair, until a sweep removes nothing.
+    let mut alive = vec![true; pairs.len()];
+    let mut holds = vec![0usize; n]; // surviving pairs holding each channel
+    for &(hold, _) in &pairs {
+        holds[hold] += 1;
+    }
+    let mut sweeps = 0usize;
+    loop {
+        sweeps += 1;
+        let mut removed = false;
+        for (i, &(hold, want)) in pairs.iter().enumerate() {
+            if alive[i] && holds[want] == 0 {
+                alive[i] = false;
+                holds[hold] -= 1;
+                removed = true;
+            }
+        }
+        if !removed {
+            break;
+        }
+    }
+    let surviving = alive.iter().filter(|&&a| a).count();
+
+    // Read a circular wait off the fixed point: follow want → hold links
+    // (each wanted channel is held by a surviving pair, by construction)
+    // until a channel repeats.
+    let witness = pairs.iter().zip(&alive).find(|(_, &a)| a).map(|(&p, _)| {
+        let next_of = |ch: usize| -> usize {
+            pairs
+                .iter()
+                .zip(&alive)
+                .find(|(&(hold, _), &a)| a && hold == ch)
+                .map(|(&(_, want), _)| want)
+                .expect("fixed point: every surviving channel has a request")
+        };
+        let mut seen: Vec<usize> = vec![p.0];
+        let mut cur = p.0;
+        loop {
+            cur = next_of(cur);
+            if let Some(pos) = seen.iter().position(|&c| c == cur) {
+                return seen[pos..].iter().map(|&i| channels[i]).collect();
+            }
+            seen.push(cur);
+        }
+    });
+
+    BruteReport {
+        channels: n,
+        pairs: pair_count,
+        surviving,
+        sweeps,
+        witness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebda_cdg::dally::{design_universe, infer_vcs, verify_turn_set};
+    use ebda_core::{catalog, extract_turns, parse_channels, Turn};
+
+    #[test]
+    fn channel_enumeration_matches_link_math() {
+        let topo = Topology::mesh(&[3, 3]);
+        assert_eq!(enumerate_channels(&topo, &[1, 1]).len(), 24);
+        assert_eq!(enumerate_channels(&topo, &[2, 1]).len(), 36);
+        let torus = Topology::torus(&[4, 4]);
+        assert_eq!(enumerate_channels(&torus, &[1, 1]).len(), 64);
+    }
+
+    #[test]
+    fn all_turns_allowed_deadlocks_on_meshes() {
+        let universe = parse_channels("X+ X- Y+ Y-").unwrap();
+        let mut turns = TurnSet::new();
+        for &a in &universe {
+            for &b in &universe {
+                if a != b {
+                    turns.insert(Turn::new(a, b));
+                }
+            }
+        }
+        let report = search(&Topology::mesh(&[3, 3]), &[1, 1], &universe, &turns);
+        assert!(!report.is_deadlock_free());
+        let witness = report.witness.unwrap();
+        assert!(witness.len() >= 2);
+        // The witness is a genuine closed chain of adjacent links.
+        for i in 0..witness.len() {
+            assert_eq!(witness[i].to, witness[(i + 1) % witness.len()].from);
+        }
+    }
+
+    #[test]
+    fn straight_rings_deadlock_on_torus_but_not_mesh() {
+        let universe = parse_channels("X+ X- Y+ Y-").unwrap();
+        let turns = TurnSet::new(); // straight-through only
+        let mesh = search(&Topology::mesh(&[4, 4]), &[1, 1], &universe, &turns);
+        assert!(mesh.is_deadlock_free());
+        assert_eq!(mesh.surviving, 0);
+        let torus = search(&Topology::torus(&[4, 4]), &[1, 1], &universe, &turns);
+        assert!(!torus.is_deadlock_free());
+    }
+
+    #[test]
+    fn agrees_with_dally_on_every_catalog_design() {
+        for (name, seq) in catalog::all_designs() {
+            let universe = design_universe(&seq);
+            let dims = universe.iter().map(|c| c.dim.index() + 1).max().unwrap();
+            let vcs = infer_vcs(&universe, dims);
+            let turns = extract_turns(&seq).unwrap().into_turn_set();
+            let topo = Topology::mesh(&vec![3; dims]);
+            let dally = verify_turn_set(&topo, &vcs, &universe, &turns);
+            let brute = search(&topo, &vcs, &universe, &turns);
+            assert_eq!(
+                dally.is_deadlock_free(),
+                brute.is_deadlock_free(),
+                "{name}: dally and brute must agree ({dally} vs {brute})"
+            );
+            assert!(brute.is_deadlock_free(), "{name} must be free on a mesh");
+        }
+    }
+
+    #[test]
+    fn dateline_classes_break_the_torus_ring() {
+        // The coordinate-restricted dateline design is free on tori; the
+        // class-unrestricted dimension-order design is not. The brute
+        // searcher must see both, like the CDG does.
+        let radix = vec![4usize, 4];
+        let torus = Topology::torus(&radix);
+        let seq = catalog::torus_dateline(&radix);
+        let universe = design_universe(&seq);
+        let vcs = infer_vcs(&universe, 2);
+        let turns = extract_turns(&seq).unwrap().into_turn_set();
+        assert!(search(&torus, &vcs, &universe, &turns).is_deadlock_free());
+
+        let plain = ebda_core::PartitionSeq::parse("X+ X- | Y+ Y-").unwrap();
+        let u2 = design_universe(&plain);
+        let t2 = extract_turns(&plain).unwrap().into_turn_set();
+        assert!(!search(&torus, &[1, 1], &u2, &t2).is_deadlock_free());
+    }
+
+    #[test]
+    fn report_display_covers_both_outcomes() {
+        let universe = parse_channels("X+ X-").unwrap();
+        let turns = TurnSet::new();
+        let free = search(&Topology::mesh(&[3, 1]), &[1, 1], &universe, &turns);
+        assert!(free.to_string().contains("deadlock-free"));
+        let stuck = search(
+            &Topology::mesh(&[3, 1]).with_wrap(&[true, false]),
+            &[1, 1],
+            &universe,
+            &turns,
+        );
+        assert!(stuck.to_string().contains("DEADLOCK"));
+    }
+}

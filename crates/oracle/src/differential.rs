@@ -1,0 +1,450 @@
+//! The differential campaign: generate, cross-check, shrink, replay.
+//!
+//! [`run_campaign`] is the oracle's single entry point, shared by the
+//! `oracle` bench binary, the integration tests and CI: it draws artifacts
+//! from the deterministic [`Generator`](crate::artifact::Generator) stream,
+//! pushes each through all four verdict paths, and stops loudly at the
+//! first cross-check violation — which it then minimizes with
+//! [`crate::shrink`] and replays through the wormhole simulator with a
+//! flight recorder attached, so the abstract disagreement arrives as a
+//! concrete, watchable wait cycle.
+
+use crate::artifact::{Artifact, ArtifactKind, Generator};
+use crate::brute::BruteChannel;
+use crate::shrink::{shrink, DEFAULT_SHRINK_BUDGET};
+use crate::verdict::{cross_check, evaluate, Disagreement, Mutation};
+use ebda_obs::Rng64;
+use ebda_routing::{PortVc, RouteChoice, RouteState, RoutingRelation, TurnRouting, INJECT};
+use noc_sim::{
+    replay_with_recorder, wait_edge_count, BufferPolicy, Outcome, SimConfig, TrafficPattern,
+};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Configuration of one differential campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Seed of the artifact stream (and of the replay traffic).
+    pub seed: u64,
+    /// Wall-clock budget; generation continues until it is exhausted
+    /// *and* `min_configs` artifacts have been checked.
+    pub budget: Duration,
+    /// Minimum number of artifacts to check even if the budget runs out.
+    pub min_configs: usize,
+    /// Hard ceiling on artifacts checked (budget notwithstanding).
+    pub max_configs: usize,
+    /// Node ceiling for generated topologies.
+    pub max_nodes: usize,
+    /// Optional deliberately-broken checker (see [`Mutation`]).
+    pub mutation: Mutation,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 7,
+            budget: Duration::from_secs(10),
+            min_configs: 500,
+            max_configs: usize::MAX,
+            max_nodes: 36,
+            mutation: Mutation::None,
+        }
+    }
+}
+
+/// The replayed counterexample: what the simulator observed when the
+/// shrunk artifact's relation was flooded with traffic.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    /// Whether the watchdog declared a deadlock.
+    pub deadlocked: bool,
+    /// The diagnosed circular wait (one entry per blocked packet).
+    pub wait_cycle: Vec<String>,
+    /// Wait-for edges captured by the flight recorder.
+    pub wait_edges: usize,
+    /// The full recorder document (events + samples + totals) as JSON.
+    pub trace_json: String,
+}
+
+/// A disagreement, its shrunk form, and the replay evidence.
+#[derive(Debug, Clone)]
+pub struct CaughtDisagreement {
+    /// The artifact as generated.
+    pub artifact: Artifact,
+    /// The 1-minimal artifact that still disagrees.
+    pub shrunk: Artifact,
+    /// The violated rule, re-evaluated on the shrunk artifact.
+    pub disagreement: Disagreement,
+    /// Simulator replay of the shrunk artifact, when it was routable.
+    pub replay: Option<Replay>,
+}
+
+/// Tallies and outcome of one campaign.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    /// Artifacts checked.
+    pub configs: usize,
+    /// Of which partitionings / channel orderings / random turn relations.
+    pub partitionings: usize,
+    /// Channel-ordering artifacts checked.
+    pub orderings: usize,
+    /// Random-turn-relation artifacts checked.
+    pub random_turns: usize,
+    /// Artifacts all four paths found deadlock-free.
+    pub deadlock_free: usize,
+    /// Artifacts with an agreed-on deadlock.
+    pub deadlocking: usize,
+    /// Partitioning artifacts EbDa accepted.
+    pub ebda_accepted: usize,
+    /// Artifacts whose full relation also satisfied Duato's connectivity.
+    pub duato_connected: usize,
+    /// Wall-clock milliseconds spent.
+    pub elapsed_ms: u128,
+    /// The first cross-check violation, if any.
+    pub caught: Option<CaughtDisagreement>,
+}
+
+impl CampaignReport {
+    /// Returns `true` when every artifact passed every cross-check.
+    pub fn is_clean(&self) -> bool {
+        self.caught.is_none()
+    }
+}
+
+impl fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "checked {} configurations in {} ms ({} partitionings, {} orderings, {} random relations)",
+            self.configs, self.elapsed_ms, self.partitionings, self.orderings, self.random_turns
+        )?;
+        write!(
+            f,
+            "verdicts: {} deadlock-free, {} deadlocking; {} EbDa-accepted, {} Duato-connected",
+            self.deadlock_free, self.deadlocking, self.ebda_accepted, self.duato_connected
+        )?;
+        match &self.caught {
+            None => write!(f, "\nall verdict paths agreed on every configuration"),
+            Some(c) => {
+                writeln!(f, "\nDISAGREEMENT {}", c.disagreement)?;
+                writeln!(f, "  original: {}", c.artifact.summary())?;
+                write!(f, "  shrunk:   {}", c.shrunk.summary())?;
+                if let Some(r) = &c.replay {
+                    write!(
+                        f,
+                        "\n  replay:   {}, {} wait-for edges recorded",
+                        if r.deadlocked {
+                            "deadlocked in the simulator"
+                        } else {
+                            "did not deadlock in the simulator"
+                        },
+                        r.wait_edges
+                    )?;
+                    for w in &r.wait_cycle {
+                        write!(f, "\n    {w}")?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Runs a differential campaign (see the module docs). This is the entry
+/// point everything else wraps: the `oracle` binary, the crate's
+/// integration tests and the CI job all call it with different budgets.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    let _span = ebda_obs::span("oracle.campaign");
+    let start = Instant::now();
+    let mut generator = Generator::with_max_nodes(cfg.seed, cfg.max_nodes);
+    let mut report = CampaignReport::default();
+    while (start.elapsed() < cfg.budget || report.configs < cfg.min_configs)
+        && report.configs < cfg.max_configs
+    {
+        let artifact = generator.next_artifact();
+        let verdicts = evaluate(&artifact, cfg.mutation);
+        report.configs += 1;
+        ebda_obs::counter_add("oracle.configs", 1);
+        match artifact.kind {
+            ArtifactKind::Partitioning => report.partitionings += 1,
+            ArtifactKind::ChannelOrdering => report.orderings += 1,
+            ArtifactKind::RandomTurns => report.random_turns += 1,
+        }
+        if verdicts.brute.is_deadlock_free() {
+            report.deadlock_free += 1;
+        } else {
+            report.deadlocking += 1;
+        }
+        if verdicts.ebda.as_ref().is_some_and(|e| e.is_deadlock_free()) {
+            report.ebda_accepted += 1;
+        }
+        if verdicts.duato.escape_connected {
+            report.duato_connected += 1;
+        }
+        if cross_check(&artifact, &verdicts).is_some() {
+            ebda_obs::counter_add("oracle.disagreements", 1);
+            report.caught = Some(investigate(&artifact, cfg));
+            break;
+        }
+    }
+    report.elapsed_ms = start.elapsed().as_millis();
+    report
+}
+
+/// Shrinks a disagreeing artifact and replays the result.
+fn investigate(artifact: &Artifact, cfg: &CampaignConfig) -> CaughtDisagreement {
+    let still_failing = |a: &Artifact| {
+        let v = evaluate(a, cfg.mutation);
+        cross_check(a, &v).is_some()
+    };
+    let shrunk = shrink(artifact, still_failing, DEFAULT_SHRINK_BUDGET);
+    let verdicts = evaluate(&shrunk, cfg.mutation);
+    let disagreement = cross_check(&shrunk, &verdicts)
+        .expect("the shrinker only keeps artifacts that still disagree");
+    let replay = replay_artifact(&shrunk, cfg.seed);
+    CaughtDisagreement {
+        artifact: artifact.clone(),
+        shrunk,
+        disagreement,
+        replay,
+    }
+}
+
+/// Drives packets along a brute-force witness cycle, U-turns and all.
+///
+/// Shortest-path routing never exercises a dependency that only appears on
+/// non-minimal walks (a U-turn cycle, say), so a structural witness can be
+/// invisible to ordinary traffic. This relation makes any witness concrete:
+/// a packet injected at cycle position `i` claims channel `i` and then
+/// requests channel `i + 1` — exactly the hold-and-wait pattern of the
+/// configuration the searcher found. Destinations are chosen off the cycle,
+/// so walker packets never eject and sustained injection must wedge.
+struct WitnessWalker {
+    universe: Vec<ebda_core::Channel>,
+    cycle: Vec<BruteChannel>,
+}
+
+impl RoutingRelation for WitnessWalker {
+    fn name(&self) -> &str {
+        "witness-walker"
+    }
+
+    fn universe(&self) -> &[ebda_core::Channel] {
+        &self.universe
+    }
+
+    fn route(
+        &self,
+        _topo: &ebda_cdg::topology::Topology,
+        node: usize,
+        state: RouteState,
+        _src: usize,
+        _dst: usize,
+    ) -> Vec<RouteChoice> {
+        let l = self.cycle.len();
+        let choice = |i: usize| RouteChoice {
+            port: PortVc {
+                dim: self.cycle[i].dim,
+                dir: self.cycle[i].dir,
+                vc: self.cycle[i].vc,
+            },
+            state: i as RouteState,
+        };
+        if state == INJECT {
+            (0..l)
+                .filter(|&i| self.cycle[i].from == node)
+                .map(choice)
+                .collect()
+        } else {
+            let j = (state as usize + 1) % l;
+            if self.cycle[j].from == node {
+                vec![choice(j)]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+}
+
+/// Replays an artifact through the wormhole simulator with a flight
+/// recorder attached. When the brute searcher finds a witness cycle, the
+/// replay drives packets along it (see [`WitnessWalker`]); otherwise it
+/// floods the artifact's own relation with burst traffic, which a
+/// deadlock-free design drains cleanly. Returns `None` when there is
+/// nothing to simulate (empty universe, or no routable pair).
+pub fn replay_artifact(artifact: &Artifact, seed: u64) -> Option<Replay> {
+    /// One scripted packet: (injection cycle, source node, destination node).
+    type Injection = (u64, usize, usize);
+    if artifact.universe.is_empty() {
+        return None;
+    }
+    let topo = artifact.topology();
+    let brute = crate::brute::search(&topo, &artifact.vcs, &artifact.universe, &artifact.turns);
+    let (relation, events): (Box<dyn RoutingRelation>, Vec<Injection>) = match brute.witness {
+        Some(cycle) => {
+            // One packet per cycle position, all injected in the same
+            // instant so every channel of the circular wait is claimed
+            // at once; repeated rounds re-pressure partial wedges.
+            // Destinations sit off the cycle (walker packets must
+            // never eject), falling back to any node that is neither
+            // the source nor the first hop.
+            let off_cycle =
+                (0..topo.node_count()).find(|n| !cycle.iter().any(|c| c.from == *n || c.to == *n));
+            let mut events = Vec::new();
+            for round in 0..10u64 {
+                for c in &cycle {
+                    let dst = off_cycle
+                        .or_else(|| (0..topo.node_count()).find(|&n| n != c.from && n != c.to))?;
+                    events.push((round * 25, c.from, dst));
+                }
+            }
+            let walker = WitnessWalker {
+                universe: artifact.universe.clone(),
+                cycle,
+            };
+            (Box::new(walker), events)
+        }
+        None => {
+            // No structural deadlock: flood the artifact's own relation
+            // with rounds of simultaneous all-pairs bursts, the most
+            // wedge-prone traffic shape (in steady flow, in-network
+            // heads outrank fresh injections at VC allocation, so only
+            // simultaneous claims on idle channels could ever close a
+            // cycle). A sound deadlock-free verdict drains every round.
+            let routing = TurnRouting::new(
+                "oracle-replay",
+                artifact.universe.clone(),
+                artifact.turns.clone(),
+            );
+            let n = topo.node_count();
+            let mut pool = Vec::new();
+            let mut short = Vec::new();
+            for src in 0..n {
+                for dst in 0..n {
+                    match (src != dst).then(|| routing.legal_distance(&topo, src, INJECT, dst)) {
+                        Some(Some(d)) if d >= 2 => pool.push((src, dst)),
+                        Some(Some(_)) => short.push((src, dst)),
+                        _ => {}
+                    }
+                }
+            }
+            // Prefer multi-hop pairs: only a wormhole spanning several
+            // channels can hold one while waiting for another.
+            if pool.is_empty() {
+                pool = short;
+            }
+            if pool.is_empty() {
+                return None;
+            }
+            let mut rng = Rng64::new(seed ^ 0x0ACC1E);
+            let mut events = Vec::new();
+            const ROUNDS: u64 = 12;
+            const ROUND_GAP: u64 = 100;
+            const BURST_CAP: usize = 128;
+            for round in 0..ROUNDS {
+                let mut order: Vec<usize> = (0..pool.len()).collect();
+                for i in (1..order.len()).rev() {
+                    order.swap(i, rng.gen_index(i + 1));
+                }
+                order.truncate(BURST_CAP);
+                for &k in &order {
+                    let (src, dst) = pool[k];
+                    events.push((round * ROUND_GAP, src, dst));
+                }
+            }
+            (Box::new(routing), events)
+        }
+    };
+    let sim_cfg = SimConfig {
+        traffic: TrafficPattern::trace(events),
+        packet_length: 8,
+        buffer_depth: 2,
+        buffer_policy: BufferPolicy::MultiPacket,
+        warmup: 0,
+        measurement: 2_000,
+        drain: 1_000,
+        deadlock_threshold: 300,
+        seed,
+        ..SimConfig::default()
+    };
+    let (result, recorder) = replay_with_recorder(&topo, relation.as_ref(), &sim_cfg);
+    let (deadlocked, wait_cycle) = match result.outcome {
+        Outcome::Deadlocked { wait_cycle, .. } => (true, wait_cycle),
+        Outcome::Completed => (false, Vec::new()),
+    };
+    Some(Replay {
+        deadlocked,
+        wait_cycle,
+        wait_edges: wait_edge_count(&recorder),
+        trace_json: recorder.write_json(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(mutation: Mutation) -> CampaignConfig {
+        CampaignConfig {
+            seed: 7,
+            budget: Duration::ZERO,
+            min_configs: 30,
+            max_configs: 600,
+            max_nodes: 16,
+            mutation,
+        }
+    }
+
+    #[test]
+    fn small_clean_campaign_reports_tallies() {
+        let report = run_campaign(&quick(Mutation::None));
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.configs, 30);
+        assert_eq!(
+            report.partitionings + report.orderings + report.random_turns,
+            report.configs
+        );
+        assert_eq!(report.deadlock_free + report.deadlocking, report.configs);
+        assert!(report.deadlock_free > 0);
+        assert!(report.deadlocking > 0);
+        let text = report.to_string();
+        assert!(text.contains("all verdict paths agreed"));
+    }
+
+    #[test]
+    fn replay_of_a_wrap_ring_deadlocks_with_wait_edges() {
+        // A one-way wrap ring — the shape the shrinker reduces torus
+        // counterexamples to. Two-hop packets must traverse two ring
+        // channels, so flooding closes the circular wait.
+        let artifact = Artifact {
+            id: 0,
+            kind: ArtifactKind::ChannelOrdering,
+            radix: vec![3, 3],
+            wrap: vec![true, false],
+            vcs: vec![1, 1],
+            universe: ebda_core::parse_channels("X+").unwrap(),
+            turns: ebda_core::TurnSet::new(),
+            design: None,
+        };
+        let replay = replay_artifact(&artifact, 7).expect("rings are routable");
+        assert!(replay.deadlocked, "a flooded wrap ring must deadlock");
+        assert!(replay.wait_cycle.len() >= 2);
+        assert_eq!(replay.wait_edges, replay.wait_cycle.len());
+        assert!(replay.trace_json.contains("\"events\""));
+    }
+
+    #[test]
+    fn unroutable_artifacts_are_not_replayed() {
+        let artifact = Artifact {
+            id: 0,
+            kind: ArtifactKind::RandomTurns,
+            radix: vec![3, 3],
+            wrap: vec![false, false],
+            vcs: vec![1, 1],
+            universe: Vec::new(),
+            turns: ebda_core::TurnSet::new(),
+            design: None,
+        };
+        assert!(replay_artifact(&artifact, 7).is_none());
+    }
+}

@@ -1,0 +1,290 @@
+//! The four verdict paths and the cross-checking rules between them.
+//!
+//! Every artifact is pushed through:
+//!
+//! 1. **EbDa theorems** (`ebda-core`): [`ebda_core::design_verdict`] on the
+//!    partition sequence — partitioning artifacts only.
+//! 2. **Dally** (`ebda-cdg`): CDG construction + cycle search via
+//!    [`ebda_cdg::verify_turn_set`].
+//! 3. **Duato** (`ebda-cdg`): escape-subnetwork acyclicity + connectivity
+//!    via [`ebda_cdg::duato::verify_escape`], treating the whole relation
+//!    as its own escape network.
+//! 4. **Brute force** ([`crate::brute`]): greatest-fixed-point search over
+//!    channel-wait configurations, sharing no code with the CDG.
+//!
+//! [`cross_check`] then applies the soundness relations the theory
+//! promises; any violation is a [`Disagreement`] and means one of the four
+//! implementations is wrong. [`Mutation`] deliberately breaks one path so
+//! the campaign can prove it would notice.
+
+use crate::artifact::Artifact;
+use crate::brute::{self, BruteReport};
+use ebda_cdg::duato::{verify_escape, DuatoReport};
+use ebda_cdg::{verify_turn_set, Topology, VerificationReport};
+use ebda_core::{design_verdict, DesignVerdict};
+use std::fmt;
+
+/// A deliberately-broken checker, for proving the oracle catches bugs.
+/// `None` is the production configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mutation {
+    /// All four paths run unmodified.
+    #[default]
+    None,
+    /// The Dally path verifies on the unwrapped mesh even when the
+    /// artifact's topology is a torus — the classic "forgot the wrap
+    /// links" verifier bug.
+    DallyIgnoresWrap,
+    /// The EbDa path reports every design as valid, skipping the Theorem 1
+    /// check — an unsound constructive verifier.
+    EbdaSkipsTheorem1,
+}
+
+impl Mutation {
+    /// Parses a CLI name (`none`, `dally-ignores-wrap`,
+    /// `ebda-skips-theorem1`).
+    pub fn parse(s: &str) -> Option<Mutation> {
+        match s {
+            "none" => Some(Mutation::None),
+            "dally-ignores-wrap" => Some(Mutation::DallyIgnoresWrap),
+            "ebda-skips-theorem1" => Some(Mutation::EbdaSkipsTheorem1),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Mutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mutation::None => write!(f, "none"),
+            Mutation::DallyIgnoresWrap => write!(f, "dally-ignores-wrap"),
+            Mutation::EbdaSkipsTheorem1 => write!(f, "ebda-skips-theorem1"),
+        }
+    }
+}
+
+/// The four verdicts on one artifact.
+#[derive(Debug, Clone)]
+pub struct Verdicts {
+    /// EbDa's constructive verdict — `None` for artifacts without a design.
+    pub ebda: Option<DesignVerdict>,
+    /// Dally's CDG verdict.
+    pub dally: VerificationReport,
+    /// Duato's escape conditions on the full relation.
+    pub duato: DuatoReport,
+    /// The brute-force search verdict.
+    pub brute: BruteReport,
+}
+
+/// A violated cross-checking rule: the loud failure the oracle exists for.
+#[derive(Debug, Clone)]
+pub struct Disagreement {
+    /// Which rule was violated.
+    pub rule: &'static str,
+    /// Human-readable evidence: artifact summary plus both verdicts.
+    pub detail: String,
+}
+
+impl fmt::Display for Disagreement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.detail)
+    }
+}
+
+/// Runs all four verdict paths on an artifact, with `mutation` optionally
+/// sabotaging one of them.
+pub fn evaluate(artifact: &Artifact, mutation: Mutation) -> Verdicts {
+    let topo = artifact.topology();
+    let ebda = artifact.design.as_ref().map(|seq| match mutation {
+        Mutation::EbdaSkipsTheorem1 => DesignVerdict::DeadlockFree {
+            partitions: seq.len(),
+            channels: seq.channel_count(),
+            turns: artifact.turns.counts(),
+        },
+        _ => design_verdict(seq),
+    });
+    let dally_topo = match mutation {
+        Mutation::DallyIgnoresWrap => Topology::mesh(&artifact.radix),
+        _ => topo.clone(),
+    };
+    let dally = verify_turn_set(
+        &dally_topo,
+        &artifact.vcs,
+        &artifact.universe,
+        &artifact.turns,
+    );
+    let duato = verify_escape(&topo, &artifact.vcs, &artifact.universe, &artifact.turns);
+    let brute = brute::search(&topo, &artifact.vcs, &artifact.universe, &artifact.turns);
+    Verdicts {
+        ebda,
+        dally,
+        duato,
+        brute,
+    }
+}
+
+/// Applies the cross-checking rules. Returns the first violated rule, or
+/// `None` when all paths agree.
+///
+/// The rules are exactly the soundness relations the theory gives us:
+///
+/// * `dally-vs-brute` — Dally's criterion (acyclic CDG) and the
+///   brute-force configuration search decide the *same* property, so they
+///   must always agree.
+/// * `duato-vs-dally` — Duato's escape-acyclicity condition on the full
+///   relation is Dally's check by another route; it must match.
+/// * `ebda-vs-brute` — a design EbDa accepts is deadlock-free by
+///   construction on **meshes** (wrap links void the guarantee without
+///   dateline classes), so on unwrapped topologies the brute searcher must
+///   find it free.
+pub fn cross_check(artifact: &Artifact, verdicts: &Verdicts) -> Option<Disagreement> {
+    let dally_free = verdicts.dally.is_deadlock_free();
+    let brute_free = verdicts.brute.is_deadlock_free();
+    if dally_free != brute_free {
+        return Some(Disagreement {
+            rule: "dally-vs-brute",
+            detail: format!(
+                "{}: dally says {} but brute says {}",
+                artifact.summary(),
+                verdicts.dally,
+                verdicts.brute
+            ),
+        });
+    }
+    if verdicts.duato.escape_acyclic != dally_free {
+        return Some(Disagreement {
+            rule: "duato-vs-dally",
+            detail: format!(
+                "{}: duato escape-acyclic={} but dally says {}",
+                artifact.summary(),
+                verdicts.duato.escape_acyclic,
+                verdicts.dally
+            ),
+        });
+    }
+    if let Some(ebda) = &verdicts.ebda {
+        if ebda.is_deadlock_free() && !artifact.wraps() && !brute_free {
+            return Some(Disagreement {
+                rule: "ebda-vs-brute",
+                detail: format!(
+                    "{}: EbDa accepts ({}) on a mesh but brute says {}",
+                    artifact.summary(),
+                    ebda,
+                    verdicts.brute
+                ),
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{ArtifactKind, Generator};
+    use ebda_core::{catalog, extract_turns};
+
+    fn design_artifact(
+        seq: ebda_core::PartitionSeq,
+        radix: Vec<usize>,
+        wrap: Vec<bool>,
+    ) -> Artifact {
+        let universe = seq.channels();
+        let vcs = ebda_cdg::dally::infer_vcs(&universe, radix.len());
+        let turns = extract_turns(&seq).unwrap().into_turn_set();
+        Artifact {
+            id: 0,
+            kind: ArtifactKind::Partitioning,
+            radix,
+            wrap,
+            vcs,
+            universe,
+            turns,
+            design: Some(seq),
+        }
+    }
+
+    #[test]
+    fn clean_design_passes_all_rules() {
+        let a = design_artifact(catalog::fig7b_dyxy(), vec![4, 4], vec![false, false]);
+        let v = evaluate(&a, Mutation::None);
+        assert!(v.ebda.as_ref().unwrap().is_deadlock_free());
+        assert!(v.dally.is_deadlock_free());
+        assert!(v.brute.is_deadlock_free());
+        assert!(cross_check(&a, &v).is_none());
+    }
+
+    #[test]
+    fn dally_wrap_mutation_is_caught_on_a_torus_ring() {
+        // Dimension-order on a torus: cyclic only through the wrap links,
+        // so a verifier that drops them wrongly accepts.
+        let a = design_artifact(
+            ebda_core::PartitionSeq::parse("X+ X- | Y+ Y-").unwrap(),
+            vec![4, 4],
+            vec![true, true],
+        );
+        let honest = evaluate(&a, Mutation::None);
+        assert!(cross_check(&a, &honest).is_none(), "honest paths agree");
+        assert!(!honest.brute.is_deadlock_free());
+
+        let mutated = evaluate(&a, Mutation::DallyIgnoresWrap);
+        let d = cross_check(&a, &mutated).expect("mutation must be caught");
+        assert_eq!(d.rule, "dally-vs-brute");
+        assert!(d.to_string().contains("dally-vs-brute"));
+    }
+
+    #[test]
+    fn ebda_theorem1_mutation_is_caught_on_a_mesh() {
+        // An invalid partitioning whose naive router allows every turn:
+        // EbDa honestly rejects it; the mutated EbDa accepts and collides
+        // with the brute verdict on the mesh.
+        let seq = ebda_core::PartitionSeq::parse("X+ X- Y+ Y-").unwrap();
+        let universe = seq.channels();
+        let turns = crate::artifact::naive_turns(&seq);
+        let a = Artifact {
+            id: 0,
+            kind: ArtifactKind::Partitioning,
+            radix: vec![4, 4],
+            wrap: vec![false, false],
+            vcs: vec![1, 1],
+            universe,
+            turns,
+            design: Some(seq),
+        };
+        let honest = evaluate(&a, Mutation::None);
+        assert!(cross_check(&a, &honest).is_none());
+        assert!(!honest.ebda.as_ref().unwrap().is_deadlock_free());
+
+        let mutated = evaluate(&a, Mutation::EbdaSkipsTheorem1);
+        let d = cross_check(&a, &mutated).expect("mutation must be caught");
+        assert_eq!(d.rule, "ebda-vs-brute");
+    }
+
+    #[test]
+    fn generated_stream_is_disagreement_free() {
+        // A quick inline sweep; the full campaign lives in the
+        // differential module and the integration tests.
+        let mut g = Generator::with_max_nodes(7, 16);
+        for _ in 0..24 {
+            let a = g.next_artifact();
+            let v = evaluate(&a, Mutation::None);
+            assert!(
+                cross_check(&a, &v).is_none(),
+                "unexpected disagreement on {}",
+                a.summary()
+            );
+        }
+    }
+
+    #[test]
+    fn mutation_names_round_trip() {
+        for m in [
+            Mutation::None,
+            Mutation::DallyIgnoresWrap,
+            Mutation::EbdaSkipsTheorem1,
+        ] {
+            assert_eq!(Mutation::parse(&m.to_string()), Some(m));
+        }
+        assert_eq!(Mutation::parse("bogus"), None);
+    }
+}

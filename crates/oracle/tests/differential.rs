@@ -1,0 +1,99 @@
+//! End-to-end differential-oracle runs: a clean campaign at the CI seed,
+//! and one campaign per mutation proving a deliberately broken checker is
+//! caught, shrunk, and replayed.
+
+use ebda_oracle::differential::{run_campaign, CampaignConfig};
+use ebda_oracle::verdict::Mutation;
+use std::time::Duration;
+
+fn base(mutation: Mutation) -> CampaignConfig {
+    CampaignConfig {
+        seed: 7,
+        budget: Duration::ZERO,
+        min_configs: 120,
+        max_configs: 2_000,
+        max_nodes: 25,
+        mutation,
+    }
+}
+
+#[test]
+fn campaign_at_the_ci_seed_is_clean() {
+    let report = run_campaign(&base(Mutation::None));
+    assert!(report.is_clean(), "unexpected disagreement:\n{report}");
+    assert_eq!(report.configs, 120);
+    // The stream must exercise all three artifact kinds and both verdict
+    // outcomes, or the campaign is not actually differential.
+    assert!(report.partitionings > 0);
+    assert!(report.orderings > 0);
+    assert!(report.random_turns > 0);
+    assert!(report.deadlock_free > 0);
+    assert!(report.deadlocking > 0);
+    assert!(report.ebda_accepted > 0);
+}
+
+#[test]
+fn clean_campaigns_are_reproducible_from_the_seed() {
+    let a = run_campaign(&base(Mutation::None));
+    let b = run_campaign(&base(Mutation::None));
+    assert_eq!(a.configs, b.configs);
+    assert_eq!(a.deadlock_free, b.deadlock_free);
+    assert_eq!(a.deadlocking, b.deadlocking);
+    assert_eq!(a.ebda_accepted, b.ebda_accepted);
+    assert_eq!(a.duato_connected, b.duato_connected);
+}
+
+/// Runs a mutated campaign until the broken checker is caught, then checks
+/// the full investigation pipeline: shrunk witness no larger than the
+/// original, still disagreeing, and replayed through the simulator.
+fn assert_mutation_is_caught(mutation: Mutation, rule: &str) {
+    let cfg = CampaignConfig {
+        // Generous ceilings: the stream stops at the first disagreement.
+        min_configs: 2_000,
+        ..base(mutation)
+    };
+    let report = run_campaign(&cfg);
+    let caught = report
+        .caught
+        .as_ref()
+        .unwrap_or_else(|| panic!("{mutation} was not caught in {} configs", report.configs));
+    assert_eq!(caught.disagreement.rule, rule, "{}", caught.disagreement);
+    // The shrunk witness is no larger than the original on every axis the
+    // shrinker works on, and still triggers the same cross-check.
+    assert!(caught.shrunk.universe.len() <= caught.artifact.universe.len());
+    assert!(caught.shrunk.turns.len() <= caught.artifact.turns.len());
+    assert!(caught.shrunk.node_count() <= caught.artifact.node_count());
+    let verdicts = ebda_oracle::verdict::evaluate(&caught.shrunk, mutation);
+    let again = ebda_oracle::verdict::cross_check(&caught.shrunk, &verdicts)
+        .expect("the shrunk witness must still disagree");
+    assert_eq!(again.rule, rule);
+    // The replay makes the abstract disagreement concrete: the simulator
+    // deadlocks on the shrunk artifact and the flight recorder holds the
+    // wait-for edges of the diagnosed cycle.
+    let replay = caught
+        .replay
+        .as_ref()
+        .expect("a shrunk counterexample must be routable");
+    assert!(
+        replay.deadlocked,
+        "replay of the shrunk witness did not deadlock"
+    );
+    assert!(replay.wait_cycle.len() >= 2);
+    assert_eq!(replay.wait_edges, replay.wait_cycle.len());
+    assert!(replay.trace_json.contains("\"events\""));
+    // And the human-readable report mentions all of it.
+    let text = report.to_string();
+    assert!(text.contains("DISAGREEMENT"), "{text}");
+    assert!(text.contains("shrunk:"), "{text}");
+    assert!(text.contains("deadlocked in the simulator"), "{text}");
+}
+
+#[test]
+fn a_dally_checker_that_ignores_wraparound_is_caught() {
+    assert_mutation_is_caught(Mutation::DallyIgnoresWrap, "dally-vs-brute");
+}
+
+#[test]
+fn an_ebda_checker_that_skips_theorem_1_is_caught() {
+    assert_mutation_is_caught(Mutation::EbdaSkipsTheorem1, "ebda-vs-brute");
+}

@@ -33,6 +33,7 @@
 pub mod config;
 pub mod engine;
 pub mod metrics;
+pub mod replay;
 pub mod sweep;
 pub mod traffic;
 
@@ -40,5 +41,6 @@ pub use config::{BufferPolicy, Selection, SimConfig, Switching};
 pub use ebda_routing::Topology;
 pub use engine::{simulate, simulate_traced};
 pub use metrics::{EnergyModel, Outcome, SimResult};
+pub use replay::{replay_with_recorder, wait_edge_count};
 pub use sweep::{latency_curve, saturation_rate, SweepPoint};
 pub use traffic::TrafficPattern;

@@ -1,0 +1,110 @@
+//! Witness replay: run a simulation with a flight recorder attached and
+//! hand both back — the hook the differential oracle uses to turn a shrunk
+//! structural counterexample into a concrete, recorded wait cycle.
+//!
+//! [`crate::simulate_traced`] already accepts an optional recorder; this
+//! module packages the "always record, return the recorder" calling
+//! convention so oracle-style callers do not have to thread recorder
+//! lifetimes through their own plumbing.
+
+use crate::config::SimConfig;
+use crate::metrics::SimResult;
+use ebda_obs::{EventKind, Recorder, RecorderConfig};
+use ebda_routing::{RoutingRelation, Topology};
+
+/// Runs one simulation with a fresh flight recorder attached and returns
+/// the result together with the recorder, whose event log contains the
+/// full inject/stall/watchdog history — including the [`EventKind::WaitFor`]
+/// edges that spell out the circular wait when the run deadlocks.
+///
+/// # Panics
+///
+/// Panics on invalid configuration (see [`SimConfig::validate`]).
+pub fn replay_with_recorder(
+    topo: &Topology,
+    relation: &dyn RoutingRelation,
+    cfg: &SimConfig,
+) -> (SimResult, Recorder) {
+    let mut rec = Recorder::new(RecorderConfig::default());
+    let result = crate::engine::simulate_traced(topo, relation, cfg, Some(&mut rec));
+    (result, rec)
+}
+
+/// Counts the wait-for edges a recorder captured — nonzero exactly when
+/// the watchdog fired and diagnosed a circular wait.
+pub fn wait_edge_count(rec: &Recorder) -> usize {
+    rec.events()
+        .filter(|e| e.kind() == EventKind::WaitFor)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BufferPolicy, Selection, Switching};
+    use crate::metrics::Outcome;
+    use crate::traffic::TrafficPattern;
+    use ebda_core::{parse_channels, Turn, TurnSet};
+    use ebda_routing::TurnRouting;
+
+    fn cyclic_relation() -> TurnRouting {
+        // All turns allowed on one VC: cyclic by construction.
+        let universe = parse_channels("X+ X- Y+ Y-").unwrap();
+        let mut turns = TurnSet::new();
+        for &a in &universe {
+            for &b in &universe {
+                if a != b {
+                    turns.insert(Turn::new(a, b));
+                }
+            }
+        }
+        TurnRouting::new("all-turns", universe, turns)
+    }
+
+    fn pressure() -> SimConfig {
+        SimConfig {
+            injection_rate: 0.5,
+            packet_length: 8,
+            buffer_depth: 2,
+            warmup: 0,
+            measurement: 4_000,
+            drain: 0,
+            deadlock_threshold: 300,
+            buffer_policy: BufferPolicy::MultiPacket,
+            switching: Switching::Wormhole,
+            selection: Selection::RotatingFirstFit,
+            traffic: TrafficPattern::Uniform,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn replay_returns_result_and_recorder_with_wait_edges() {
+        let topo = Topology::mesh(&[4, 4]);
+        let (result, rec) = replay_with_recorder(&topo, &cyclic_relation(), &pressure());
+        match &result.outcome {
+            Outcome::Deadlocked { wait_cycle, .. } => {
+                assert!(wait_cycle.len() >= 2);
+                assert_eq!(wait_edge_count(&rec), wait_cycle.len());
+            }
+            other => panic!("positive control must deadlock, got {other:?}"),
+        }
+        assert!(rec.total_events() > 0);
+    }
+
+    #[test]
+    fn clean_runs_record_no_wait_edges() {
+        let topo = Topology::mesh(&[4, 4]);
+        let relation = TurnRouting::from_design("xy", &ebda_core::catalog::p1_xy()).unwrap();
+        let cfg = SimConfig {
+            injection_rate: 0.05,
+            warmup: 0,
+            measurement: 500,
+            drain: 500,
+            ..SimConfig::default()
+        };
+        let (result, rec) = replay_with_recorder(&topo, &relation, &cfg);
+        assert!(result.outcome.is_deadlock_free());
+        assert_eq!(wait_edge_count(&rec), 0);
+    }
+}

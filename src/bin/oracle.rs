@@ -1,0 +1,10 @@
+//! Differential verification oracle: random artifacts through four verdict
+//! paths, shrinking and replaying any disagreement. See
+//! [`ebda_bench::oracle_cli`] for the flags.
+//!
+//! `cargo run --release --bin oracle -- --budget 60 --seed 7`
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(ebda_bench::oracle_cli::run(args));
+}

@@ -10,6 +10,7 @@
 //! | [`cdg`] | `ebda-cdg` | channel dependency graphs, Dally/Duato verification, brute-force turn-model enumeration |
 //! | [`routing`] | `ebda-routing` | turn-set-driven routing + classic algorithms (XY, West-First, Odd-Even, Elevator-First, Duato, …) |
 //! | [`sim`] | `noc-sim` | cycle-driven wormhole simulator with deadlock watchdog |
+//! | [`oracle`] | `ebda-oracle` | differential verification: brute-force deadlock search, verdict cross-checking, counterexample shrinking |
 //!
 //! ## The whole pipeline in one example
 //!
@@ -42,6 +43,7 @@
 pub use ebda_cdg as cdg;
 pub use ebda_core as core;
 pub use ebda_obs as obs;
+pub use ebda_oracle as oracle;
 pub use ebda_routing as routing;
 pub use noc_sim as sim;
 

@@ -20,40 +20,57 @@ fn pressure(policy: BufferPolicy) -> SimConfig {
     }
 }
 
+/// The traffic seed is pinned: a scan of seeds 1–10 at this load showed
+/// seed 1 is the first whose multi-packet run deadlocks (seed 5 also does,
+/// with a longer wait cycle; the others complete). The simulator is
+/// deterministic for a fixed seed, so asserting on seed 1 directly turns
+/// the old scan-until-found loop into an exact regression test — if either
+/// outcome below changes, engine behavior changed, and that should be
+/// loud, not absorbed by a scan.
+const PINNED_SEED: u64 = 1;
+
 #[test]
 fn duato_safe_under_assumption_3_deadlocks_without_it() {
     let topo = Topology::mesh(&[8, 8]);
     let duato = DuatoFullyAdaptive::new(2);
 
-    // Whether a particular run deadlocks depends on the traffic stream, so
-    // scan a few seeds: single-packet must survive every one of them,
-    // multi-packet must deadlock on at least one.
-    let mut multi_deadlocked = false;
-    for seed in 1..=5u64 {
-        let mut single_cfg = pressure(BufferPolicy::SinglePacket);
-        single_cfg.seed = seed;
-        let single = simulate(&topo, &duato, &single_cfg);
-        assert!(
-            single.outcome.is_deadlock_free(),
-            "duato must be safe under its own assumption (seed {seed}): {single}"
-        );
-
-        let mut multi_cfg = pressure(BufferPolicy::MultiPacket);
-        multi_cfg.seed = seed;
-        let multi = simulate(&topo, &duato, &multi_cfg);
-        if let Outcome::Deadlocked { wait_cycle, .. } = &multi.outcome {
-            // The watchdog's diagnosis names a genuine circular wait.
-            assert!(
-                wait_cycle.len() >= 2,
-                "no circular wait found (seed {seed}): {multi}"
-            );
-            multi_deadlocked = true;
-        }
-    }
+    let mut single_cfg = pressure(BufferPolicy::SinglePacket);
+    single_cfg.seed = PINNED_SEED;
+    let single = simulate(&topo, &duato, &single_cfg);
     assert!(
-        multi_deadlocked,
-        "duato with multi-packet buffers should deadlock at this load for some seed"
+        single.outcome.is_deadlock_free(),
+        "duato must be safe under its own assumption: {single}"
     );
+
+    let mut multi_cfg = pressure(BufferPolicy::MultiPacket);
+    multi_cfg.seed = PINNED_SEED;
+    let multi = simulate(&topo, &duato, &multi_cfg);
+    match &multi.outcome {
+        Outcome::Deadlocked { wait_cycle, .. } => {
+            // The watchdog's diagnosis names a genuine circular wait.
+            assert!(wait_cycle.len() >= 2, "no circular wait found: {multi}");
+        }
+        Outcome::Completed => panic!(
+            "duato with multi-packet buffers must deadlock at this load (seed {PINNED_SEED}): {multi}"
+        ),
+    }
+}
+
+#[test]
+fn duato_single_packet_buffers_survive_every_scanned_seed() {
+    // The safety half of the contrast stays a scan: Assumption 3 must hold
+    // for *every* traffic stream, so more seeds mean a stronger claim.
+    let topo = Topology::mesh(&[8, 8]);
+    let duato = DuatoFullyAdaptive::new(2);
+    for seed in 2..=5u64 {
+        let mut cfg = pressure(BufferPolicy::SinglePacket);
+        cfg.seed = seed;
+        let r = simulate(&topo, &duato, &cfg);
+        assert!(
+            r.outcome.is_deadlock_free(),
+            "duato must be safe under its own assumption (seed {seed}): {r}"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,41 @@
+//! The differential oracle through the `ebda` facade: a small fixed-seed
+//! campaign must stay clean, and a mutated checker must be caught — the
+//! same invariants CI enforces with the `oracle` binary at a larger budget.
+
+use ebda::oracle::differential::{run_campaign, CampaignConfig};
+use ebda::oracle::verdict::Mutation;
+use std::time::Duration;
+
+fn quick(mutation: Mutation) -> CampaignConfig {
+    CampaignConfig {
+        seed: 7,
+        budget: Duration::ZERO,
+        min_configs: 60,
+        max_configs: 1_000,
+        max_nodes: 16,
+        mutation,
+    }
+}
+
+#[test]
+fn facade_campaign_is_clean_at_the_ci_seed() {
+    let report = run_campaign(&quick(Mutation::None));
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.configs, 60);
+    assert!(report.deadlock_free > 0 && report.deadlocking > 0);
+}
+
+#[test]
+fn facade_campaign_catches_a_broken_checker() {
+    let cfg = CampaignConfig {
+        min_configs: 1_000,
+        ..quick(Mutation::DallyIgnoresWrap)
+    };
+    let report = run_campaign(&cfg);
+    let caught = report
+        .caught
+        .expect("the broken Dally checker must be caught");
+    assert_eq!(caught.disagreement.rule, "dally-vs-brute");
+    let replay = caught.replay.expect("shrunk witness must replay");
+    assert!(replay.deadlocked);
+}
