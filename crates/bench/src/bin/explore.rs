@@ -7,7 +7,7 @@
 //! `--trace-out <path>` (or `EBDA_TRACE`) additionally writes the
 //! telemetry snapshot (Algorithm 1/2 + CDG spans and counters) as JSON.
 
-use ebda_bench::trace::{trace_path, write_telemetry};
+use ebda_bench::trace::{write_telemetry, ObsOptions};
 use ebda_cdg::{verify_design, Topology};
 use ebda_core::adaptiveness::{adaptiveness_profile, region_classes, RegionClass};
 use ebda_core::algorithm2::{derive_all, transition_reorderings};
@@ -17,10 +17,8 @@ use std::collections::BTreeSet;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let trace = trace_path(&mut args);
-    if trace.is_some() {
-        ebda_obs::telemetry::set_enabled(true);
-    }
+    let mut obs = ObsOptions::parse(&mut args);
+    obs.activate();
     let vcs: Vec<u8> = args
         .first()
         .map(|s| {
@@ -94,7 +92,8 @@ fn main() {
          (Section 5.3's knob, ranked)",
         rows.len()
     );
-    if let Some(path) = &trace {
+    if let Some(path) = &obs.trace {
         write_telemetry(path);
     }
+    obs.finish();
 }

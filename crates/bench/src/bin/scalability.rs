@@ -7,7 +7,7 @@
 //! table (with the paper's quoted values for comparison), and (c) a wall-
 //! clock comparison of brute force vs EbDa construction.
 
-use ebda_bench::trace::{trace_path, write_telemetry};
+use ebda_bench::trace::{write_telemetry, ObsOptions};
 use ebda_cdg::turn_model::{
     abstract_cycle_count, combination_count, deadlock_free_combinations,
     deadlock_free_combinations_2d, unique_up_to_symmetry,
@@ -20,10 +20,8 @@ fn main() {
     // `--trace-out <path>` / `EBDA_TRACE`: export the verification-path
     // telemetry (spans over find_cycle/tarjan/builds, partition counters).
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let trace = trace_path(&mut args);
-    if trace.is_some() {
-        ebda_obs::telemetry::set_enabled(true);
-    }
+    let mut obs = ObsOptions::parse(&mut args);
+    obs.activate();
 
     // (a) The exhaustive 2D check.
     let t0 = Instant::now();
@@ -137,7 +135,8 @@ fn main() {
     );
     assert_eq!(certified2, 12);
 
-    if let Some(path) = &trace {
+    if let Some(path) = &obs.trace {
         write_telemetry(path);
     }
+    obs.finish();
 }

@@ -13,7 +13,7 @@
 //! `--quick` skips the full E1/E2 experiments and runs only that traced
 //! run with a short horizon (for smoke tests and trace round-trips).
 
-use ebda_bench::trace::{recorder_for, trace_path, write_trace};
+use ebda_bench::trace::{write_trace, ObsOptions};
 use ebda_routing::classic::{DimensionOrder, DuatoFullyAdaptive};
 use ebda_routing::{RoutingRelation, Topology, TurnRouting};
 use noc_sim::{simulate, simulate_traced, BufferPolicy, SimConfig, TrafficPattern};
@@ -32,7 +32,9 @@ fn cfg(rate: f64, traffic: TrafficPattern) -> SimConfig {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let trace = trace_path(&mut args);
+    let mut obs = ObsOptions::parse(&mut args);
+    obs.activate();
+    let trace = obs.trace.clone();
     let quick = args.iter().any(|a| a == "--quick");
     if !quick {
         run_experiments();
@@ -47,7 +49,7 @@ fn main() {
             c.drain = 300;
             c.deadlock_threshold = 200;
         }
-        let mut rec = recorder_for(trace.as_ref()).expect("trace requested");
+        let mut rec = obs.recorder().expect("trace requested");
         let r = simulate_traced(&topo, &dyxy, &c, Some(&mut rec));
         println!(
             "\ntraced run (ebda-dyxy, uniform, rate {}): {r}\n\
@@ -60,6 +62,7 @@ fn main() {
         );
         write_trace(&rec, path);
     }
+    obs.finish();
 }
 
 fn run_experiments() {

@@ -4,12 +4,20 @@
 //!
 //! Usage: `cargo run --release -p ebda-bench --bin sweep [out.csv]`
 //! (defaults to stdout). Columns:
-//! `design,traffic,rate,policy,avg_latency,p50_latency,p99_latency,throughput,balance_cv,outcome`
+//! `design,traffic,rate,policy,avg_latency,p50_latency,p99_latency,p999_latency,throughput,balance_cv,outcome`
+//!
+//! Quantiles come from the engine's log-bucketed latency histograms
+//! (≤6.25% relative error); the raw per-packet latency vector and its
+//! per-point sort are skipped entirely.
+//!
+//! Observability: `--trace-out <path>` (or `EBDA_TRACE`) writes the
+//! telemetry snapshot on exit; `--metrics-addr <host:port>` (or
+//! `EBDA_METRICS_ADDR`) serves live Prometheus metrics at `/metrics`
+//! while the sweep runs, with `--metrics-linger <secs>` keeping the
+//! endpoint up after the last point so scrapers can collect the final
+//! state. `--quick` shrinks the matrix to a smoke-test size.
 
-//! `--trace-out <path>` (or `EBDA_TRACE`) additionally writes the
-//! telemetry snapshot (spans + counters across all runs) as JSON.
-
-use ebda_bench::trace::{trace_path, write_telemetry};
+use ebda_bench::trace::{write_telemetry, ObsOptions};
 use ebda_routing::classic::{DimensionOrder, DuatoFullyAdaptive};
 use ebda_routing::{RoutingRelation, Topology, TurnRouting};
 use noc_sim::{simulate, BufferPolicy, SimConfig, TrafficPattern};
@@ -17,47 +25,66 @@ use std::io::Write;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let trace = trace_path(&mut args);
-    if trace.is_some() {
-        ebda_obs::telemetry::set_enabled(true);
-    }
+    let mut obs = ObsOptions::parse(&mut args);
+    obs.activate();
+    let quick = match args.iter().position(|a| a == "--quick") {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    };
     let mut out: Box<dyn Write> = match args.first() {
         Some(path) => Box::new(std::fs::File::create(path).expect("create output file")),
         None => Box::new(std::io::stdout().lock()),
     };
     writeln!(
         out,
-        "design,traffic,rate,policy,avg_latency,p50_latency,p99_latency,throughput,balance_cv,outcome"
+        "design,traffic,rate,policy,avg_latency,p50_latency,p99_latency,p999_latency,throughput,balance_cv,outcome"
     )
     .expect("write header");
 
-    let topo = Topology::mesh(&[8, 8]);
-    let designs: Vec<(&str, Box<dyn RoutingRelation>)> = vec![
+    let topo = if quick {
+        Topology::mesh(&[4, 4])
+    } else {
+        Topology::mesh(&[8, 8])
+    };
+    let mut designs: Vec<(&str, Box<dyn RoutingRelation>)> = vec![
         ("xy", Box::new(DimensionOrder::xy())),
-        (
-            "west-first",
-            Box::new(TurnRouting::from_design("wf", &ebda_core::catalog::p3_west_first()).unwrap()),
-        ),
-        (
-            "odd-even",
-            Box::new(TurnRouting::from_design("oe", &ebda_core::catalog::odd_even()).unwrap()),
-        ),
         (
             "ebda-dyxy",
             Box::new(TurnRouting::from_design("fa", &ebda_core::catalog::fig7b_dyxy()).unwrap()),
         ),
-        ("duato", Box::new(DuatoFullyAdaptive::new(2))),
     ];
-    let traffics = [
-        ("uniform", TrafficPattern::Uniform),
-        ("transpose", TrafficPattern::Transpose),
-        ("bitcomp", TrafficPattern::BitComplement),
-    ];
-    let rates = [0.005, 0.01, 0.02, 0.03, 0.05, 0.08, 0.12];
+    if !quick {
+        designs.push((
+            "west-first",
+            Box::new(TurnRouting::from_design("wf", &ebda_core::catalog::p3_west_first()).unwrap()),
+        ));
+        designs.push((
+            "odd-even",
+            Box::new(TurnRouting::from_design("oe", &ebda_core::catalog::odd_even()).unwrap()),
+        ));
+        designs.push(("duato", Box::new(DuatoFullyAdaptive::new(2))));
+    }
+    let traffics: &[(&str, TrafficPattern)] = if quick {
+        &[("uniform", TrafficPattern::Uniform)]
+    } else {
+        &[
+            ("uniform", TrafficPattern::Uniform),
+            ("transpose", TrafficPattern::Transpose),
+            ("bitcomp", TrafficPattern::BitComplement),
+        ]
+    };
+    let rates: &[f64] = if quick {
+        &[0.02, 0.05]
+    } else {
+        &[0.005, 0.01, 0.02, 0.03, 0.05, 0.08, 0.12]
+    };
 
     for (name, relation) in &designs {
-        for (tname, traffic) in &traffics {
-            for &rate in &rates {
+        for (tname, traffic) in traffics {
+            for &rate in rates {
                 for (pname, policy) in [
                     ("multi", BufferPolicy::MultiPacket),
                     ("single", BufferPolicy::SinglePacket),
@@ -66,13 +93,15 @@ fn main() {
                         injection_rate: rate,
                         traffic: traffic.clone(),
                         buffer_policy: policy,
-                        warmup: 500,
-                        measurement: 2_000,
-                        drain: 2_500,
-                        deadlock_threshold: 1_200,
+                        warmup: if quick { 100 } else { 500 },
+                        measurement: if quick { 400 } else { 2_000 },
+                        drain: if quick { 600 } else { 2_500 },
+                        deadlock_threshold: if quick { 400 } else { 1_200 },
+                        collect_latencies: false,
                         ..SimConfig::default()
                     };
                     let r = simulate(&topo, relation.as_ref(), &cfg);
+                    ebda_obs::metrics::counter_add("ebda_sweep_points_total", &[], 1);
                     let outcome = if r.outcome.is_deadlock_free() {
                         if r.measured_delivered == r.measured_injected {
                             "ok"
@@ -84,10 +113,11 @@ fn main() {
                     };
                     writeln!(
                         out,
-                        "{name},{tname},{rate},{pname},{:.2},{},{},{:.4},{:.3},{outcome}",
+                        "{name},{tname},{rate},{pname},{:.2},{},{},{},{:.4},{:.3},{outcome}",
                         r.avg_latency,
-                        r.latency_percentile(50.0).unwrap_or(0),
-                        r.latency_percentile(99.0).unwrap_or(0),
+                        r.latency_hist.quantile(0.50).unwrap_or(0),
+                        r.latency_hist.quantile(0.99).unwrap_or(0),
+                        r.latency_hist.quantile(0.999).unwrap_or(0),
                         r.throughput,
                         r.channel_balance_cv().unwrap_or(f64::NAN),
                     )
@@ -96,7 +126,8 @@ fn main() {
             }
         }
     }
-    if let Some(path) = &trace {
+    if let Some(path) = &obs.trace {
         write_telemetry(path);
     }
+    obs.finish();
 }

@@ -13,12 +13,14 @@
 //! | `--mutate <name>` | none | deliberately break a checker (`dally-ignores-wrap`, `ebda-skips-theorem1`) |
 //! | `--expect-disagreement` | off | exit 0 iff a disagreement IS found (mutation self-check) |
 //! | `--trace-out <path>` | off | write the replay trace (on disagreement) or the telemetry snapshot |
+//! | `--metrics-addr <host:port>` | off | serve live campaign metrics at `/metrics` (`EBDA_METRICS_ADDR`) |
+//! | `--metrics-linger <secs>` | 0 | keep the metrics endpoint up that long after the campaign |
 //!
 //! The exit code is 0 when the outcome matches the expectation — clean by
 //! default, caught-disagreement under `--expect-disagreement` — and 1
 //! otherwise, so both the CI guard and its self-check are one invocation.
 
-use crate::trace::{trace_path, write_telemetry};
+use crate::trace::{write_telemetry, ObsOptions};
 use ebda_oracle::differential::{run_campaign, CampaignConfig};
 use ebda_oracle::verdict::Mutation;
 use std::time::Duration;
@@ -53,10 +55,9 @@ fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
 /// Parses `args` (without the program name), runs the campaign, prints the
 /// report and returns the process exit code.
 pub fn run(mut args: Vec<String>) -> i32 {
-    let trace = trace_path(&mut args);
-    if trace.is_some() {
-        ebda_obs::telemetry::set_enabled(true);
-    }
+    let mut obs = ObsOptions::parse(&mut args);
+    obs.activate();
+    let trace = obs.trace.clone();
     let budget: u64 = take(&mut args, "--budget").unwrap_or(10);
     let seed: u64 = take(&mut args, "--seed").unwrap_or(7);
     let min_configs: usize = take(&mut args, "--min-configs").unwrap_or(500);
@@ -104,6 +105,7 @@ pub fn run(mut args: Vec<String>) -> i32 {
             None => write_telemetry(path),
         }
     }
+    obs.finish();
 
     let found = !report.is_clean();
     match (found, expect_disagreement) {

@@ -7,8 +7,124 @@
 //! sibling with the time series; any other extension gets the full JSON
 //! document (events + samples + totals + telemetry spans/counters).
 
-use ebda_obs::{Recorder, RecorderConfig};
+use ebda_obs::{MetricsServer, Recorder, RecorderConfig};
 use std::path::{Path, PathBuf};
+
+/// Unified observability options shared by every binary: trace output
+/// (`--trace-out <path>`, env `EBDA_TRACE`), live metrics endpoint
+/// (`--metrics-addr <host:port>`, env `EBDA_METRICS_ADDR`) and
+/// `--metrics-linger <secs>` (keep serving that long after the work is
+/// done, so external scrapers can collect the final state).
+///
+/// Typical binary shape:
+///
+/// ```no_run
+/// let mut args: Vec<String> = std::env::args().skip(1).collect();
+/// let mut obs = ebda_bench::trace::ObsOptions::parse(&mut args);
+/// obs.activate();
+/// // ... the actual work ...
+/// obs.finish();
+/// ```
+#[derive(Debug, Default)]
+pub struct ObsOptions {
+    /// Where to write the trace / telemetry snapshot, when requested.
+    pub trace: Option<PathBuf>,
+    /// Address to serve `/metrics` on, when requested (port 0 allowed).
+    pub metrics_addr: Option<String>,
+    /// Seconds to keep the metrics endpoint up after [`ObsOptions::finish`].
+    pub metrics_linger: u64,
+    server: Option<MetricsServer>,
+}
+
+impl ObsOptions {
+    /// Extracts the observability flags from `args` (removing the consumed
+    /// tokens), falling back to the environment variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a flag is given without a value or with a malformed one.
+    pub fn parse(args: &mut Vec<String>) -> ObsOptions {
+        let metrics_addr =
+            take_value(args, "--metrics-addr").or_else(|| env_string("EBDA_METRICS_ADDR"));
+        let metrics_linger = take_value(args, "--metrics-linger")
+            .map(|v| v.parse().expect("--metrics-linger needs whole seconds"))
+            .unwrap_or(0);
+        ObsOptions {
+            trace: trace_path(args),
+            metrics_addr,
+            metrics_linger,
+            server: None,
+        }
+    }
+
+    /// Enables the requested observability layers: telemetry spans when
+    /// either tracing or metrics is on, the global metrics registry and
+    /// the HTTP endpoint when a metrics address was given. Prints the
+    /// bound address to stderr (`metrics: serving http://...`), which is
+    /// how scripts discover a port-0 binding.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the metrics address cannot be bound — an explicitly
+    /// requested endpoint must not fail silently.
+    pub fn activate(&mut self) {
+        if self.trace.is_some() || self.metrics_addr.is_some() {
+            ebda_obs::telemetry::set_enabled(true);
+        }
+        if let Some(addr) = &self.metrics_addr {
+            ebda_obs::metrics::set_enabled(true);
+            let server = MetricsServer::serve(addr)
+                .unwrap_or_else(|e| panic!("cannot serve metrics on {addr}: {e}"));
+            eprintln!("metrics: serving http://{}/metrics", server.local_addr());
+            self.server = Some(server);
+        }
+    }
+
+    /// A recorder to attach when tracing was requested: `Some` iff
+    /// [`ObsOptions::trace`] is.
+    pub fn recorder(&self) -> Option<Recorder> {
+        recorder_for(self.trace.as_ref())
+    }
+
+    /// The bound metrics address, once [`ObsOptions::activate`] ran.
+    pub fn bound_addr(&self) -> Option<std::net::SocketAddr> {
+        self.server.as_ref().map(MetricsServer::local_addr)
+    }
+
+    /// Ends the observability session: keeps the metrics endpoint up for
+    /// the configured linger window, then shuts it down.
+    pub fn finish(&self) {
+        if let Some(server) = &self.server {
+            if self.metrics_linger > 0 {
+                eprintln!(
+                    "metrics: lingering {}s on http://{}/metrics",
+                    self.metrics_linger,
+                    server.local_addr()
+                );
+                std::thread::sleep(std::time::Duration::from_secs(self.metrics_linger));
+            }
+            server.shutdown();
+        }
+    }
+}
+
+/// Removes `--flag <value>` from `args` and returns the value.
+///
+/// # Panics
+///
+/// Panics when the flag is present without a value.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    assert!(i + 1 < args.len(), "{flag} needs a value");
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}
+
+/// A non-empty environment variable as a String.
+fn env_string(name: &str) -> Option<String> {
+    std::env::var(name).ok().filter(|v| !v.is_empty())
+}
 
 /// Extracts `--trace-out <path>` from `args` (removing both tokens), or
 /// falls back to the `EBDA_TRACE` environment variable.
@@ -88,6 +204,30 @@ mod tests {
     use super::*;
     use ebda_obs::json::Value;
     use ebda_obs::Event;
+
+    #[test]
+    fn obs_options_extract_all_flags_and_serve() {
+        let mut args = vec![
+            "work".to_string(),
+            "--metrics-addr".to_string(),
+            "127.0.0.1:0".to_string(),
+            "--metrics-linger".to_string(),
+            "0".to_string(),
+            "--trace-out".to_string(),
+            "/tmp/t.json".to_string(),
+        ];
+        let mut obs = ObsOptions::parse(&mut args);
+        assert_eq!(args, vec!["work".to_string()]);
+        assert_eq!(obs.trace, Some(PathBuf::from("/tmp/t.json")));
+        assert_eq!(obs.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(obs.metrics_linger, 0);
+        assert!(obs.bound_addr().is_none());
+        obs.activate();
+        let addr = obs.bound_addr().expect("bound after activate");
+        let body = ebda_obs::http_get(&addr.to_string(), "/healthz").unwrap();
+        assert_eq!(body, "ok\n");
+        obs.finish();
+    }
 
     #[test]
     fn trace_out_flag_is_extracted() {

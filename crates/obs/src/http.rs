@@ -1,0 +1,158 @@
+//! A minimal blocking HTTP server exposing the global metrics registry,
+//! plus the matching one-shot client used by `ebda monitor`, the
+//! loopback tests and the CI smoke job.
+//!
+//! The server handles exactly two routes:
+//!
+//! * `GET /metrics` — the Prometheus text exposition from
+//!   [`crate::metrics::render_global`]
+//! * `GET /healthz` — `ok\n`, for liveness probes
+//!
+//! It is deliberately tiny: one detached thread, one connection at a
+//! time, HTTP/1.0-style `Connection: close` responses. Scrapes are rare
+//! (seconds apart) and the body is rendered fresh per request, so there
+//! is nothing to pool or pipeline. Binding port 0 is supported; the
+//! bound address is available via [`MetricsServer::local_addr`] and is
+//! printed to stderr by the CLI wiring so scripts can discover it.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running `/metrics` endpoint. Dropping the handle leaves the server
+/// thread running (detached); call [`MetricsServer::shutdown`] to stop
+/// it deterministically.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9200`, port 0 allowed) and starts
+    /// serving on a detached background thread.
+    pub fn serve(addr: &str) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("ebda-metrics".into())
+            .spawn(move || serve_loop(listener, &stop2))?;
+        Ok(MetricsServer { addr, stop })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server thread: sets the stop flag and nudges the
+    /// listener with a self-connection so `accept` returns.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+fn serve_loop(listener: TcpListener, stop: &AtomicBool) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let Ok(mut stream) = conn else { continue };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let _ = handle(&mut stream);
+    }
+}
+
+fn handle(stream: &mut TcpStream) -> std::io::Result<()> {
+    // Read until the end of the request head; we only need the first line.
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 16 * 1024 {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, ctype, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            crate::metrics::render_global(),
+        ),
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+/// Performs a one-shot `GET path` against `addr` and returns the response
+/// body, failing on connection errors or non-200 statuses.
+pub fn http_get(addr: &str, path: &str) -> std::io::Result<String> {
+    let sock = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "unresolvable addr")
+    })?;
+    let mut stream = TcpStream::connect_timeout(&sock, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response")
+    })?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains("200") {
+        return Err(std::io::Error::other(format!("{addr}{path}: {status}")));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test for the whole server lifecycle: the metrics registry is
+    // process-global, so keep the interactions in a single test fn.
+    #[test]
+    fn serves_metrics_and_healthz_on_loopback() {
+        let server = MetricsServer::serve("127.0.0.1:0").expect("bind loopback");
+        let addr = server.local_addr().to_string();
+
+        let health = http_get(&addr, "/healthz").expect("healthz");
+        assert_eq!(health, "ok\n");
+
+        crate::metrics::global().counter_add("ebda_http_test_total", &[], 41);
+        let body = http_get(&addr, "/metrics").expect("metrics");
+        assert!(
+            body.contains("ebda_http_test_total 41"),
+            "missing counter in {body:?}"
+        );
+        let samples = crate::metrics::parse_exposition(&body).expect("parseable exposition");
+        assert!(samples.iter().any(|s| s.name == "ebda_http_test_total"));
+
+        assert!(http_get(&addr, "/nope").is_err());
+        server.shutdown();
+    }
+}

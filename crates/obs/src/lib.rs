@@ -13,6 +13,10 @@
 //!   **counters** that instrument the verification hot paths (Algorithm
 //!   1/2 partitioning, CDG construction and cycle search) at negligible
 //!   cost when disabled.
+//! * [`metrics`] — a live **metrics registry** (log-bucketed histograms,
+//!   counters, gauges) rendered as Prometheus text exposition, and
+//!   [`http`] — the blocking `/metrics` + `/healthz` endpoint serving it
+//!   while a sweep or oracle campaign runs.
 //! * [`json`] / [`csv`] — hand-rolled writers *and* parsers, so traces can
 //!   be exported and round-tripped without pulling in serde (the build
 //!   environment has no registry access).
@@ -27,13 +31,17 @@
 
 pub mod csv;
 pub mod event;
+pub mod http;
 pub mod json;
+pub mod metrics;
 pub mod recorder;
 pub mod ring;
 pub mod rng;
 pub mod telemetry;
 
 pub use event::{Event, EventKind};
+pub use http::{http_get, MetricsServer};
+pub use metrics::{Histogram, MetricsRegistry};
 pub use recorder::{Recorder, RecorderConfig, Sample};
 pub use ring::RingBuffer;
 pub use rng::Rng64;

@@ -93,11 +93,16 @@ impl Drop for Span {
             return;
         };
         let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-        let mut reg = registry().lock().expect("telemetry registry poisoned");
-        let stat = reg.spans.entry(name).or_default();
-        stat.count += 1;
-        stat.total_ns += ns;
-        stat.max_ns = stat.max_ns.max(ns);
+        {
+            let mut reg = registry().lock().expect("telemetry registry poisoned");
+            let stat = reg.spans.entry(name).or_default();
+            stat.count += 1;
+            stat.total_ns += ns;
+            stat.max_ns = stat.max_ns.max(ns);
+        }
+        // Feed the live metrics layer too, so span timing distributions
+        // (not just totals) show up on /metrics.
+        crate::metrics::observe("ebda_span_duration_ns", &[("span", name.to_string())], ns);
     }
 }
 

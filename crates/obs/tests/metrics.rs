@@ -1,0 +1,121 @@
+//! Integration tests of the metrics layer: rendering determinism
+//! (byte-identical exposition for identical operation sequences), the
+//! golden Prometheus text format, and quantile reconstruction through the
+//! zero-dependency exposition parser.
+
+use ebda_obs::metrics::{parse_exposition, quantile_from_buckets, RenderOptions};
+use ebda_obs::{Histogram, MetricsRegistry};
+
+/// The fixed population behind the golden file: two labelled counter
+/// series, a bare counter, a gauge, a label value that needs escaping,
+/// and a histogram spanning the exact region (< 16) and two log buckets.
+fn populate(reg: &MetricsRegistry) {
+    reg.counter_add("ebda_demo_packets_total", &[("design", "xy".into())], 5);
+    reg.counter_add("ebda_demo_packets_total", &[("design", "wf".into())], 7);
+    reg.counter_add("ebda_demo_runs_total", &[], 3);
+    reg.gauge_set("ebda_demo_utilization", &[("node", "3".into())], 0.25);
+    reg.gauge_set("ebda_demo_note", &[("msg", "a\"b\\c".into())], 1.0);
+    for v in [0u64, 1, 15, 16, 31, 100] {
+        reg.observe("ebda_demo_latency_cycles", &[], v);
+    }
+}
+
+/// Two registries fed the same operations render byte-identically, even
+/// when labels arrive in a different order — series keys are sorted.
+#[test]
+fn identical_operations_render_byte_identical() {
+    let a = MetricsRegistry::new();
+    let b = MetricsRegistry::new();
+    populate(&a);
+    populate(&b);
+    a.counter_add(
+        "ebda_demo_edges_total",
+        &[("dim", "0".into()), ("dir", "+".into())],
+        2,
+    );
+    b.counter_add(
+        "ebda_demo_edges_total",
+        &[("dir", "+".into()), ("dim", "0".into())],
+        2,
+    );
+    let ra = a.render(RenderOptions::default());
+    let rb = b.render(RenderOptions::default());
+    assert_eq!(ra, rb);
+    assert!(ra.contains("ebda_demo_edges_total{dim=\"0\",dir=\"+\"} 2"));
+}
+
+/// The deterministic render drops wall-clock (`_ns`) families and keeps
+/// everything else, so identical-seed runs compare byte-for-byte.
+#[test]
+fn deterministic_render_skips_wall_clock_families() {
+    let reg = MetricsRegistry::new();
+    reg.counter_add("ebda_demo_elapsed_ns", &[], 123_456);
+    reg.counter_add("ebda_demo_runs_total", &[], 1);
+    reg.observe("ebda_demo_duration_ns", &[], 99);
+    let full = reg.render(RenderOptions::default());
+    let det = reg.render(RenderOptions {
+        deterministic: true,
+    });
+    assert!(full.contains("ebda_demo_elapsed_ns"));
+    assert!(full.contains("ebda_demo_duration_ns_count"));
+    assert!(!det.contains("_ns"));
+    assert!(det.contains("ebda_demo_runs_total 1"));
+}
+
+/// The exposition format is pinned by a checked-in golden file: counters,
+/// gauges, label escaping, and sparse cumulative histogram buckets with
+/// `+Inf`, `_sum` and `_count`.
+#[test]
+fn golden_prometheus_exposition() {
+    let reg = MetricsRegistry::new();
+    populate(&reg);
+    let got = reg.render(RenderOptions::default());
+    let want = include_str!("golden/metrics.txt");
+    assert_eq!(
+        got, want,
+        "exposition drifted from crates/obs/tests/golden/metrics.txt"
+    );
+    // And the golden text itself parses back with the own parser.
+    let samples = parse_exposition(want).expect("golden exposition parses");
+    assert!(samples.iter().any(|s| {
+        s.name == "ebda_demo_packets_total" && s.label("design") == Some("wf") && s.value == 7.0
+    }));
+    assert!(samples
+        .iter()
+        .any(|s| s.name == "ebda_demo_note" && s.label("msg") == Some("a\"b\\c")));
+}
+
+/// A scraper that only sees the rendered `_bucket` lines can reconstruct
+/// quantiles within the histogram's 6.25% error bound.
+#[test]
+fn parsed_buckets_reproduce_histogram_quantiles() {
+    let mut h = Histogram::new();
+    for v in 1..=1000u64 {
+        h.observe(v);
+    }
+    let reg = MetricsRegistry::new();
+    reg.merge_histogram("ebda_demo_latency_cycles", &[], &h);
+    let samples = parse_exposition(&reg.render(RenderOptions::default())).unwrap();
+    let buckets: Vec<(f64, f64)> = samples
+        .iter()
+        .filter(|s| s.name == "ebda_demo_latency_cycles_bucket")
+        .map(|s| {
+            let le = match s.label("le").unwrap() {
+                "+Inf" => f64::INFINITY,
+                v => v.parse().unwrap(),
+            };
+            (le, s.value)
+        })
+        .collect();
+    for q in [0.50, 0.90, 0.99, 0.999] {
+        let direct = h.quantile(q).unwrap() as f64;
+        let scraped = quantile_from_buckets(&buckets, q).unwrap();
+        // The scraper sees bucket upper bounds only (no min/max clamp), so
+        // allow one bucket width of slack on top of the shared 6.25% bound.
+        assert!(
+            (scraped - direct).abs() <= direct * 0.0625 + 1.0,
+            "q={q}: scraped {scraped} vs direct {direct}"
+        );
+    }
+    assert_eq!(quantile_from_buckets(&buckets, 0.0), Some(1.0));
+}

@@ -194,6 +194,7 @@ pub fn search(topo: &Topology, vcs: &[u8], universe: &[Channel], turns: &TurnSet
     let mut sweeps = 0usize;
     loop {
         sweeps += 1;
+        ebda_obs::metrics::counter_add("ebda_oracle_brute_sweeps_total", &[], 1);
         let mut removed = false;
         for (i, &(hold, want)) in pairs.iter().enumerate() {
             if alive[i] && holds[want] == 0 {

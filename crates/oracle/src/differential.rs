@@ -165,6 +165,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         let verdicts = evaluate(&artifact, cfg.mutation);
         report.configs += 1;
         ebda_obs::counter_add("oracle.configs", 1);
+        ebda_obs::metrics::counter_add("ebda_oracle_artifacts_checked_total", &[], 1);
         match artifact.kind {
             ArtifactKind::Partitioning => report.partitionings += 1,
             ArtifactKind::ChannelOrdering => report.orderings += 1,
@@ -174,6 +175,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
             report.deadlock_free += 1;
         } else {
             report.deadlocking += 1;
+            ebda_obs::metrics::counter_add("ebda_oracle_deadlocking_artifacts_total", &[], 1);
         }
         if verdicts.ebda.as_ref().is_some_and(|e| e.is_deadlock_free()) {
             report.ebda_accepted += 1;
@@ -183,6 +185,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         }
         if cross_check(&artifact, &verdicts).is_some() {
             ebda_obs::counter_add("oracle.disagreements", 1);
+            ebda_obs::metrics::counter_add("ebda_oracle_disagreements_total", &[], 1);
             report.caught = Some(investigate(&artifact, cfg));
             break;
         }
@@ -198,6 +201,7 @@ fn investigate(artifact: &Artifact, cfg: &CampaignConfig) -> CaughtDisagreement 
         cross_check(a, &v).is_some()
     };
     let shrunk = shrink(artifact, still_failing, DEFAULT_SHRINK_BUDGET);
+    ebda_obs::metrics::counter_add("ebda_oracle_artifacts_shrunk_total", &[], 1);
     let verdicts = evaluate(&shrunk, cfg.mutation);
     let disagreement = cross_check(&shrunk, &verdicts)
         .expect("the shrinker only keeps artifacts that still disagree");

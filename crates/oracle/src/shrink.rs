@@ -33,6 +33,7 @@ where
                 return current;
             }
             evals += 1;
+            ebda_obs::metrics::counter_add("ebda_oracle_shrink_evals_total", &[], 1);
             if still_failing(&candidate) {
                 current = candidate;
                 improved = true;

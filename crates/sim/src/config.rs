@@ -79,6 +79,12 @@ pub struct SimConfig {
     pub deadlock_threshold: u64,
     /// RNG seed for reproducibility.
     pub seed: u64,
+    /// Whether to keep the raw per-packet latency vector in
+    /// [`crate::SimResult::latencies`]. The log-bucketed
+    /// [`crate::SimResult::latency_hist`] is always collected; sweeps
+    /// that only need quantiles turn this off and skip both the
+    /// per-packet storage and the final O(n log n) sort.
+    pub collect_latencies: bool,
     /// Links that fail mid-run: `(cycle, node, dimension, direction)`,
     /// cut in both traversal directions when the cycle starts. Packets
     /// whose wormhole is severed by a failure are torn down (counted in
@@ -103,6 +109,7 @@ impl Default for SimConfig {
             drain: 3_000,
             deadlock_threshold: 1_000,
             seed: 0xEBDA,
+            collect_latencies: true,
             fault_schedule: Vec::new(),
         }
     }

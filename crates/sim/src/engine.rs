@@ -127,6 +127,17 @@ impl Layout {
         node * self.out_per_node + self.out_base[port] + vc0
     }
 
+    /// Decomposes a global out-slot into (node, local port, vc0).
+    fn out_slot_parts(&self, slot: usize) -> (NodeId, usize, usize) {
+        let node = slot / self.out_per_node;
+        let local = slot % self.out_per_node;
+        let mut port = 0;
+        while port + 1 < self.out_base.len() && self.out_base[port + 1] <= local {
+            port += 1;
+        }
+        (node, port, local - self.out_base[port])
+    }
+
     /// Decomposes a global in-slot into (node, local port, vc0); the local
     /// port equals `2 * dims` for injection slots.
     fn in_slot_parts(&self, slot: usize) -> (NodeId, usize, usize) {
@@ -178,6 +189,51 @@ pub fn simulate_traced(
     Simulator::new(topo, relation, cfg, rec).run()
 }
 
+/// Renders the per-channel flit counts of a finished run as a CSV heatmap
+/// with one row per output virtual channel:
+///
+/// ```text
+/// node,coords,dim,dir,vc,flits,utilization
+/// 5,"1 1",0,+,0,312,0.0780
+/// ```
+///
+/// `coords` are the node's per-dimension coordinates (space-separated),
+/// `dim`/`dir`/`vc` name the channel, and `utilization` is flits per
+/// measurement cycle. The relation must be the one the run used — it
+/// supplies the VC count per dimension that fixes the slot layout.
+pub fn channel_heatmap_csv(
+    topo: &Topology,
+    relation: &dyn RoutingRelation,
+    cfg: &SimConfig,
+    result: &SimResult,
+) -> String {
+    let vcs = relation.vcs(topo);
+    let layout = Layout::new(topo, &vcs);
+    assert_eq!(
+        result.channel_flits.len(),
+        topo.node_count() * layout.out_per_node,
+        "result does not match this topology/relation layout"
+    );
+    let window = cfg.measurement.max(1) as f64;
+    let mut out = String::from("node,coords,dim,dir,vc,flits,utilization\n");
+    for (oslot, &flits) in result.channel_flits.iter().enumerate() {
+        let (node, port, vc0) = layout.out_slot_parts(oslot);
+        let coords = topo
+            .coords(node)
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        out.push_str(&format!(
+            "{node},\"{coords}\",{},{},{vc0},{flits},{:.4}\n",
+            Layout::port_dim(port),
+            dir_char(Layout::port_dir(port)),
+            flits as f64 / window,
+        ));
+    }
+    out
+}
+
 /// One edge of a diagnosed circular wait: `waiter` cannot advance until
 /// `waits_on` does, for the reason in `label`.
 #[derive(Debug, Clone)]
@@ -212,6 +268,19 @@ struct Simulator<'a> {
     latency_sum: u64,
     latency_max: u64,
     latencies: Vec<u64>,
+    /// Log-bucketed latency histogram (always on; feeds `SimResult` and,
+    /// when live metrics are enabled, the global registry).
+    latency_hist: ebda_obs::Histogram,
+    /// Whether the live metrics registry was enabled when the run started
+    /// — snapshotted once so a mid-run toggle cannot skew a run.
+    metrics_on: bool,
+    /// Head-of-packet injection-queue residency, live-metrics only.
+    inject_queue_hist: ebda_obs::Histogram,
+    /// Per-channel buffer occupancy sampled every 64 cycles, live-metrics
+    /// only.
+    occupancy_hist: ebda_obs::Histogram,
+    /// Switch-allocation attempts lost to exhausted credits.
+    credit_stalls: u64,
     hop_sum: u64,
     window_flits_ejected: u64,
     channel_flits: Vec<u64>,
@@ -273,6 +342,11 @@ impl<'a> Simulator<'a> {
             latency_sum: 0,
             latency_max: 0,
             latencies: Vec::new(),
+            latency_hist: ebda_obs::Histogram::new(),
+            metrics_on: ebda_obs::metrics::enabled(),
+            inject_queue_hist: ebda_obs::Histogram::new(),
+            occupancy_hist: ebda_obs::Histogram::new(),
+            credit_stalls: 0,
             hop_sum: 0,
             window_flits_ejected: 0,
             channel_flits,
@@ -292,6 +366,9 @@ impl<'a> Simulator<'a> {
         let mut cycle = 0u64;
         while cycle < horizon {
             self.take_sample(cycle);
+            if self.metrics_on && cycle.is_multiple_of(64) {
+                self.sample_occupancy();
+            }
             self.apply_due_faults(cycle);
             // Link traversal completes: deliver due flits.
             while self
@@ -406,12 +483,72 @@ impl<'a> Simulator<'a> {
         });
     }
 
+    /// Samples every output VC's current buffer occupancy into the
+    /// live-metrics occupancy histogram (a distribution over channels and
+    /// time, the raw material of congestion heatmaps).
+    fn sample_occupancy(&mut self) {
+        let depth = self.cfg.buffer_depth;
+        for o in &self.out_vcs {
+            self.occupancy_hist
+                .observe((depth - o.credits.min(depth)) as u64);
+        }
+    }
+
+    /// Flushes the run's aggregates into the global metrics registry —
+    /// one lock acquisition per family, after the hot loop is done.
+    fn flush_metrics(&self, outcome: &Outcome, cycles: u64) {
+        use ebda_obs::metrics as m;
+        m::counter_add("ebda_sim_runs_total", &[], 1);
+        m::counter_add("ebda_sim_cycles_total", &[], cycles);
+        m::counter_add("ebda_sim_packets_injected_total", &[], self.injected);
+        m::counter_add("ebda_sim_packets_delivered_total", &[], self.delivered);
+        m::counter_add("ebda_sim_packets_dropped_total", &[], self.dropped);
+        m::counter_add("ebda_sim_packets_reordered_total", &[], self.reordered);
+        m::counter_add("ebda_sim_routing_faults_total", &[], self.routing_faults);
+        m::counter_add("ebda_sim_credit_stalls_total", &[], self.credit_stalls);
+        if !matches!(outcome, Outcome::Completed) {
+            m::counter_add("ebda_sim_deadlocks_total", &[], 1);
+        }
+        m::merge_histogram("ebda_sim_packet_latency_cycles", &[], &self.latency_hist);
+        m::merge_histogram(
+            "ebda_sim_injection_queue_cycles",
+            &[],
+            &self.inject_queue_hist,
+        );
+        m::merge_histogram(
+            "ebda_sim_channel_occupancy_flits",
+            &[],
+            &self.occupancy_hist,
+        );
+        // Per-channel load: a flit counter (accumulates across runs) and a
+        // utilization gauge (flits per measurement cycle, last run wins).
+        let window = self.cfg.measurement.max(1) as f64;
+        for (oslot, &flits) in self.channel_flits.iter().enumerate() {
+            let (node, port, vc0) = self.layout.out_slot_parts(oslot);
+            let labels = [
+                ("node", node.to_string()),
+                ("dim", Layout::port_dim(port).to_string()),
+                ("dir", dir_char(Layout::port_dir(port)).to_string()),
+                ("vc", vc0.to_string()),
+            ];
+            m::counter_add("ebda_sim_channel_flits_total", &labels, flits);
+            m::gauge_set(
+                "ebda_sim_channel_utilization",
+                &labels,
+                flits as f64 / window,
+            );
+        }
+    }
+
     fn finish(mut self, outcome: Outcome, cycles: u64) -> SimResult {
         ebda_obs::counter_add("sim.engine.runs", 1);
         ebda_obs::counter_add("sim.engine.cycles", cycles);
         ebda_obs::counter_add("sim.engine.packets_injected", self.injected);
         ebda_obs::counter_add("sim.engine.packets_delivered", self.delivered);
         ebda_obs::counter_add("sim.engine.routing_faults", self.routing_faults);
+        if self.metrics_on {
+            self.flush_metrics(&outcome, cycles);
+        }
         let delivered = self.measured_delivered.max(1);
         self.latencies.sort_unstable();
         SimResult {
@@ -425,6 +562,7 @@ impl<'a> Simulator<'a> {
             avg_hops: self.hop_sum as f64 / delivered as f64,
             max_latency: self.latency_max,
             latencies: self.latencies,
+            latency_hist: self.latency_hist,
             throughput: self.window_flits_ejected as f64
                 / self.topo.node_count() as f64
                 / self.cfg.measurement as f64,
@@ -924,6 +1062,7 @@ impl<'a> Simulator<'a> {
                         continue;
                     };
                     if self.out_vcs[oslot].credits == 0 {
+                        self.credit_stalls += 1;
                         if let Some(rec) = self.rec.as_deref_mut() {
                             rec.record(Event::SwitchStall {
                                 cycle,
@@ -969,6 +1108,14 @@ impl<'a> Simulator<'a> {
                     self.out_vcs[oslot].credits -= 1;
                     if flit.idx == 0 {
                         self.packets[flit.pid as usize].hops += 1;
+                        // Head leaving its source-side injection queue:
+                        // record the queueing delay before network entry.
+                        if self.metrics_on
+                            && islot % self.layout.in_per_node == self.layout.in_per_node - 1
+                        {
+                            let waited = cycle - self.packets[flit.pid as usize].inject_cycle;
+                            self.inject_queue_hist.observe(waited);
+                        }
                     }
                     if in_window {
                         self.channel_flits[oslot] += 1;
@@ -1021,13 +1168,7 @@ impl<'a> Simulator<'a> {
     }
 
     fn out_slot_parts(&self, slot: usize) -> (NodeId, usize, usize) {
-        let node = slot / self.layout.out_per_node;
-        let local = slot % self.layout.out_per_node;
-        let mut port = 0;
-        while port + 1 < self.layout.out_base.len() && self.layout.out_base[port + 1] <= local {
-            port += 1;
-        }
-        (node, port, local - self.layout.out_base[port])
+        self.layout.out_slot_parts(slot)
     }
 
     /// Returns a credit to the upstream output VC feeding `islot` (network
@@ -1078,7 +1219,10 @@ impl<'a> Simulator<'a> {
             self.measured_delivered += 1;
             self.latency_sum += latency;
             self.latency_max = self.latency_max.max(latency);
-            self.latencies.push(latency);
+            self.latency_hist.observe(latency);
+            if self.cfg.collect_latencies {
+                self.latencies.push(latency);
+            }
             self.hop_sum += u64::from(self.packets[pid as usize].hops);
         }
     }

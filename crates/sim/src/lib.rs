@@ -39,7 +39,7 @@ pub mod traffic;
 
 pub use config::{BufferPolicy, Selection, SimConfig, Switching};
 pub use ebda_routing::Topology;
-pub use engine::{simulate, simulate_traced};
+pub use engine::{channel_heatmap_csv, simulate, simulate_traced};
 pub use metrics::{EnergyModel, Outcome, SimResult};
 pub use replay::{replay_with_recorder, wait_edge_count};
 pub use sweep::{latency_curve, saturation_rate, SweepPoint};

@@ -48,8 +48,14 @@ pub struct SimResult {
     pub avg_latency: f64,
     /// Maximum packet latency over measured, delivered packets.
     pub max_latency: u64,
-    /// Sorted latencies of measured, delivered packets (for percentiles).
+    /// Sorted latencies of measured, delivered packets (for exact
+    /// percentiles). Empty when [`crate::SimConfig::collect_latencies`]
+    /// is off — quantiles then come from `latency_hist`.
     pub latencies: Vec<u64>,
+    /// Log-bucketed latency histogram over the same packets — always
+    /// collected, feeds the live metrics registry and the quantile
+    /// fallback when the raw vector is disabled (≤6.25% relative error).
+    pub latency_hist: ebda_obs::Histogram,
     /// Mean network hops per measured, delivered packet.
     pub avg_hops: f64,
     /// Flits ejected during the measurement window, per node per cycle —
@@ -114,7 +120,9 @@ impl SimResult {
     pub fn latency_percentile(&self, p: f64) -> Option<u64> {
         assert!((0.0..=100.0).contains(&p), "percentile out of range");
         if self.latencies.is_empty() {
-            return None;
+            // Raw vector disabled (or nothing delivered): fall back to the
+            // histogram, which is empty exactly when no packet was measured.
+            return self.latency_hist.quantile(p / 100.0);
         }
         let n = self.latencies.len();
         let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
@@ -187,6 +195,11 @@ mod tests {
     use super::*;
 
     fn base() -> SimResult {
+        let latencies = vec![8, 10, 12, 14, 16];
+        let mut latency_hist = ebda_obs::Histogram::new();
+        for &l in &latencies {
+            latency_hist.observe(l);
+        }
         SimResult {
             outcome: Outcome::Completed,
             cycles: 100,
@@ -196,7 +209,8 @@ mod tests {
             measured_delivered: 5,
             avg_latency: 12.0,
             max_latency: 20,
-            latencies: vec![8, 10, 12, 14, 16],
+            latencies,
+            latency_hist,
             avg_hops: 3.0,
             throughput: 0.1,
             window_ejected: 40,
@@ -249,7 +263,18 @@ mod tests {
         assert_eq!(r.latency_percentile(100.0), Some(16));
         let mut empty = base();
         empty.latencies.clear();
+        empty.latency_hist = ebda_obs::Histogram::new();
         assert_eq!(empty.latency_percentile(50.0), None);
+    }
+
+    #[test]
+    fn percentiles_fall_back_to_the_histogram() {
+        // collect_latencies = false leaves the raw vector empty; quantiles
+        // must still come out of the histogram (exact below 16).
+        let mut r = base();
+        r.latencies.clear();
+        assert_eq!(r.latency_percentile(50.0), Some(12));
+        assert_eq!(r.latency_percentile(100.0), Some(16));
     }
 
     #[test]
@@ -266,6 +291,7 @@ mod tests {
         // No delivered packets => no p99 clause, but still well-formed.
         let mut idle = base();
         idle.latencies.clear();
+        idle.latency_hist = ebda_obs::Histogram::new();
         assert!(!idle.to_string().contains("p99"));
         let d = SimResult {
             outcome: Outcome::Deadlocked {

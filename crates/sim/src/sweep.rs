@@ -17,6 +17,8 @@ pub struct SweepPoint {
     pub p50_latency: Option<u64>,
     /// 99th-percentile latency, when available.
     pub p99_latency: Option<u64>,
+    /// 99.9th-percentile latency, when available.
+    pub p999_latency: Option<u64>,
     /// Accepted throughput (flits/node/cycle).
     pub throughput: f64,
     /// Channel load-balance CV ([`SimResult::channel_balance_cv`]), when
@@ -30,11 +32,16 @@ pub struct SweepPoint {
 
 impl SweepPoint {
     fn from_result(rate: f64, r: &SimResult) -> SweepPoint {
+        // Quantiles come from the log-bucketed histogram, not the raw
+        // vector — sweeps run with `collect_latencies: false` and skip the
+        // per-point O(n log n) sort entirely.
+        ebda_obs::metrics::counter_add("ebda_sweep_points_total", &[], 1);
         SweepPoint {
             rate,
             avg_latency: r.avg_latency,
-            p50_latency: r.latency_percentile(50.0),
-            p99_latency: r.latency_percentile(99.0),
+            p50_latency: r.latency_hist.quantile(0.50),
+            p99_latency: r.latency_hist.quantile(0.99),
+            p999_latency: r.latency_hist.quantile(0.999),
             throughput: r.throughput,
             channel_balance_cv: r.channel_balance_cv(),
             drained: r.measured_delivered == r.measured_injected,
@@ -56,6 +63,8 @@ pub fn latency_curve(
         .map(|&rate| {
             let cfg = SimConfig {
                 injection_rate: rate,
+                // Histogram quantiles suffice: skip raw-latency storage.
+                collect_latencies: false,
                 ..base.clone()
             };
             SweepPoint::from_result(rate, &simulate(topo, relation, &cfg))
@@ -202,6 +211,7 @@ mod tests {
         for p in &curve {
             assert!(p.p99_latency.unwrap_or(0) as f64 >= p.avg_latency * 0.8);
             assert!(p.p50_latency.unwrap() <= p.p99_latency.unwrap());
+            assert!(p.p99_latency.unwrap() <= p.p999_latency.unwrap());
             assert!(p.channel_balance_cv.unwrap() >= 0.0);
         }
     }

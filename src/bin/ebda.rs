@@ -44,6 +44,13 @@ const USAGE: &str = "usage:
                  [--policy multi|single] [--switching wh|vct|saf]
                  [--trace-out FILE]          flight-recorder trace (.json or
                                              .csv; EBDA_TRACE env works too)
+                 [--metrics-addr HOST:PORT]  serve live Prometheus metrics at
+                                             /metrics (EBDA_METRICS_ADDR too;
+                                             --metrics-linger SECS keeps it up)
+                 [--heatmap-out FILE]        per-channel utilization heatmap CSV
+  ebda monitor  --addr HOST:PORT [--once] [--interval-ms N]
+                                             poll a /metrics endpoint and render
+                                             a compact terminal snapshot
 
 a <design> is partitions separated by '|' or '->', channels like X1+, Ye2-
 (example: \"X- | X+ Y+ Y-\" is the west-first turn model), or a preset:
@@ -63,6 +70,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "certify" => cmd_certify(rest),
         "report" => cmd_report(rest),
         "simulate" => cmd_simulate(rest),
+        "monitor" => cmd_monitor(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -268,7 +276,13 @@ fn cmd_certify(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn cmd_simulate(args: &[String]) -> Result<(), String> {
+fn cmd_simulate(raw_args: &[String]) -> Result<(), String> {
+    // The shared observability parser consumes --trace-out/--metrics-addr/
+    // --metrics-linger (and their env fallbacks); everything else stays.
+    let mut argv: Vec<String> = raw_args.to_vec();
+    let mut obs = ebda::bench::trace::ObsOptions::parse(&mut argv);
+    obs.activate();
+    let args: &[String] = &argv;
     let seq = parse_design(args)?;
     let topo = topology(args, design_dims(&seq))?;
     let relation = TurnRouting::from_design("cli", &seq).map_err(|e| e.to_string())?;
@@ -302,48 +316,140 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             cfg.buffer_depth = cfg.buffer_depth.max(cfg.packet_length);
         }
     }
-    let trace = flag_value(args, "--trace-out")
-        .map(std::path::PathBuf::from)
-        .or_else(|| std::env::var_os("EBDA_TRACE").map(std::path::PathBuf::from));
-    if trace.is_none() && args.iter().any(|a| a == "--trace-out") {
-        return Err("--trace-out needs a path argument".into());
-    }
-    let result = if let Some(path) = &trace {
-        ebda_obs::telemetry::set_enabled(true);
-        let mut rec = ebda_obs::Recorder::with_defaults();
-        let result = ebda::sim::simulate_traced(&topo, &relation, &cfg, Some(&mut rec));
-        let text = if path
-            .extension()
-            .is_some_and(|e| e.eq_ignore_ascii_case("csv"))
-        {
-            rec.events_csv()
-        } else {
-            // Splice the telemetry snapshot in as a fifth top-level key,
-            // matching the bench binaries' trace format.
-            let mut doc = rec.write_json();
-            let end = doc.rfind('}').expect("write_json emits an object");
-            doc.truncate(end);
-            doc.push_str(",\n  \"telemetry\": ");
-            doc.push_str(ebda_obs::telemetry::snapshot().to_json().trim_end());
-            doc.push_str("\n}\n");
-            doc
-        };
-        std::fs::write(path, text).map_err(|e| format!("write trace {}: {e}", path.display()))?;
-        eprintln!(
-            "trace written to {} ({} events, {} samples)",
-            path.display(),
-            rec.total_events(),
-            rec.samples().len()
-        );
-        result
-    } else {
-        simulate(&topo, &relation, &cfg)
+    let result = match obs.recorder() {
+        Some(mut rec) => {
+            let result = ebda::sim::simulate_traced(&topo, &relation, &cfg, Some(&mut rec));
+            let path = obs.trace.as_ref().expect("recorder implies a trace path");
+            ebda::bench::trace::write_trace(&rec, path);
+            result
+        }
+        None => simulate(&topo, &relation, &cfg),
     };
+    if let Some(path) = flag_value(args, "--heatmap-out") {
+        let csv = ebda::sim::channel_heatmap_csv(&topo, &relation, &cfg, &result);
+        std::fs::write(path, csv).map_err(|e| format!("write heatmap {path}: {e}"))?;
+        eprintln!("heatmap written to {path}");
+    }
     println!("{result}");
     if let Some(cv) = result.channel_balance_cv() {
         println!("channel balance (CV, lower is better): {cv:.3}");
     }
+    obs.finish();
     Ok(())
+}
+
+fn cmd_monitor(args: &[String]) -> Result<(), String> {
+    let addr = flag_value(args, "--addr").ok_or("missing --addr host:port")?;
+    let once = args.iter().any(|a| a == "--once");
+    let interval_ms: u64 = match flag_value(args, "--interval-ms") {
+        Some(v) => v.parse().map_err(|e| format!("bad --interval-ms: {e}"))?,
+        None => 2_000,
+    };
+    loop {
+        let body =
+            ebda_obs::http_get(addr, "/metrics").map_err(|e| format!("scrape {addr}: {e}"))?;
+        let samples = ebda_obs::metrics::parse_exposition(&body)
+            .map_err(|e| format!("malformed exposition from {addr}: {e}"))?;
+        println!("{}", monitor_snapshot(addr, &samples));
+        if once {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// Renders one compact terminal snapshot of a scraped exposition: run and
+/// packet counters, latency quantiles reconstructed from the histogram
+/// buckets, sweep/oracle campaign progress and the busiest channels.
+fn monitor_snapshot(addr: &str, samples: &[ebda_obs::metrics::Sample]) -> String {
+    use ebda_obs::metrics::quantile_from_buckets;
+    use std::fmt::Write as _;
+    let value =
+        |name: &str| -> Option<f64> { samples.iter().find(|s| s.name == name).map(|s| s.value) };
+    let count = |name: &str| value(name).unwrap_or(0.0) as u64;
+    let mut out = String::new();
+    let _ = writeln!(out, "=== {addr} ({} samples) ===", samples.len());
+    if value("ebda_sim_runs_total").is_some() {
+        let _ = writeln!(
+            out,
+            "sim    : {} runs, {} injected, {} delivered, {} deadlocks, {} credit stalls",
+            count("ebda_sim_runs_total"),
+            count("ebda_sim_packets_injected_total"),
+            count("ebda_sim_packets_delivered_total"),
+            count("ebda_sim_deadlocks_total"),
+            count("ebda_sim_credit_stalls_total"),
+        );
+    }
+    let latency_buckets: Vec<(f64, f64)> = samples
+        .iter()
+        .filter(|s| s.name == "ebda_sim_packet_latency_cycles_bucket")
+        .filter_map(|s| {
+            let le = s.label("le")?;
+            let le = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().ok()?
+            };
+            Some((le, s.value))
+        })
+        .collect();
+    if !latency_buckets.is_empty() {
+        let q = |p: f64| {
+            quantile_from_buckets(&latency_buckets, p)
+                .map_or_else(|| "-".into(), |v| format!("{v:.0}"))
+        };
+        let _ = writeln!(
+            out,
+            "latency: p50 {} p90 {} p99 {} p999 {} (cycles)",
+            q(0.50),
+            q(0.90),
+            q(0.99),
+            q(0.999),
+        );
+    }
+    if value("ebda_sweep_points_total").is_some() {
+        let _ = writeln!(out, "sweep  : {} points", count("ebda_sweep_points_total"));
+    }
+    if value("ebda_oracle_artifacts_checked_total").is_some() {
+        let _ = writeln!(
+            out,
+            "oracle : {} artifacts checked, {} deadlocking, {} disagreements, {} shrunk",
+            count("ebda_oracle_artifacts_checked_total"),
+            count("ebda_oracle_deadlocking_artifacts_total"),
+            count("ebda_oracle_disagreements_total"),
+            count("ebda_oracle_artifacts_shrunk_total"),
+        );
+    }
+    let mut hot: Vec<&ebda_obs::metrics::Sample> = samples
+        .iter()
+        .filter(|s| s.name == "ebda_sim_channel_utilization")
+        .collect();
+    hot.sort_by(|a, b| b.value.partial_cmp(&a.value).expect("finite gauges"));
+    if !hot.is_empty() {
+        let top: Vec<String> = hot
+            .iter()
+            .take(5)
+            .map(|s| {
+                format!(
+                    "n{} d{}{} vc{} {:.3}",
+                    s.label("node").unwrap_or("?"),
+                    s.label("dim").unwrap_or("?"),
+                    s.label("dir").unwrap_or("?"),
+                    s.label("vc").unwrap_or("?"),
+                    s.value
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "hottest channels: {}", top.join(" | "));
+    }
+    let spans = samples
+        .iter()
+        .filter(|s| s.name == "ebda_span_invocations_total")
+        .count();
+    if spans > 0 {
+        let _ = writeln!(out, "telemetry: {spans} span families");
+    }
+    out.trim_end().to_string()
 }
 
 #[cfg(test)]
@@ -420,6 +526,44 @@ mod tests {
         ]));
         assert!(result.is_err());
         assert!(result.unwrap_err().contains("not certifiable"));
+    }
+
+    // One test for everything touching the process-global metrics
+    // registry and a live endpoint, to avoid parallel-runner interference.
+    #[test]
+    fn monitor_scrapes_and_renders_a_live_endpoint() {
+        let reg = ebda_obs::metrics::global();
+        reg.counter_add("ebda_sim_runs_total", &[], 2);
+        reg.counter_add("ebda_sim_packets_injected_total", &[], 10);
+        reg.observe("ebda_sim_packet_latency_cycles", &[], 12);
+        reg.gauge_set(
+            "ebda_sim_channel_utilization",
+            &[
+                ("node", "3".into()),
+                ("dim", "0".into()),
+                ("dir", "+".into()),
+                ("vc", "0".into()),
+            ],
+            0.25,
+        );
+        let server = ebda_obs::MetricsServer::serve("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+        run(&s(&["monitor", "--addr", &addr, "--once"])).unwrap();
+        let body = ebda_obs::http_get(&addr, "/metrics").unwrap();
+        let samples = ebda_obs::metrics::parse_exposition(&body).unwrap();
+        let snap = monitor_snapshot(&addr, &samples);
+        assert!(snap.contains("sim    : 2 runs"), "{snap}");
+        assert!(snap.contains("latency: p50 12"), "{snap}");
+        assert!(
+            snap.contains("hottest channels: n3 d0+ vc0 0.250"),
+            "{snap}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn monitor_requires_an_addr() {
+        assert!(run(&s(&["monitor"])).is_err());
     }
 
     #[test]

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use ebda_bench as bench;
 pub use ebda_cdg as cdg;
 pub use ebda_core as core;
 pub use ebda_obs as obs;
