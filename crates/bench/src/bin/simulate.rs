@@ -10,10 +10,13 @@
 //!
 //! Tracing: `--trace-out <path>` (or `EBDA_TRACE`) attaches a flight
 //! recorder to a representative run and writes the trace on exit;
-//! `--quick` skips the full E1/E2 experiments and runs only that traced
-//! run with a short horizon (for smoke tests and trace round-trips).
+//! `--journey-out <path>` (or `EBDA_JOURNEY_OUT`) additionally exports
+//! that run's per-packet journeys as a Chrome-trace timeline, thinned
+//! with `--journey-sample-rate <p>`; `--quick` skips the full E1/E2
+//! experiments and runs only that traced run with a short horizon (for
+//! smoke tests and trace round-trips).
 
-use ebda_bench::trace::{write_trace, ObsOptions};
+use ebda_bench::trace::{write_journey, write_trace, ObsOptions};
 use ebda_routing::classic::{DimensionOrder, DuatoFullyAdaptive};
 use ebda_routing::{RoutingRelation, Topology, TurnRouting};
 use noc_sim::{simulate, simulate_traced, BufferPolicy, SimConfig, TrafficPattern};
@@ -34,12 +37,11 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut obs = ObsOptions::parse(&mut args);
     obs.activate();
-    let trace = obs.trace.clone();
     let quick = args.iter().any(|a| a == "--quick");
     if !quick {
         run_experiments();
     }
-    if let Some(path) = &trace {
+    if let Some(mut rec) = obs.recorder() {
         let topo = Topology::mesh(&[8, 8]);
         let dyxy = TurnRouting::from_design("dyxy", &ebda_core::catalog::fig7b_dyxy()).unwrap();
         let mut c = cfg(0.05, TrafficPattern::Uniform);
@@ -49,7 +51,6 @@ fn main() {
             c.drain = 300;
             c.deadlock_threshold = 200;
         }
-        let mut rec = obs.recorder().expect("trace requested");
         let r = simulate_traced(&topo, &dyxy, &c, Some(&mut rec));
         println!(
             "\ntraced run (ebda-dyxy, uniform, rate {}): {r}\n\
@@ -60,7 +61,12 @@ fn main() {
             rec.evicted(),
             rec.samples().len()
         );
-        write_trace(&rec, path);
+        if let Some(path) = &obs.trace {
+            write_trace(&rec, path);
+        }
+        if let Some(path) = &obs.journey {
+            write_journey(&rec, "ebda-dyxy uniform", path);
+        }
     }
     obs.finish();
 }

@@ -11,16 +11,21 @@
 //! per-point sort are skipped entirely.
 //!
 //! Observability: `--trace-out <path>` (or `EBDA_TRACE`) writes the
-//! telemetry snapshot on exit; `--metrics-addr <host:port>` (or
-//! `EBDA_METRICS_ADDR`) serves live Prometheus metrics at `/metrics`
-//! while the sweep runs, with `--metrics-linger <secs>` keeping the
-//! endpoint up after the last point so scrapers can collect the final
-//! state. `--quick` shrinks the matrix to a smoke-test size.
+//! telemetry snapshot on exit; `--journey-out <path>` (or
+//! `EBDA_JOURNEY_OUT`) records per-packet journeys of every point —
+//! one Chrome-trace "process" per point, thinned with
+//! `--journey-sample-rate <p>` — and writes the merged timeline on
+//! exit; `--metrics-addr <host:port>` (or `EBDA_METRICS_ADDR`) serves
+//! live Prometheus metrics at `/metrics` while the sweep runs, with
+//! `--metrics-linger <secs>` keeping the endpoint up after the last
+//! point so scrapers can collect the final state. `--quick` shrinks
+//! the matrix to a smoke-test size.
 
-use ebda_bench::trace::{write_telemetry, ObsOptions};
+use ebda_bench::trace::{journey_recorder, write_telemetry, ObsOptions};
+use ebda_obs::TraceBuilder;
 use ebda_routing::classic::{DimensionOrder, DuatoFullyAdaptive};
 use ebda_routing::{RoutingRelation, Topology, TurnRouting};
-use noc_sim::{simulate, BufferPolicy, SimConfig, TrafficPattern};
+use noc_sim::{simulate, simulate_traced, BufferPolicy, SimConfig, TrafficPattern};
 use std::io::Write;
 
 fn main() {
@@ -82,6 +87,7 @@ fn main() {
         &[0.005, 0.01, 0.02, 0.03, 0.05, 0.08, 0.12]
     };
 
+    let mut journeys = obs.journey_config().map(|_| TraceBuilder::new());
     for (name, relation) in &designs {
         for (tname, traffic) in traffics {
             for &rate in rates {
@@ -100,7 +106,19 @@ fn main() {
                         collect_latencies: false,
                         ..SimConfig::default()
                     };
-                    let r = simulate(&topo, relation.as_ref(), &cfg);
+                    let r = if let Some(builder) = journeys.as_mut() {
+                        // One journey-only recorder per point, merged
+                        // into a single timeline: each point becomes
+                        // its own Chrome-trace process.
+                        let jcfg = obs.journey_config().expect("journeys requested");
+                        let mut rec = journey_recorder(jcfg);
+                        let r = simulate_traced(&topo, relation.as_ref(), &cfg, Some(&mut rec));
+                        let label = format!("{name} {tname} rate {rate} {pname}");
+                        builder.add_run(&label, rec.journeys().expect("journeys attached"));
+                        r
+                    } else {
+                        simulate(&topo, relation.as_ref(), &cfg)
+                    };
                     ebda_obs::metrics::counter_add("ebda_sweep_points_total", &[], 1);
                     let outcome = if r.outcome.is_deadlock_free() {
                         if r.measured_delivered == r.measured_injected {
@@ -128,6 +146,14 @@ fn main() {
     }
     if let Some(path) = &obs.trace {
         write_telemetry(path);
+    }
+    if let (Some(builder), Some(path)) = (journeys, &obs.journey) {
+        std::fs::write(path, builder.finish())
+            .unwrap_or_else(|e| panic!("write journey {}: {e}", path.display()));
+        eprintln!(
+            "journeys: merged sweep timeline written to {}",
+            path.display()
+        );
     }
     obs.finish();
 }

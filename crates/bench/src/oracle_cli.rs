@@ -13,6 +13,8 @@
 //! | `--mutate <name>` | none | deliberately break a checker (`dally-ignores-wrap`, `ebda-skips-theorem1`) |
 //! | `--expect-disagreement` | off | exit 0 iff a disagreement IS found (mutation self-check) |
 //! | `--trace-out <path>` | off | write the replay trace (on disagreement) or the telemetry snapshot |
+//! | `--journey-out <path>` | off | write the caught replay's packet journeys as a Chrome trace (`EBDA_JOURNEY_OUT`) |
+//! | `--journey-sample-rate <p>` | 1.0 | fraction of replay packets journey-traced (`EBDA_JOURNEY_SAMPLE_RATE`) |
 //! | `--metrics-addr <host:port>` | off | serve live campaign metrics at `/metrics` (`EBDA_METRICS_ADDR`) |
 //! | `--metrics-linger <secs>` | 0 | keep the metrics endpoint up that long after the campaign |
 //!
@@ -88,6 +90,7 @@ pub fn run(mut args: Vec<String>) -> i32 {
         max_configs,
         max_nodes,
         mutation,
+        journey_sample_rate: obs.journey_sample_rate,
     };
     if mutation != Mutation::None {
         println!("running with mutated checker: {mutation}");
@@ -103,6 +106,19 @@ pub fn run(mut args: Vec<String>) -> i32 {
                 eprintln!("replay trace written to {}", path.display());
             }
             None => write_telemetry(path),
+        }
+    }
+    if let Some(path) = &obs.journey {
+        match report.caught.as_ref().and_then(|c| c.replay.as_ref()) {
+            Some(replay) => {
+                std::fs::write(path, &replay.journey_json)
+                    .unwrap_or_else(|e| panic!("write journey {}: {e}", path.display()));
+                eprintln!("replay journeys written to {}", path.display());
+            }
+            None => eprintln!(
+                "journeys: campaign was clean, nothing replayed, {} not written",
+                path.display()
+            ),
         }
     }
     obs.finish();

@@ -7,12 +7,14 @@
 //! sibling with the time series; any other extension gets the full JSON
 //! document (events + samples + totals + telemetry spans/counters).
 
-use ebda_obs::{MetricsServer, Recorder, RecorderConfig};
+use ebda_obs::{JourneyConfig, MetricsServer, Recorder, RecorderConfig, TraceBuilder};
 use std::path::{Path, PathBuf};
 
 /// Unified observability options shared by every binary: trace output
-/// (`--trace-out <path>`, env `EBDA_TRACE`), live metrics endpoint
-/// (`--metrics-addr <host:port>`, env `EBDA_METRICS_ADDR`) and
+/// (`--trace-out <path>`, env `EBDA_TRACE`), packet-journey export
+/// (`--journey-out <path>` / `--journey-sample-rate <p>`, env
+/// `EBDA_JOURNEY_OUT` / `EBDA_JOURNEY_SAMPLE_RATE`), live metrics
+/// endpoint (`--metrics-addr <host:port>`, env `EBDA_METRICS_ADDR`) and
 /// `--metrics-linger <secs>` (keep serving that long after the work is
 /// done, so external scrapers can collect the final state).
 ///
@@ -25,15 +27,36 @@ use std::path::{Path, PathBuf};
 /// // ... the actual work ...
 /// obs.finish();
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ObsOptions {
     /// Where to write the trace / telemetry snapshot, when requested.
     pub trace: Option<PathBuf>,
+    /// Where to write the Chrome-trace packet-journey timeline, when
+    /// requested (`--journey-out`, env `EBDA_JOURNEY_OUT`).
+    pub journey: Option<PathBuf>,
+    /// Fraction of packets whose journeys are traced, in `[0, 1]`
+    /// (`--journey-sample-rate`, env `EBDA_JOURNEY_SAMPLE_RATE`;
+    /// default 1.0 = every packet). Sampling is deterministic per
+    /// packet id, so reruns trace the same set.
+    pub journey_sample_rate: f64,
     /// Address to serve `/metrics` on, when requested (port 0 allowed).
     pub metrics_addr: Option<String>,
     /// Seconds to keep the metrics endpoint up after [`ObsOptions::finish`].
     pub metrics_linger: u64,
     server: Option<MetricsServer>,
+}
+
+impl Default for ObsOptions {
+    fn default() -> Self {
+        ObsOptions {
+            trace: None,
+            journey: None,
+            journey_sample_rate: 1.0,
+            metrics_addr: None,
+            metrics_linger: 0,
+            server: None,
+        }
+    }
 }
 
 impl ObsOptions {
@@ -49,8 +72,26 @@ impl ObsOptions {
         let metrics_linger = take_value(args, "--metrics-linger")
             .map(|v| v.parse().expect("--metrics-linger needs whole seconds"))
             .unwrap_or(0);
+        let journey = take_value(args, "--journey-out")
+            .or_else(|| env_string("EBDA_JOURNEY_OUT"))
+            .map(PathBuf::from);
+        let journey_sample_rate = take_value(args, "--journey-sample-rate")
+            .or_else(|| env_string("EBDA_JOURNEY_SAMPLE_RATE"))
+            .map(|v| {
+                let rate: f64 = v
+                    .parse()
+                    .expect("--journey-sample-rate needs a number in [0, 1]");
+                assert!(
+                    (0.0..=1.0).contains(&rate),
+                    "--journey-sample-rate needs a number in [0, 1]"
+                );
+                rate
+            })
+            .unwrap_or(1.0);
         ObsOptions {
             trace: trace_path(args),
+            journey,
+            journey_sample_rate,
             metrics_addr,
             metrics_linger,
             server: None,
@@ -80,10 +121,30 @@ impl ObsOptions {
         }
     }
 
-    /// A recorder to attach when tracing was requested: `Some` iff
-    /// [`ObsOptions::trace`] is.
+    /// A recorder to attach when tracing or journey export was
+    /// requested: `Some` iff [`ObsOptions::trace`] or
+    /// [`ObsOptions::journey`] is. When journeys were requested the
+    /// recorder comes back with a journey tracer already attached
+    /// (see [`ObsOptions::journey_config`]).
     pub fn recorder(&self) -> Option<Recorder> {
-        recorder_for(self.trace.as_ref())
+        let mut rec = if self.trace.is_some() {
+            recorder_for(self.trace.as_ref())
+        } else {
+            self.journey.as_ref().map(|_| Recorder::with_defaults())
+        }?;
+        if let Some(jcfg) = self.journey_config() {
+            rec.enable_journeys(jcfg);
+        }
+        Some(rec)
+    }
+
+    /// The journey-tracer configuration implied by the flags: `Some`
+    /// iff [`ObsOptions::journey`] is, carrying the sample rate.
+    pub fn journey_config(&self) -> Option<JourneyConfig> {
+        self.journey.as_ref().map(|_| JourneyConfig {
+            sample_rate: self.journey_sample_rate,
+            ..JourneyConfig::default()
+        })
     }
 
     /// The bound metrics address, once [`ObsOptions::activate`] ran.
@@ -139,7 +200,9 @@ pub fn trace_path(args: &mut Vec<String>) -> Option<PathBuf> {
         args.remove(i);
         return Some(PathBuf::from(path));
     }
-    std::env::var_os("EBDA_TRACE").map(PathBuf::from)
+    std::env::var_os("EBDA_TRACE")
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
 }
 
 /// A recorder to attach when tracing was requested: `Some` iff `path` is.
@@ -184,6 +247,43 @@ pub fn write_trace(rec: &Recorder, path: &Path) {
             .unwrap_or_else(|e| panic!("write trace {}: {e}", path.display()));
     }
     eprintln!("trace written to {}", path.display());
+}
+
+/// A small per-run recorder carrying only a journey tracer — the shape
+/// sweep-style binaries attach to each simulated point when
+/// `--journey-out` is set: a modest event ring (journeys themselves
+/// are never evicted) and no periodic samples.
+pub fn journey_recorder(cfg: JourneyConfig) -> Recorder {
+    let mut rec = Recorder::new(RecorderConfig {
+        capacity: 1024,
+        sample_every: 0,
+    });
+    rec.enable_journeys(cfg);
+    rec
+}
+
+/// Writes the packet journeys of `rec` as one Chrome-trace run labelled
+/// `label` — load the file in Perfetto or `chrome://tracing`.
+///
+/// # Panics
+///
+/// Panics when `rec` has no journey tracer attached or the file cannot
+/// be written — journeys are explicitly requested, so losing them
+/// silently would be worse.
+pub fn write_journey(rec: &Recorder, label: &str, path: &Path) {
+    let tracer = rec
+        .journeys()
+        .expect("write_journey needs a journey-enabled recorder");
+    let mut builder = TraceBuilder::new();
+    builder.add_run(label, tracer);
+    std::fs::write(path, builder.finish())
+        .unwrap_or_else(|e| panic!("write journey {}: {e}", path.display()));
+    eprintln!(
+        "journeys: {} traced ({} dropped at the cap) written to {}",
+        tracer.journeys().len(),
+        tracer.skipped(),
+        path.display()
+    );
 }
 
 /// Writes only the telemetry snapshot (spans + counters) as JSON — the

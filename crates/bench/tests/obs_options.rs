@@ -1,0 +1,201 @@
+//! Table-driven coverage of the shared observability flag parser
+//! (`ebda_bench::trace::ObsOptions`): flag extraction, environment
+//! fallbacks, flag-over-env precedence, and loud failure on malformed
+//! or value-less flags.
+
+use ebda_bench::trace::ObsOptions;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Serializes every test that reads or writes `EBDA_*` variables:
+/// integration tests share one process, and `ObsOptions::parse` falls
+/// back to the environment for most flags.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(String::from).collect()
+}
+
+/// One happy-path row: input argv → expected fields and leftover argv.
+struct Case {
+    name: &'static str,
+    args: &'static str,
+    trace: Option<&'static str>,
+    journey: Option<&'static str>,
+    rate: f64,
+    metrics_addr: Option<&'static str>,
+    linger: u64,
+    leftover: &'static str,
+}
+
+#[test]
+fn flag_extraction_table() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let cases = [
+        Case {
+            name: "no flags: everything defaults, argv untouched",
+            args: "run --quick",
+            trace: None,
+            journey: None,
+            rate: 1.0,
+            metrics_addr: None,
+            linger: 0,
+            leftover: "run --quick",
+        },
+        Case {
+            name: "trace alone",
+            args: "--trace-out /tmp/t.json",
+            trace: Some("/tmp/t.json"),
+            journey: None,
+            rate: 1.0,
+            metrics_addr: None,
+            linger: 0,
+            leftover: "",
+        },
+        Case {
+            name: "journey alone keeps the default sample rate",
+            args: "work --journey-out /tmp/j.json",
+            trace: None,
+            journey: Some("/tmp/j.json"),
+            rate: 1.0,
+            metrics_addr: None,
+            linger: 0,
+            leftover: "work",
+        },
+        Case {
+            name: "journey with an explicit sample rate",
+            args: "--journey-sample-rate 0.25 --journey-out j.json",
+            trace: None,
+            journey: Some("j.json"),
+            rate: 0.25,
+            metrics_addr: None,
+            linger: 0,
+            leftover: "",
+        },
+        Case {
+            name: "a sample rate without a journey path is still parsed",
+            args: "--journey-sample-rate 0.5",
+            trace: None,
+            journey: None,
+            rate: 0.5,
+            metrics_addr: None,
+            linger: 0,
+            leftover: "",
+        },
+        Case {
+            name: "all flags at once, positionals preserved in order",
+            args: "a --trace-out t.csv --journey-out j.json --journey-sample-rate 0.5 \
+                   --metrics-addr 127.0.0.1:0 --metrics-linger 3 b",
+            trace: Some("t.csv"),
+            journey: Some("j.json"),
+            rate: 0.5,
+            metrics_addr: Some("127.0.0.1:0"),
+            linger: 3,
+            leftover: "a b",
+        },
+    ];
+    for c in &cases {
+        let mut args = argv(c.args);
+        let obs = ObsOptions::parse(&mut args);
+        assert_eq!(obs.trace, c.trace.map(PathBuf::from), "{}", c.name);
+        assert_eq!(obs.journey, c.journey.map(PathBuf::from), "{}", c.name);
+        assert_eq!(obs.journey_sample_rate, c.rate, "{}", c.name);
+        assert_eq!(obs.metrics_addr.as_deref(), c.metrics_addr, "{}", c.name);
+        assert_eq!(obs.metrics_linger, c.linger, "{}", c.name);
+        assert_eq!(args, argv(c.leftover), "{}", c.name);
+    }
+}
+
+#[test]
+fn env_fallbacks_and_flag_precedence() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let vars = [
+        ("EBDA_TRACE", "/tmp/env-trace.json"),
+        ("EBDA_JOURNEY_OUT", "/tmp/env-journey.json"),
+        ("EBDA_JOURNEY_SAMPLE_RATE", "0.125"),
+        ("EBDA_METRICS_ADDR", "127.0.0.1:9"),
+    ];
+    for (k, v) in vars {
+        std::env::set_var(k, v);
+    }
+
+    // No flags: every field falls back to its variable.
+    let env_only = ObsOptions::parse(&mut argv("work"));
+    assert_eq!(env_only.trace, Some(PathBuf::from("/tmp/env-trace.json")));
+    assert_eq!(
+        env_only.journey,
+        Some(PathBuf::from("/tmp/env-journey.json"))
+    );
+    assert_eq!(env_only.journey_sample_rate, 0.125);
+    assert_eq!(env_only.metrics_addr.as_deref(), Some("127.0.0.1:9"));
+
+    // Explicit flags win over the variables.
+    let flags_win = ObsOptions::parse(&mut argv(
+        "--trace-out /f/t.json --journey-out /f/j.json \
+         --journey-sample-rate 0.75 --metrics-addr 127.0.0.1:0",
+    ));
+    assert_eq!(flags_win.trace, Some(PathBuf::from("/f/t.json")));
+    assert_eq!(flags_win.journey, Some(PathBuf::from("/f/j.json")));
+    assert_eq!(flags_win.journey_sample_rate, 0.75);
+    assert_eq!(flags_win.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+
+    // Empty variables count as unset.
+    for (k, _) in vars {
+        std::env::set_var(k, "");
+    }
+    let empty_env = ObsOptions::parse(&mut argv(""));
+    assert_eq!(empty_env.trace, None);
+    assert_eq!(empty_env.journey, None);
+    assert_eq!(empty_env.journey_sample_rate, 1.0);
+    assert_eq!(empty_env.metrics_addr, None);
+
+    for (k, _) in vars {
+        std::env::remove_var(k);
+    }
+}
+
+/// Malformed input must panic with the offending flag named — these are
+/// explicitly requested observability layers, so silent misparses would
+/// lose data the user asked for.
+#[test]
+fn malformed_flags_panic_with_the_flag_named() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let cases: [(&str, &str); 7] = [
+        ("--trace-out", "--trace-out"),
+        ("--journey-out", "--journey-out"),
+        ("--journey-sample-rate", "--journey-sample-rate"),
+        ("--metrics-addr", "--metrics-addr"),
+        ("--metrics-linger", "--metrics-linger"),
+        ("--journey-sample-rate nope", "[0, 1]"),
+        ("--journey-sample-rate 1.5", "[0, 1]"),
+    ];
+    for (args, expected) in cases {
+        let mut args = argv(args);
+        let err = catch_unwind(AssertUnwindSafe(|| ObsOptions::parse(&mut args)))
+            .expect_err(&format!("{args:?} must be rejected"));
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains(expected), "{args:?}: panic said {msg:?}");
+    }
+}
+
+/// A bad `--metrics-addr` parses fine but fails loudly at activation —
+/// an explicitly requested endpoint must not fail silently.
+#[test]
+fn unbindable_metrics_addr_panics_at_activation() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut args = argv("--metrics-addr not-an-address");
+    let mut obs = ObsOptions::parse(&mut args);
+    assert_eq!(obs.metrics_addr.as_deref(), Some("not-an-address"));
+    let err = catch_unwind(AssertUnwindSafe(|| obs.activate()))
+        .expect_err("binding a malformed address must panic");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("cannot serve metrics on not-an-address"),
+        "panic said {msg:?}"
+    );
+}

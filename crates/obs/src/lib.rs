@@ -22,6 +22,12 @@
 //!   environment has no registry access).
 //! * [`rng::Rng64`] — a splitmix64 PRNG giving the workspace deterministic
 //!   randomness without the `rand` crate.
+//! * [`journey`] — **per-packet journey tracing**: a deterministic
+//!   splitmix64 sampler picks packets whose full causal span tree
+//!   (injection → per-hop VC allocation → channel hold → ejection/drop)
+//!   is reconstructed from the recorder's event stream, and [`chrome`]
+//!   exports those journeys as Chrome Trace Event Format JSON loadable
+//!   in Perfetto or `chrome://tracing`.
 //!
 //! Everything in this crate is deterministic: identical inputs produce
 //! byte-identical exports, which the test suites rely on.
@@ -29,9 +35,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod csv;
 pub mod event;
 pub mod http;
+pub mod journey;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
@@ -39,8 +47,10 @@ pub mod ring;
 pub mod rng;
 pub mod telemetry;
 
+pub use chrome::{TraceBuilder, TraceSummary};
 pub use event::{Event, EventKind};
 pub use http::{http_get, MetricsServer};
+pub use journey::{ChannelId, Journey, JourneyConfig, JourneyEnd, JourneyTracer};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use recorder::{Recorder, RecorderConfig, Sample};
 pub use ring::RingBuffer;

@@ -638,6 +638,12 @@ fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
 /// Reconstructs a quantile from parsed cumulative `_bucket` samples —
 /// `(le, cumulative count)` pairs, `le = +Inf` included — mirroring
 /// [`Histogram::quantile`] on the consumer side. `None` when empty.
+///
+/// Edge behavior is pinned: `q <= 0.0` returns the histogram minimum
+/// bound (the `le` of the first occupied bucket) and `q >= 1.0` the
+/// recorded max bound (the `le` of the last occupied bucket). Mass that
+/// spilled past every finite edge into the `+Inf` bucket clamps to the
+/// largest finite `le`, the tightest bound the exposition still holds.
 pub fn quantile_from_buckets(buckets: &[(f64, f64)], q: f64) -> Option<f64> {
     let mut sorted: Vec<(f64, f64)> = buckets.to_vec();
     sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("le labels are ordered"));
@@ -645,8 +651,35 @@ pub fn quantile_from_buckets(buckets: &[(f64, f64)], q: f64) -> Option<f64> {
     if total <= 0.0 {
         return None;
     }
-    let rank = (q * total).ceil().clamp(1.0, total);
     let mut finite_max = 0.0f64;
+    if q <= 0.0 {
+        for &(le, cum) in &sorted {
+            if le.is_finite() {
+                finite_max = le;
+            }
+            if cum > 0.0 {
+                return Some(if le.is_finite() { le } else { finite_max });
+            }
+        }
+        return Some(finite_max);
+    }
+    if q >= 1.0 {
+        let mut last = 0.0f64;
+        let mut prev = 0.0f64;
+        for &(le, cum) in &sorted {
+            if cum > prev {
+                last = if le.is_finite() { le } else { finite_max };
+            }
+            if le.is_finite() {
+                finite_max = le;
+            }
+            prev = cum;
+        }
+        return Some(last);
+    }
+    // `max`/`min` instead of `clamp`: a fractional total below one (a
+    // mid-write scrape) must not trip clamp's `min <= max` assertion.
+    let rank = (q * total).ceil().max(1.0).min(total);
     for &(le, cum) in &sorted {
         if le.is_finite() {
             finite_max = le;
@@ -729,5 +762,45 @@ mod tests {
         assert_eq!(c.value, 3.0);
         assert_eq!(c.label("kind"), Some("a\"b"));
         assert!(samples.iter().any(|s| s.name == "ebda_test_hist_count"));
+    }
+
+    #[test]
+    fn quantile_from_buckets_pins_both_edges() {
+        let b = [(1.0, 2.0), (4.0, 5.0), (f64::INFINITY, 5.0)];
+        // q=0 is the histogram minimum bound, q=1 the recorded max bound.
+        assert_eq!(quantile_from_buckets(&b, 0.0), Some(1.0));
+        assert_eq!(quantile_from_buckets(&b, 1.0), Some(4.0));
+        // The mid-range path is untouched: rank 3 of 5 lands in (1, 4].
+        assert_eq!(quantile_from_buckets(&b, 0.5), Some(4.0));
+        // A leading empty bucket is not the minimum.
+        let gap = [(1.0, 0.0), (4.0, 3.0), (f64::INFINITY, 3.0)];
+        assert_eq!(quantile_from_buckets(&gap, 0.0), Some(4.0));
+        // A trailing empty finite bucket is not the max.
+        let tail = [(1.0, 2.0), (4.0, 5.0), (8.0, 5.0), (f64::INFINITY, 5.0)];
+        assert_eq!(quantile_from_buckets(&tail, 1.0), Some(4.0));
+    }
+
+    #[test]
+    fn quantile_from_buckets_clamps_inf_spill_to_finite_edges() {
+        // Part of the mass lies past every finite edge: q=1 degrades to
+        // the largest finite bound, the tightest statement still true.
+        let spill = [(1.0, 2.0), (4.0, 4.0), (f64::INFINITY, 6.0)];
+        assert_eq!(quantile_from_buckets(&spill, 1.0), Some(4.0));
+        // All mass in +Inf: both edges degrade to the largest finite le.
+        let inf_only = [(2.0, 0.0), (f64::INFINITY, 3.0)];
+        assert_eq!(quantile_from_buckets(&inf_only, 0.0), Some(2.0));
+        assert_eq!(quantile_from_buckets(&inf_only, 1.0), Some(2.0));
+    }
+
+    #[test]
+    fn quantile_from_buckets_handles_empty_and_fractional_totals() {
+        assert_eq!(quantile_from_buckets(&[], 0.5), None);
+        let empty = [(1.0, 0.0), (f64::INFINITY, 0.0)];
+        assert_eq!(quantile_from_buckets(&empty, 0.0), None);
+        assert_eq!(quantile_from_buckets(&empty, 1.0), None);
+        // A fractional sub-one total (a scrape racing a writer) must not
+        // panic in the rank computation.
+        let frac = [(1.0, 0.25), (f64::INFINITY, 0.25)];
+        assert_eq!(quantile_from_buckets(&frac, 0.5), Some(1.0));
     }
 }

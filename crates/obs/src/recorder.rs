@@ -8,6 +8,7 @@
 //! stay exact even when the ring wraps.
 
 use crate::event::{Event, EventKind};
+use crate::journey::{JourneyConfig, JourneyTracer};
 use crate::json;
 use crate::ring::RingBuffer;
 use std::fmt::Write as _;
@@ -97,6 +98,7 @@ pub struct Recorder {
     events: RingBuffer<Event>,
     samples: Vec<Sample>,
     totals: [u64; EventKind::ALL.len()],
+    journeys: Option<JourneyTracer>,
 }
 
 impl Recorder {
@@ -108,6 +110,7 @@ impl Recorder {
             events: RingBuffer::new(capacity),
             samples: Vec::new(),
             totals: [0; EventKind::ALL.len()],
+            journeys: None,
         }
     }
 
@@ -116,8 +119,24 @@ impl Recorder {
         Recorder::new(RecorderConfig::default())
     }
 
+    /// Attaches a journey tracer: from now on every recorded event is
+    /// also folded into per-packet journeys (see [`crate::journey`]).
+    /// Unlike ring events, journeys of sampled packets are never
+    /// evicted, so attach with a sane `sample_rate`/`max_journeys`.
+    pub fn enable_journeys(&mut self, cfg: JourneyConfig) {
+        self.journeys = Some(JourneyTracer::new(cfg));
+    }
+
+    /// The journey tracer, when [`Recorder::enable_journeys`] was called.
+    pub fn journeys(&self) -> Option<&JourneyTracer> {
+        self.journeys.as_ref()
+    }
+
     /// Records one event.
     pub fn record(&mut self, event: Event) {
+        if let Some(j) = self.journeys.as_mut() {
+            j.observe(&event);
+        }
         self.totals[Self::slot(event.kind())] += 1;
         self.events.push(event);
     }
@@ -323,6 +342,53 @@ mod tests {
             sample_every: 0,
         });
         assert!(!off.sample_due(0));
+    }
+
+    #[test]
+    fn journey_tee_sees_every_recorded_event() {
+        let mut r = Recorder::new(RecorderConfig {
+            capacity: 2, // smaller than the event count: evictions must not affect journeys
+            sample_every: 0,
+        });
+        r.enable_journeys(JourneyConfig::default());
+        r.record(inject(0, 9));
+        r.record(Event::VcAlloc {
+            cycle: 1,
+            pid: 9,
+            node: 0,
+            dim: 0,
+            dir: '+',
+            vc: 0,
+        });
+        r.record(Event::LinkTraverse {
+            cycle: 2,
+            pid: 9,
+            flit: 0,
+            from: 0,
+            to: 1,
+            dim: 0,
+            dir: '+',
+            vc: 0,
+        });
+        r.record(Event::Eject {
+            cycle: 3,
+            pid: 9,
+            node: 1,
+            latency: 3,
+        });
+        let t = r.journeys().expect("tracer attached");
+        assert_eq!(t.journeys().len(), 1);
+        assert_eq!(t.journeys()[0].hops.len(), 1);
+        assert!(matches!(
+            t.journeys()[0].end,
+            crate::journey::JourneyEnd::Ejected { .. }
+        ));
+        assert!(r.evicted() > 0, "ring wrapped but the journey is whole");
+    }
+
+    #[test]
+    fn journeys_absent_by_default() {
+        assert!(Recorder::with_defaults().journeys().is_none());
     }
 
     #[test]

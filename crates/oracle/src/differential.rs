@@ -13,10 +13,10 @@ use crate::artifact::{Artifact, ArtifactKind, Generator};
 use crate::brute::BruteChannel;
 use crate::shrink::{shrink, DEFAULT_SHRINK_BUDGET};
 use crate::verdict::{cross_check, evaluate, Disagreement, Mutation};
-use ebda_obs::Rng64;
+use ebda_obs::{JourneyConfig, Rng64, TraceBuilder};
 use ebda_routing::{PortVc, RouteChoice, RouteState, RoutingRelation, TurnRouting, INJECT};
 use noc_sim::{
-    replay_with_recorder, wait_edge_count, BufferPolicy, Outcome, SimConfig, TrafficPattern,
+    replay_traced, wait_edge_count, BufferPolicy, ChannelCoord, Outcome, SimConfig, TrafficPattern,
 };
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -37,6 +37,9 @@ pub struct CampaignConfig {
     pub max_nodes: usize,
     /// Optional deliberately-broken checker (see [`Mutation`]).
     pub mutation: Mutation,
+    /// Fraction of replayed packets whose journeys are traced, in
+    /// `[0, 1]`; replays are small, so tracing everything is the default.
+    pub journey_sample_rate: f64,
 }
 
 impl Default for CampaignConfig {
@@ -48,6 +51,7 @@ impl Default for CampaignConfig {
             max_configs: usize::MAX,
             max_nodes: 36,
             mutation: Mutation::None,
+            journey_sample_rate: 1.0,
         }
     }
 }
@@ -62,6 +66,19 @@ pub struct Replay {
     pub wait_cycle: Vec<String>,
     /// Wait-for edges captured by the flight recorder.
     pub wait_edges: usize,
+    /// Times the *online* stall watchdog tripped before the verdict.
+    pub watchdog_trips: u64,
+    /// The online watchdog's suspected wait cycle (edge labels), captured
+    /// while the run was still going.
+    pub suspected_cycle: Vec<String>,
+    /// Whether the online suspicion names only channels of the
+    /// brute-force witness cycle: `Some(true)` when every suspected
+    /// channel is a witness channel, `Some(false)` when the suspicion
+    /// strayed, `None` when there was no witness or no trip to compare.
+    pub watchdog_agrees: Option<bool>,
+    /// The replay's packet journeys as Chrome Trace Event Format JSON
+    /// (loadable in Perfetto / `chrome://tracing`).
+    pub journey_json: String,
     /// The full recorder document (events + samples + totals) as JSON.
     pub trace_json: String,
 }
@@ -143,6 +160,18 @@ impl fmt::Display for CampaignReport {
                     for w in &r.wait_cycle {
                         write!(f, "\n    {w}")?;
                     }
+                    if r.watchdog_trips > 0 {
+                        write!(
+                            f,
+                            "\n  watchdog: tripped {}x online{}",
+                            r.watchdog_trips,
+                            match r.watchdog_agrees {
+                                Some(true) => ", suspicion matches the brute-force witness",
+                                Some(false) => ", suspicion STRAYS from the brute-force witness",
+                                None => "",
+                            }
+                        )?;
+                    }
                 }
                 Ok(())
             }
@@ -205,7 +234,11 @@ fn investigate(artifact: &Artifact, cfg: &CampaignConfig) -> CaughtDisagreement 
     let verdicts = evaluate(&shrunk, cfg.mutation);
     let disagreement = cross_check(&shrunk, &verdicts)
         .expect("the shrinker only keeps artifacts that still disagree");
-    let replay = replay_artifact(&shrunk, cfg.seed);
+    let journeys = JourneyConfig {
+        sample_rate: cfg.journey_sample_rate,
+        ..JourneyConfig::default()
+    };
+    let replay = replay_artifact(&shrunk, cfg.seed, journeys);
     CaughtDisagreement {
         artifact: artifact.clone(),
         shrunk,
@@ -274,9 +307,12 @@ impl RoutingRelation for WitnessWalker {
 /// recorder attached. When the brute searcher finds a witness cycle, the
 /// replay drives packets along it (see [`WitnessWalker`]); otherwise it
 /// floods the artifact's own relation with burst traffic, which a
-/// deadlock-free design drains cleanly. Returns `None` when there is
+/// deadlock-free design drains cleanly. The run carries a journey tracer
+/// (`journeys` controls its sampling) and an online stall watchdog whose
+/// suspected wait cycle is cross-checked against the brute-force witness
+/// (see [`Replay::watchdog_agrees`]). Returns `None` when there is
 /// nothing to simulate (empty universe, or no routable pair).
-pub fn replay_artifact(artifact: &Artifact, seed: u64) -> Option<Replay> {
+pub fn replay_artifact(artifact: &Artifact, seed: u64, journeys: JourneyConfig) -> Option<Replay> {
     /// One scripted packet: (injection cycle, source node, destination node).
     type Injection = (u64, usize, usize);
     if artifact.universe.is_empty() {
@@ -284,6 +320,7 @@ pub fn replay_artifact(artifact: &Artifact, seed: u64) -> Option<Replay> {
     }
     let topo = artifact.topology();
     let brute = crate::brute::search(&topo, &artifact.vcs, &artifact.universe, &artifact.turns);
+    let witness = brute.witness.clone();
     let (relation, events): (Box<dyn RoutingRelation>, Vec<Injection>) = match brute.witness {
         Some(cycle) => {
             // One packet per cycle position, all injected in the same
@@ -368,10 +405,26 @@ pub fn replay_artifact(artifact: &Artifact, seed: u64) -> Option<Replay> {
         measurement: 2_000,
         drain: 1_000,
         deadlock_threshold: 300,
+        watchdog_window: 150,
         seed,
         ..SimConfig::default()
     };
-    let (result, recorder) = replay_with_recorder(&topo, relation.as_ref(), &sim_cfg);
+    let (result, recorder) = replay_traced(&topo, relation.as_ref(), &sim_cfg, Some(journeys));
+    let watchdog_agrees = witness
+        .as_ref()
+        .filter(|_| !result.suspected_cycle.is_empty())
+        .map(|cycle| {
+            result
+                .suspected_cycle
+                .iter()
+                .flat_map(|e| e.channels())
+                .all(|coord| cycle.iter().any(|c| coord_matches_witness(coord, c)))
+        });
+    let mut journeys = TraceBuilder::new();
+    journeys.add_run(
+        &format!("oracle replay of {}", relation.name()),
+        recorder.journeys().expect("replay journeys attached"),
+    );
     let (deadlocked, wait_cycle) = match result.outcome {
         Outcome::Deadlocked { wait_cycle, .. } => (true, wait_cycle),
         Outcome::Completed => (false, Vec::new()),
@@ -380,8 +433,34 @@ pub fn replay_artifact(artifact: &Artifact, seed: u64) -> Option<Replay> {
         deadlocked,
         wait_cycle,
         wait_edges: wait_edge_count(&recorder),
+        watchdog_trips: result.watchdog_trips,
+        suspected_cycle: result
+            .suspected_cycle
+            .iter()
+            .map(|e| e.label.clone())
+            .collect(),
+        watchdog_agrees,
+        journey_json: journeys.finish(),
         trace_json: recorder.write_json(),
     })
+}
+
+/// Whether an online-watchdog channel coordinate names the same concrete
+/// channel as a brute-force witness entry. The two sides use different
+/// vocabularies: the simulator's [`ChannelCoord`] is anchored at the
+/// holding node with a 0-based VC, the oracle's [`BruteChannel`] is a
+/// `from → to` link with a 1-based VC.
+fn coord_matches_witness(coord: ChannelCoord, c: &BruteChannel) -> bool {
+    coord.node == c.from
+        && usize::from(coord.dim) == c.dim.index()
+        && coord.dir
+            == if c.dir == ebda_core::Direction::Plus {
+                '+'
+            } else {
+                '-'
+            }
+        && c.vc >= 1
+        && coord.vc == c.vc - 1
 }
 
 #[cfg(test)]
@@ -396,6 +475,7 @@ mod tests {
             max_configs: 600,
             max_nodes: 16,
             mutation,
+            journey_sample_rate: 1.0,
         }
     }
 
@@ -430,11 +510,30 @@ mod tests {
             turns: ebda_core::TurnSet::new(),
             design: None,
         };
-        let replay = replay_artifact(&artifact, 7).expect("rings are routable");
+        let replay =
+            replay_artifact(&artifact, 7, JourneyConfig::default()).expect("rings are routable");
         assert!(replay.deadlocked, "a flooded wrap ring must deadlock");
         assert!(replay.wait_cycle.len() >= 2);
         assert_eq!(replay.wait_edges, replay.wait_cycle.len());
         assert!(replay.trace_json.contains("\"events\""));
+
+        // The online watchdog tripped before the hard verdict and its
+        // suspected cycle stayed inside the brute-force witness — the
+        // live/offline cross-check of the tracing subsystem.
+        assert!(replay.watchdog_trips >= 1, "online watchdog must trip");
+        assert!(!replay.suspected_cycle.is_empty());
+        assert_eq!(
+            replay.watchdog_agrees,
+            Some(true),
+            "suspicion must match the witness: {:?}",
+            replay.suspected_cycle
+        );
+
+        // The journey export is a valid Chrome trace with flow events.
+        let summary =
+            ebda_obs::chrome::validate(&replay.journey_json).expect("valid Trace Event Format");
+        assert!(summary.complete > 0);
+        assert!(summary.flows > 0, "hop-linking flow events expected");
     }
 
     #[test]
@@ -449,6 +548,6 @@ mod tests {
             turns: ebda_core::TurnSet::new(),
             design: None,
         };
-        assert!(replay_artifact(&artifact, 7).is_none());
+        assert!(replay_artifact(&artifact, 7, JourneyConfig::default()).is_none());
     }
 }

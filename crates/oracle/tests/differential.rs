@@ -14,6 +14,7 @@ fn base(mutation: Mutation) -> CampaignConfig {
         max_configs: 2_000,
         max_nodes: 25,
         mutation,
+        journey_sample_rate: 1.0,
     }
 }
 

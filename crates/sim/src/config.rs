@@ -77,6 +77,17 @@ pub struct SimConfig {
     /// Cycles without any flit movement (while flits are in flight) after
     /// which the run is declared deadlocked.
     pub deadlock_threshold: u64,
+    /// Online stall-watchdog window `W` in cycles; 0 (the default)
+    /// disables it. When armed, the watchdog fires as soon as either no
+    /// flit has moved for `W` cycles or a credit-stall streak (every
+    /// non-ejecting cycle stalling on zero credits while traffic is in
+    /// flight) reaches `W`. A firing is *diagnostic only*: it walks the
+    /// live hold/want graph, records a suspected wait cycle and
+    /// `ebda_watchdog_*` metrics, and lets the run continue — the run is
+    /// aborted only by the separate `deadlock_threshold`. The watchdog
+    /// re-arms after the next flit ejection. Useful values sit well
+    /// below `deadlock_threshold` so the suspicion precedes the verdict.
+    pub watchdog_window: u64,
     /// RNG seed for reproducibility.
     pub seed: u64,
     /// Whether to keep the raw per-packet latency vector in
@@ -108,6 +119,7 @@ impl Default for SimConfig {
             measurement: 4_000,
             drain: 3_000,
             deadlock_threshold: 1_000,
+            watchdog_window: 0,
             seed: 0xEBDA,
             collect_latencies: true,
             fault_schedule: Vec::new(),

@@ -17,7 +17,7 @@
 //!   multiple packets without interleaving.
 
 use crate::config::{BufferPolicy, Selection, SimConfig, Switching};
-use crate::metrics::{Outcome, SimResult};
+use crate::metrics::{ChannelCoord, Outcome, SimResult, SuspectedEdge};
 
 use ebda_obs::{Event, Recorder, Rng64, Sample};
 use ebda_routing::{NodeId, RouteState, RoutingRelation, Topology, INJECT};
@@ -235,12 +235,28 @@ pub fn channel_heatmap_csv(
 }
 
 /// One edge of a diagnosed circular wait: `waiter` cannot advance until
-/// `waits_on` does, for the reason in `label`.
+/// `waits_on` does, for the reason in `label`. `held`/`wanted` are the
+/// channel coordinates behind channel-shaped waits (credit starvation,
+/// VC ownership); queued-behind edges carry neither.
 #[derive(Debug, Clone)]
 struct WaitEdge {
     waiter: Pid,
     waits_on: Pid,
     label: String,
+    held: Option<ChannelCoord>,
+    wanted: Option<ChannelCoord>,
+}
+
+impl WaitEdge {
+    fn to_suspected(&self) -> SuspectedEdge {
+        SuspectedEdge {
+            waiter: u64::from(self.waiter),
+            waits_on: u64::from(self.waits_on),
+            label: self.label.clone(),
+            held: self.held,
+            wanted: self.wanted,
+        }
+    }
 }
 
 struct Simulator<'a> {
@@ -281,6 +297,23 @@ struct Simulator<'a> {
     occupancy_hist: ebda_obs::Histogram,
     /// Switch-allocation attempts lost to exhausted credits.
     credit_stalls: u64,
+    /// Flits ejected over the whole run (not just the measurement
+    /// window) — the watchdog's notion of end-to-end progress.
+    flits_ejected_total: u64,
+    /// Online watchdog state: trips so far this run.
+    watchdog_trips: u64,
+    /// The wait cycle found by the last trip that found one.
+    watchdog_suspected: Vec<WaitEdge>,
+    watchdog_suspected_at: u64,
+    /// Consecutive non-ejecting cycles with a credit stall while traffic
+    /// was in flight.
+    stall_streak: u64,
+    /// A trip disarms the watchdog until the next ejection, so one
+    /// freeze episode produces one trip instead of one per cycle.
+    watchdog_armed: bool,
+    /// Structured edges of the hard-deadlock post-mortem, set just
+    /// before the run aborts.
+    final_wait_edges: Vec<SuspectedEdge>,
     hop_sum: u64,
     window_flits_ejected: u64,
     channel_flits: Vec<u64>,
@@ -347,6 +380,13 @@ impl<'a> Simulator<'a> {
             inject_queue_hist: ebda_obs::Histogram::new(),
             occupancy_hist: ebda_obs::Histogram::new(),
             credit_stalls: 0,
+            flits_ejected_total: 0,
+            watchdog_trips: 0,
+            watchdog_suspected: Vec::new(),
+            watchdog_suspected_at: 0,
+            stall_streak: 0,
+            watchdog_armed: true,
+            final_wait_edges: Vec::new(),
             hop_sum: 0,
             window_flits_ejected: 0,
             channel_flits,
@@ -383,12 +423,23 @@ impl<'a> Simulator<'a> {
                 self.inject(cycle);
             }
             self.allocate(cycle);
+            let stalls_before = self.credit_stalls;
+            let ejected_before = self.flits_ejected_total;
             let moved = self.arbitrate_and_move(cycle);
             if moved {
                 last_progress = cycle;
             }
             let in_flight =
                 !self.in_transit.is_empty() || self.in_vcs.iter().any(|v| !v.buf.is_empty());
+            if self.cfg.watchdog_window > 0 {
+                self.watchdog_tick(
+                    cycle,
+                    last_progress,
+                    in_flight,
+                    self.credit_stalls > stalls_before,
+                    self.flits_ejected_total > ejected_before,
+                );
+            }
             if in_flight && cycle - last_progress > self.cfg.deadlock_threshold {
                 let blocked = self.blocked_packet_count();
                 let wait_edges = self.diagnose_deadlock();
@@ -403,14 +454,16 @@ impl<'a> Simulator<'a> {
                         });
                     }
                 }
+                let final_edges = wait_edges.iter().map(WaitEdge::to_suspected).collect();
                 let wait_cycle = wait_edges.into_iter().map(|e| e.label).collect();
-                return self.finish(
+                return self.finish_deadlocked(
                     Outcome::Deadlocked {
                         at_cycle: cycle,
                         blocked_packets: blocked,
                         wait_cycle,
                     },
                     cycle,
+                    final_edges,
                 );
             }
             if !in_flight && cycle >= self.cfg.warmup + self.cfg.measurement {
@@ -540,6 +593,90 @@ impl<'a> Simulator<'a> {
         }
     }
 
+    /// One step of the online stall watchdog (called only when
+    /// `cfg.watchdog_window > 0`). Two independent triggers, both scaled
+    /// by the window `W`: a movement freeze (`cycle - last_progress >=
+    /// W` with traffic in flight) and a credit-stall streak (`W`
+    /// consecutive cycles that stalled on zero credits without ejecting
+    /// a single flit). Ejection is the progress signal that clears the
+    /// streak and re-arms a tripped watchdog: internal shuffling can
+    /// keep `moved` true forever in a half-wedged network, but flits
+    /// leaving the network cannot.
+    fn watchdog_tick(
+        &mut self,
+        cycle: u64,
+        last_progress: u64,
+        in_flight: bool,
+        stalled: bool,
+        ejected: bool,
+    ) {
+        if ejected {
+            self.stall_streak = 0;
+            self.watchdog_armed = true;
+            return;
+        }
+        if in_flight && stalled {
+            self.stall_streak += 1;
+        } else if !in_flight {
+            self.stall_streak = 0;
+        }
+        if !self.watchdog_armed {
+            return;
+        }
+        let w = self.cfg.watchdog_window;
+        let frozen = in_flight && cycle.saturating_sub(last_progress) >= w;
+        if frozen || self.stall_streak >= w {
+            self.trip_watchdog(cycle);
+        }
+    }
+
+    /// The watchdog fired: walk the live hold/want graph, record the
+    /// suspected wait cycle through the recorder (so journeys pick it
+    /// up), and emit the `ebda_watchdog_*` metrics family. Diagnostic
+    /// only — the run continues, and the watchdog disarms until the
+    /// next ejection proves the suspicion wrong (or the hard
+    /// `deadlock_threshold` proves it right).
+    fn trip_watchdog(&mut self, cycle: u64) {
+        self.watchdog_armed = false;
+        self.watchdog_trips += 1;
+        let blocked = self.blocked_packet_count();
+        let edges = self.diagnose_deadlock();
+        if self.metrics_on {
+            use ebda_obs::metrics as m;
+            m::counter_add("ebda_watchdog_trips_total", &[], 1);
+            m::observe("ebda_watchdog_stall_streak_cycles", &[], self.stall_streak);
+            if !edges.is_empty() {
+                m::counter_add("ebda_watchdog_suspected_cycles_total", &[], 1);
+                m::gauge_set("ebda_watchdog_suspected_cycle_len", &[], edges.len() as f64);
+            }
+        }
+        if let Some(rec) = self.rec.as_deref_mut() {
+            rec.record(Event::Watchdog { cycle, blocked });
+            for e in &edges {
+                rec.record(Event::WaitFor {
+                    cycle,
+                    waiter: u64::from(e.waiter),
+                    waits_on: u64::from(e.waits_on),
+                    label: e.label.clone(),
+                });
+            }
+        }
+        if !edges.is_empty() {
+            self.watchdog_suspected = edges;
+            self.watchdog_suspected_at = cycle;
+        }
+    }
+
+    fn finish_deadlocked(
+        mut self,
+        outcome: Outcome,
+        cycles: u64,
+        final_edges: Vec<SuspectedEdge>,
+    ) -> SimResult {
+        self.final_wait_edges = final_edges;
+        self.finish(outcome, cycles)
+    }
+
     fn finish(mut self, outcome: Outcome, cycles: u64) -> SimResult {
         ebda_obs::counter_add("sim.engine.runs", 1);
         ebda_obs::counter_add("sim.engine.cycles", cycles);
@@ -571,6 +708,14 @@ impl<'a> Simulator<'a> {
             routing_faults: self.routing_faults,
             reordered_packets: self.reordered,
             dropped_packets: self.dropped,
+            watchdog_trips: self.watchdog_trips,
+            suspected_cycle: self
+                .watchdog_suspected
+                .iter()
+                .map(WaitEdge::to_suspected)
+                .collect(),
+            suspected_at_cycle: self.watchdog_suspected_at,
+            final_wait_edges: self.final_wait_edges,
         }
     }
 
@@ -589,21 +734,24 @@ impl<'a> Simulator<'a> {
                 pids.len() - 1
             })
         };
+        // Per-waiter annotation: the label plus the (held, wanted)
+        // channel coordinates it describes, first reason wins.
+        type Reason = (String, Option<ChannelCoord>, Option<ChannelCoord>);
         let mut edges: Vec<Vec<u32>> = Vec::new();
-        let mut labels: Vec<String> = Vec::new();
+        let mut labels: Vec<Reason> = Vec::new();
         let add_edge = |edges: &mut Vec<Vec<u32>>,
-                        labels: &mut Vec<String>,
+                        labels: &mut Vec<Reason>,
                         a: usize,
                         b: usize,
-                        why: String| {
+                        why: Reason| {
             while edges.len() <= a.max(b) {
                 edges.push(Vec::new());
-                labels.push(String::new());
+                labels.push((String::new(), None, None));
             }
             if !edges[a].contains(&(b as u32)) {
                 edges[a].push(b as u32);
             }
-            if labels[a].is_empty() {
+            if labels[a].0.is_empty() {
                 labels[a] = why;
             }
         };
@@ -623,7 +771,11 @@ impl<'a> Simulator<'a> {
                         &mut labels,
                         qi,
                         fi,
-                        format!("p{} queued behind p{} at node {node}", f.pid, front.pid),
+                        (
+                            format!("p{} queued behind p{} at node {node}", f.pid, front.pid),
+                            None,
+                            None,
+                        ),
                     );
                 }
             }
@@ -634,6 +786,13 @@ impl<'a> Simulator<'a> {
                     let dim = ebda_core::Dimension::new(Layout::port_dim(oport) as u8);
                     let dir = Layout::port_dir(oport);
                     if let Some(nbr) = self.topo.neighbor(onode, dim, dir) {
+                        let held = ChannelCoord {
+                            node: onode,
+                            dim: dim.index() as u8,
+                            dir: dir_char(dir),
+                            vc: ovc as u8,
+                        };
+                        let wanted = ChannelCoord { node: nbr, ..held };
                         let dslot = self.layout.in_slot(nbr, oport, ovc);
                         for f in self.in_vcs[dslot].buf.iter() {
                             if f.pid != front.pid {
@@ -643,9 +802,13 @@ impl<'a> Simulator<'a> {
                                         &mut labels,
                                         fi,
                                         qi,
-                                        format!(
-                                            "p{} holds {dim}{}{dir} at node {node}, needs buffer space at node {nbr}",
-                                            front.pid, ovc + 1
+                                        (
+                                            format!(
+                                                "p{} holds {dim}{}{dir} at node {node}, needs buffer space at node {nbr}",
+                                                front.pid, ovc + 1
+                                            ),
+                                            Some(held),
+                                            Some(wanted),
                                         ),
                                     );
                             }
@@ -671,9 +834,18 @@ impl<'a> Simulator<'a> {
                                         &mut labels,
                                         fi,
                                         qi,
-                                        format!(
-                                            "p{} at node {node} wants {} held by p{owner}",
-                                            front.pid, ch.port
+                                        (
+                                            format!(
+                                                "p{} at node {node} wants {} held by p{owner}",
+                                                front.pid, ch.port
+                                            ),
+                                            None,
+                                            Some(ChannelCoord {
+                                                node,
+                                                dim: ch.port.dim.index() as u8,
+                                                dir: dir_char(ch.port.dir),
+                                                vc: ch.port.vc - 1,
+                                            }),
                                         ),
                                     );
                                 }
@@ -690,10 +862,13 @@ impl<'a> Simulator<'a> {
                 .map(|k| {
                     let i = cycle[k] as usize;
                     let j = cycle[(k + 1) % cycle.len()] as usize;
+                    let (label, held, wanted) = labels[i].clone();
                     WaitEdge {
                         waiter: pids[i],
                         waits_on: pids[j],
-                        label: labels[i].clone(),
+                        label,
+                        held,
+                        wanted,
                     }
                 })
                 .collect(),
@@ -1146,6 +1321,7 @@ impl<'a> Simulator<'a> {
                     arrivals.push((self.layout.in_slot(nbr, port, vc0), flit));
                 }
                 None => {
+                    self.flits_ejected_total += 1;
                     if in_window {
                         self.window_flits_ejected += 1;
                     }

@@ -40,7 +40,7 @@ pub mod traffic;
 pub use config::{BufferPolicy, Selection, SimConfig, Switching};
 pub use ebda_routing::Topology;
 pub use engine::{channel_heatmap_csv, simulate, simulate_traced};
-pub use metrics::{EnergyModel, Outcome, SimResult};
-pub use replay::{replay_with_recorder, wait_edge_count};
+pub use metrics::{ChannelCoord, EnergyModel, Outcome, SimResult, SuspectedEdge};
+pub use replay::{replay_traced, replay_with_recorder, wait_edge_count};
 pub use sweep::{latency_curve, saturation_rate, SweepPoint};
 pub use traffic::TrafficPattern;

@@ -28,6 +28,54 @@ impl Outcome {
     }
 }
 
+/// A physical channel coordinate: output VC `(dim, dir, vc)` at `node`,
+/// with `vc` 0-based. The structured form of the channel names that
+/// appear inside wait-cycle labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelCoord {
+    /// Node owning the output channel.
+    pub node: usize,
+    /// Dimension index.
+    pub dim: u8,
+    /// Direction, `+` or `-`.
+    pub dir: char,
+    /// Virtual-channel index, 0-based.
+    pub vc: u8,
+}
+
+impl fmt::Display for ChannelCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{} d{}{} vc{}", self.node, self.dim, self.dir, self.vc)
+    }
+}
+
+/// One structured edge of a (suspected or confirmed) circular wait:
+/// packet `waiter` cannot advance until `waits_on` does. `held`/`wanted`
+/// carry the channel coordinates behind the textual `label` when the
+/// wait is channel-shaped (credit starvation, VC ownership); both are
+/// `None` for queued-behind edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuspectedEdge {
+    /// The blocked packet.
+    pub waiter: u64,
+    /// The packet it waits on.
+    pub waits_on: u64,
+    /// Human-readable wait description (matches the recorder's
+    /// `WaitFor` labels and `Outcome::Deadlocked::wait_cycle`).
+    pub label: String,
+    /// The channel `waiter` holds while waiting, when known.
+    pub held: Option<ChannelCoord>,
+    /// The channel `waiter` needs, when known.
+    pub wanted: Option<ChannelCoord>,
+}
+
+impl SuspectedEdge {
+    /// The channel coordinates this edge mentions, held first.
+    pub fn channels(&self) -> impl Iterator<Item = ChannelCoord> + '_ {
+        self.held.into_iter().chain(self.wanted)
+    }
+}
+
 /// Aggregated results of one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimResult {
@@ -77,6 +125,19 @@ pub struct SimResult {
     /// Packets torn down because a scheduled link failure severed their
     /// wormhole mid-flight.
     pub dropped_packets: u64,
+    /// Online stall-watchdog firings during the run (0 unless
+    /// [`crate::SimConfig::watchdog_window`] is set).
+    pub watchdog_trips: u64,
+    /// The wait cycle diagnosed by the *last* online watchdog trip that
+    /// found one — the live suspicion, captured while the run was still
+    /// going. Empty when the watchdog never tripped on a cycle.
+    pub suspected_cycle: Vec<SuspectedEdge>,
+    /// Cycle of the trip that produced [`SimResult::suspected_cycle`].
+    pub suspected_at_cycle: u64,
+    /// Structured form of `Outcome::Deadlocked::wait_cycle`: the edges of
+    /// the post-mortem diagnosis with their channel coordinates. Empty
+    /// for completed runs.
+    pub final_wait_edges: Vec<SuspectedEdge>,
 }
 
 /// A simple Orion-style additive energy model (the paper's reference 45):
@@ -218,6 +279,10 @@ mod tests {
             routing_faults: 0,
             reordered_packets: 0,
             dropped_packets: 0,
+            watchdog_trips: 0,
+            suspected_cycle: Vec::new(),
+            suspected_at_cycle: 0,
+            final_wait_edges: Vec::new(),
         }
     }
 

@@ -9,7 +9,7 @@
 
 use crate::config::SimConfig;
 use crate::metrics::SimResult;
-use ebda_obs::{EventKind, Recorder, RecorderConfig};
+use ebda_obs::{EventKind, JourneyConfig, Recorder, RecorderConfig};
 use ebda_routing::{RoutingRelation, Topology};
 
 /// Runs one simulation with a fresh flight recorder attached and returns
@@ -25,17 +25,45 @@ pub fn replay_with_recorder(
     relation: &dyn RoutingRelation,
     cfg: &SimConfig,
 ) -> (SimResult, Recorder) {
+    replay_traced(topo, relation, cfg, None)
+}
+
+/// Like [`replay_with_recorder`], but optionally attaching a journey
+/// tracer to the recorder, so the replay also yields per-packet span
+/// trees (exportable with [`ebda_obs::TraceBuilder`]).
+///
+/// # Panics
+///
+/// Panics on invalid configuration (see [`SimConfig::validate`]).
+pub fn replay_traced(
+    topo: &Topology,
+    relation: &dyn RoutingRelation,
+    cfg: &SimConfig,
+    journeys: Option<JourneyConfig>,
+) -> (SimResult, Recorder) {
     let mut rec = Recorder::new(RecorderConfig::default());
+    if let Some(jcfg) = journeys {
+        rec.enable_journeys(jcfg);
+    }
     let result = crate::engine::simulate_traced(topo, relation, cfg, Some(&mut rec));
     (result, rec)
 }
 
-/// Counts the wait-for edges a recorder captured — nonzero exactly when
-/// the watchdog fired and diagnosed a circular wait.
+/// Counts the wait-for edges of the recorder's *final* diagnosis — the
+/// edges recorded after the last watchdog event. An online stall
+/// watchdog (see [`SimConfig::watchdog_window`]) may record earlier
+/// suspicion batches; only the last batch describes the post-mortem
+/// wait cycle the run ended with.
 pub fn wait_edge_count(rec: &Recorder) -> usize {
-    rec.events()
-        .filter(|e| e.kind() == EventKind::WaitFor)
-        .count()
+    let mut count = 0usize;
+    for e in rec.events() {
+        match e.kind() {
+            EventKind::Watchdog => count = 0,
+            EventKind::WaitFor => count += 1,
+            _ => {}
+        }
+    }
+    count
 }
 
 #[cfg(test)]
@@ -90,6 +118,37 @@ mod tests {
             other => panic!("positive control must deadlock, got {other:?}"),
         }
         assert!(rec.total_events() > 0);
+    }
+
+    #[test]
+    fn traced_replay_counts_only_the_final_diagnosis_batch() {
+        // With the online watchdog on, earlier suspicion batches are
+        // recorded before the hard deadlock; wait_edge_count must still
+        // equal the final wait cycle's length.
+        let topo = Topology::mesh(&[4, 4]);
+        let cfg = SimConfig {
+            watchdog_window: 100,
+            ..pressure()
+        };
+        let (result, rec) = replay_traced(
+            &topo,
+            &cyclic_relation(),
+            &cfg,
+            Some(JourneyConfig::default()),
+        );
+        match &result.outcome {
+            Outcome::Deadlocked { wait_cycle, .. } => {
+                assert!(result.watchdog_trips >= 1, "online watchdog must trip");
+                assert_eq!(wait_edge_count(&rec), wait_cycle.len());
+            }
+            other => panic!("positive control must deadlock, got {other:?}"),
+        }
+        let tracer = rec.journeys().expect("journeys attached");
+        assert!(!tracer.journeys().is_empty());
+        assert!(
+            !tracer.wait_notes().is_empty(),
+            "watchdog edges must reach the journey tracer"
+        );
     }
 
     #[test]

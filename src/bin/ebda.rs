@@ -42,15 +42,24 @@ const USAGE: &str = "usage:
   ebda report   \"<design>\"                    markdown design review
   ebda simulate \"<design>\" [--mesh AxB] [--rate R] [--traffic uniform|transpose|bitcomp]
                  [--policy multi|single] [--switching wh|vct|saf]
+                 [--seed N]                  traffic RNG seed
+                 [--watchdog-window W]       online stall watchdog: after W
+                                             frozen/credit-stalled cycles, dump
+                                             a suspected wait cycle (run goes on)
                  [--trace-out FILE]          flight-recorder trace (.json or
                                              .csv; EBDA_TRACE env works too)
+                 [--journey-out FILE]        per-packet journey timeline as
+                                             Chrome Trace JSON for Perfetto /
+                                             chrome://tracing (EBDA_JOURNEY_OUT;
+                                             --journey-sample-rate P thins it)
                  [--metrics-addr HOST:PORT]  serve live Prometheus metrics at
                                              /metrics (EBDA_METRICS_ADDR too;
                                              --metrics-linger SECS keeps it up)
                  [--heatmap-out FILE]        per-channel utilization heatmap CSV
-  ebda monitor  --addr HOST:PORT [--once] [--interval-ms N]
+  ebda monitor  --addr HOST:PORT [--once] [--interval SECS] [--interval-ms N]
                                              poll a /metrics endpoint and render
-                                             a compact terminal snapshot
+                                             a compact terminal snapshot;
+                                             --interval re-renders in place
 
 a <design> is partitions separated by '|' or '->', channels like X1+, Ye2-
 (example: \"X- | X+ Y+ Y-\" is the west-first turn model), or a preset:
@@ -316,11 +325,23 @@ fn cmd_simulate(raw_args: &[String]) -> Result<(), String> {
             cfg.buffer_depth = cfg.buffer_depth.max(cfg.packet_length);
         }
     }
+    if let Some(w) = flag_value(args, "--watchdog-window") {
+        cfg.watchdog_window = w
+            .parse()
+            .map_err(|e| format!("bad --watchdog-window: {e}"))?;
+    }
+    if let Some(seed) = flag_value(args, "--seed") {
+        cfg.seed = seed.parse().map_err(|e| format!("bad --seed: {e}"))?;
+    }
     let result = match obs.recorder() {
         Some(mut rec) => {
             let result = ebda::sim::simulate_traced(&topo, &relation, &cfg, Some(&mut rec));
-            let path = obs.trace.as_ref().expect("recorder implies a trace path");
-            ebda::bench::trace::write_trace(&rec, path);
+            if let Some(path) = &obs.trace {
+                ebda::bench::trace::write_trace(&rec, path);
+            }
+            if let Some(path) = &obs.journey {
+                ebda::bench::trace::write_journey(&rec, "ebda simulate", path);
+            }
             result
         }
         None => simulate(&topo, &relation, &cfg),
@@ -334,6 +355,15 @@ fn cmd_simulate(raw_args: &[String]) -> Result<(), String> {
     if let Some(cv) = result.channel_balance_cv() {
         println!("channel balance (CV, lower is better): {cv:.3}");
     }
+    if result.watchdog_trips > 0 {
+        println!(
+            "watchdog: tripped {} time(s); suspected wait cycle at cycle {}:",
+            result.watchdog_trips, result.suspected_at_cycle
+        );
+        for edge in &result.suspected_cycle {
+            println!("  {}", edge.label);
+        }
+    }
     obs.finish();
     Ok(())
 }
@@ -341,15 +371,26 @@ fn cmd_simulate(raw_args: &[String]) -> Result<(), String> {
 fn cmd_monitor(args: &[String]) -> Result<(), String> {
     let addr = flag_value(args, "--addr").ok_or("missing --addr host:port")?;
     let once = args.iter().any(|a| a == "--once");
+    // `--interval <secs>` is the watch mode: clear the terminal and
+    // re-render the snapshot in place each round, like `watch(1)`.
+    // `--interval-ms` keeps the original append-only polling (and wins
+    // on cadence when both are given).
+    let watch_secs: Option<u64> = flag_value(args, "--interval")
+        .map(|v| v.parse().map_err(|e| format!("bad --interval: {e}")))
+        .transpose()?;
     let interval_ms: u64 = match flag_value(args, "--interval-ms") {
         Some(v) => v.parse().map_err(|e| format!("bad --interval-ms: {e}"))?,
-        None => 2_000,
+        None => watch_secs.map_or(2_000, |s| s.max(1) * 1_000),
     };
+    let in_place = watch_secs.is_some() && !once;
     loop {
         let body =
             ebda_obs::http_get(addr, "/metrics").map_err(|e| format!("scrape {addr}: {e}"))?;
         let samples = ebda_obs::metrics::parse_exposition(&body)
             .map_err(|e| format!("malformed exposition from {addr}: {e}"))?;
+        if in_place {
+            print!("\x1b[2J\x1b[H");
+        }
         println!("{}", monitor_snapshot(addr, &samples));
         if once {
             return Ok(());
@@ -562,8 +603,47 @@ mod tests {
     }
 
     #[test]
+    fn simulate_writes_a_journey_trace() {
+        let path = std::env::temp_dir().join("ebda-cli-journey.json");
+        run(&s(&[
+            "simulate",
+            "X- | X+ Y+ Y-",
+            "--mesh",
+            "4x4",
+            "--rate",
+            "0.02",
+            "--seed",
+            "42",
+            "--watchdog-window",
+            "200",
+            "--journey-out",
+            path.to_str().unwrap(),
+            "--journey-sample-rate",
+            "0.5",
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let summary = ebda_obs::chrome::validate(&text).expect("valid Trace Event Format");
+        assert!(summary.complete > 0, "hold spans expected");
+        assert!(summary.tracks > 1, "per-router tracks expected");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn monitor_requires_an_addr() {
         assert!(run(&s(&["monitor"])).is_err());
+    }
+
+    #[test]
+    fn monitor_rejects_a_bad_interval() {
+        let r = run(&s(&[
+            "monitor",
+            "--addr",
+            "127.0.0.1:1",
+            "--interval",
+            "soon",
+        ]));
+        assert!(r.unwrap_err().contains("bad --interval"));
     }
 
     #[test]

@@ -14,6 +14,7 @@ fn quick(mutation: Mutation) -> CampaignConfig {
         max_configs: 1_000,
         max_nodes: 16,
         mutation,
+        journey_sample_rate: 1.0,
     }
 }
 
