@@ -1,0 +1,244 @@
+//! Reproducible performance measurements for the bench trajectory
+//! (`BENCH_*.json` at the repository root).
+//!
+//! Usage: `cargo run --release -p ebda-bench --bin bench_report -- \
+//!            [--label NAME] [--out FILE]`
+//!
+//! Runs a fixed set of workloads — the simulator hot path, the brute-force
+//! deadlock searcher, the shrinker, a full sweep (16 points x 3
+//! replicates) and an oracle campaign — and writes one JSON document with
+//! nanosecond timings per workload. Two invocations of this binary (one
+//! per tree) are merged into a `BENCH_<pr>.json` before/after record; see
+//! `docs/PERFORMANCE.md` for the schema.
+//!
+//! Microbenchmarks go through the auto-scaling harness in
+//! [`ebda_bench::harness`]; the two macro workloads (sweep, oracle) are
+//! timed once, wall-clock, because they run seconds not microseconds.
+//! `EBDA_THREADS` applies to the macro workloads like to any binary.
+
+use ebda_bench::harness::bench;
+use ebda_cdg::dally::{design_universe, infer_vcs};
+use ebda_cdg::topology::Topology as CdgTopology;
+use ebda_oracle::artifact::{Artifact, ArtifactKind};
+use ebda_oracle::brute;
+use ebda_oracle::differential::{run_campaign, CampaignConfig};
+use ebda_oracle::shrink::{shrink, DEFAULT_SHRINK_BUDGET};
+use ebda_routing::classic::DimensionOrder;
+use ebda_routing::Topology;
+use noc_sim::sweep::{latency_curve, replicate};
+use noc_sim::{simulate, SimConfig};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// One recorded workload timing.
+struct Entry {
+    name: &'static str,
+    /// Mean nanoseconds per iteration (microbench) or total wall-clock
+    /// nanoseconds (macro workload).
+    ns: f64,
+    /// How the number was obtained: `"harness"` or `"wallclock"`.
+    mode: &'static str,
+}
+
+fn sweep_base() -> SimConfig {
+    SimConfig {
+        warmup: 100,
+        measurement: 400,
+        drain: 600,
+        deadlock_threshold: 400,
+        collect_latencies: false,
+        ..SimConfig::default()
+    }
+}
+
+/// The 16-point sweep the acceptance criteria name: 16 rates, each
+/// replicated 3 times, on an 8x8 mesh under XY routing.
+fn sweep_workload() -> f64 {
+    let topo = Topology::mesh(&[8, 8]);
+    let xy = DimensionOrder::xy();
+    let base = sweep_base();
+    let rates: Vec<f64> = (1..=16).map(|i| 0.005 * i as f64).collect();
+    let t0 = Instant::now();
+    let curve = latency_curve(&topo, &xy, &base, &rates);
+    assert_eq!(curve.len(), 16);
+    for &rate in &rates[..3] {
+        let cfg = SimConfig {
+            injection_rate: rate,
+            ..base.clone()
+        };
+        let rep = replicate(&topo, &xy, &cfg, 3);
+        assert_eq!(rep.replicates, 3);
+    }
+    t0.elapsed().as_nanos() as f64
+}
+
+fn oracle_workload() -> f64 {
+    let cfg = CampaignConfig {
+        seed: 7,
+        budget: Duration::ZERO,
+        min_configs: 150,
+        max_configs: 150,
+        max_nodes: 25,
+        ..CampaignConfig::default()
+    };
+    let t0 = Instant::now();
+    let report = run_campaign(&cfg);
+    assert!(report.is_clean(), "{report}");
+    t0.elapsed().as_nanos() as f64
+}
+
+fn torus_rings() -> Artifact {
+    Artifact {
+        id: 0,
+        kind: ArtifactKind::ChannelOrdering,
+        radix: vec![4, 4],
+        wrap: vec![true, true],
+        vcs: vec![1, 1],
+        universe: ebda_core::parse_channels("X+ X- Y+ Y-").unwrap(),
+        turns: ebda_core::TurnSet::new(),
+        design: None,
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let take = |args: &mut Vec<String>, flag: &str| -> Option<String> {
+        let i = args.iter().position(|a| a == flag)?;
+        assert!(i + 1 < args.len(), "{flag} needs a value");
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Some(v)
+    };
+    let label = take(&mut args, "--label").unwrap_or_else(|| "run".into());
+    let out = take(&mut args, "--out");
+    assert!(args.is_empty(), "unknown arguments: {args:?}");
+
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // Engine hot path: one mid-load simulation on an 8x8 mesh.
+    let topo = Topology::mesh(&[8, 8]);
+    let xy = DimensionOrder::xy();
+    let cfg = SimConfig {
+        injection_rate: 0.05,
+        ..sweep_base()
+    };
+    let m = bench("engine/sim-8x8-rate05", || simulate(&topo, &xy, &cfg));
+    entries.push(Entry {
+        name: "engine/sim-8x8-rate05",
+        ns: m.mean_ns,
+        mode: "harness",
+    });
+
+    // Brute-force searcher: the torus-dateline design on a 6x6 torus (the
+    // largest structured search the tests exercise) and the all-turns
+    // mesh (deadlocking, so the fixed point stays populated).
+    let radix = vec![6usize, 6];
+    let torus = CdgTopology::torus(&radix);
+    let seq = ebda_core::catalog::torus_dateline(&radix);
+    let universe = design_universe(&seq);
+    let vcs = infer_vcs(&universe, 2);
+    let turns = ebda_core::extract_turns(&seq).unwrap().into_turn_set();
+    let m = bench("brute/torus-dateline-6x6", || {
+        let r = brute::search(&torus, &vcs, &universe, &turns);
+        assert!(r.is_deadlock_free());
+        r.sweeps
+    });
+    entries.push(Entry {
+        name: "brute/torus-dateline-6x6",
+        ns: m.mean_ns,
+        mode: "harness",
+    });
+
+    let mesh = CdgTopology::mesh(&[5, 5]);
+    let u2 = ebda_core::parse_channels("X+ X- Y+ Y-").unwrap();
+    let mut all_turns = ebda_core::TurnSet::new();
+    for &a in &u2 {
+        for &b in &u2 {
+            if a != b {
+                all_turns.insert(ebda_core::Turn::new(a, b));
+            }
+        }
+    }
+    let m = bench("brute/all-turns-mesh-5x5", || {
+        let r = brute::search(&mesh, &[1, 1], &u2, &all_turns);
+        assert!(!r.is_deadlock_free());
+        r.surviving
+    });
+    entries.push(Entry {
+        name: "brute/all-turns-mesh-5x5",
+        ns: m.mean_ns,
+        mode: "harness",
+    });
+
+    // Shrinker: minimize the classic torus-rings counterexample.
+    let start = torus_rings();
+    let deadlocks = |a: &Artifact| {
+        !brute::search(&a.topology(), &a.vcs, &a.universe, &a.turns).is_deadlock_free()
+    };
+    let m = bench("shrink/torus-rings", || {
+        let small = shrink(&start, deadlocks, DEFAULT_SHRINK_BUDGET);
+        assert_eq!(small.universe.len(), 1);
+    });
+    entries.push(Entry {
+        name: "shrink/torus-rings",
+        ns: m.mean_ns,
+        mode: "harness",
+    });
+
+    // Macro workloads, timed once.
+    let ns = sweep_workload();
+    println!(
+        "{:<44} {:>12} wall-clock",
+        "sweep/16pt-x3rep-8x8",
+        ebda_bench::harness::Measurement::human(ns)
+    );
+    entries.push(Entry {
+        name: "sweep/16pt-x3rep-8x8",
+        ns,
+        mode: "wallclock",
+    });
+    let ns = oracle_workload();
+    println!(
+        "{:<44} {:>12} wall-clock",
+        "oracle/campaign-150",
+        ebda_bench::harness::Measurement::human(ns)
+    );
+    entries.push(Entry {
+        name: "oracle/campaign-150",
+        ns,
+        mode: "wallclock",
+    });
+
+    // Render the JSON document.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"label\": \"{label}\",");
+    let _ = writeln!(
+        json,
+        "  \"threads_env\": \"{}\",",
+        std::env::var("EBDA_THREADS").unwrap_or_default()
+    );
+    let _ = writeln!(
+        json,
+        "  \"available_parallelism\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let _ = writeln!(json, "  \"measurements\": [");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"ns\": {:.0}, \"mode\": \"{}\"}}{}",
+            e.name,
+            e.ns,
+            e.mode,
+            if i + 1 < entries.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            eprintln!("bench report written to {path}");
+        }
+        None => print!("{json}"),
+    }
+}

@@ -1,6 +1,7 @@
 //! Full latency/throughput sweep across designs, traffic patterns and
 //! injection rates, emitted as CSV for plotting — the data series behind
-//! the extension experiments E1/E2.
+//! the extension experiments E1/E2. The matrix itself lives in
+//! [`ebda_bench::sweep_matrix`]; this binary only parses flags.
 //!
 //! Usage: `cargo run --release -p ebda-bench --bin sweep [out.csv]`
 //! (defaults to stdout). Columns:
@@ -9,6 +10,10 @@
 //! Quantiles come from the engine's log-bucketed latency histograms
 //! (≤6.25% relative error); the raw per-packet latency vector and its
 //! per-point sort are skipped entirely.
+//!
+//! Points run in parallel (`--threads N`, env `EBDA_THREADS`, default
+//! hardware parallelism) and the CSV is byte-identical at every thread
+//! count — rows merge in matrix order, not completion order.
 //!
 //! Observability: `--trace-out <path>` (or `EBDA_TRACE`) writes the
 //! telemetry snapshot on exit; `--journey-out <path>` (or
@@ -21,11 +26,8 @@
 //! point so scrapers can collect the final state. `--quick` shrinks
 //! the matrix to a smoke-test size.
 
-use ebda_bench::trace::{journey_recorder, write_telemetry, ObsOptions};
-use ebda_obs::TraceBuilder;
-use ebda_routing::classic::{DimensionOrder, DuatoFullyAdaptive};
-use ebda_routing::{RoutingRelation, Topology, TurnRouting};
-use noc_sim::{simulate, simulate_traced, BufferPolicy, SimConfig, TrafficPattern};
+use ebda_bench::sweep_matrix::run_sweep;
+use ebda_bench::trace::{write_telemetry, ObsOptions};
 use std::io::Write;
 
 fn main() {
@@ -39,115 +41,26 @@ fn main() {
         }
         None => false,
     };
-    let mut out: Box<dyn Write> = match args.first() {
-        Some(path) => Box::new(std::fs::File::create(path).expect("create output file")),
-        None => Box::new(std::io::stdout().lock()),
-    };
-    writeln!(
-        out,
-        "design,traffic,rate,policy,avg_latency,p50_latency,p99_latency,p999_latency,throughput,balance_cv,outcome"
-    )
-    .expect("write header");
 
-    let topo = if quick {
-        Topology::mesh(&[4, 4])
-    } else {
-        Topology::mesh(&[8, 8])
-    };
-    let mut designs: Vec<(&str, Box<dyn RoutingRelation>)> = vec![
-        ("xy", Box::new(DimensionOrder::xy())),
-        (
-            "ebda-dyxy",
-            Box::new(TurnRouting::from_design("fa", &ebda_core::catalog::fig7b_dyxy()).unwrap()),
-        ),
-    ];
-    if !quick {
-        designs.push((
-            "west-first",
-            Box::new(TurnRouting::from_design("wf", &ebda_core::catalog::p3_west_first()).unwrap()),
-        ));
-        designs.push((
-            "odd-even",
-            Box::new(TurnRouting::from_design("oe", &ebda_core::catalog::odd_even()).unwrap()),
-        ));
-        designs.push(("duato", Box::new(DuatoFullyAdaptive::new(2))));
-    }
-    let traffics: &[(&str, TrafficPattern)] = if quick {
-        &[("uniform", TrafficPattern::Uniform)]
-    } else {
-        &[
-            ("uniform", TrafficPattern::Uniform),
-            ("transpose", TrafficPattern::Transpose),
-            ("bitcomp", TrafficPattern::BitComplement),
-        ]
-    };
-    let rates: &[f64] = if quick {
-        &[0.02, 0.05]
-    } else {
-        &[0.005, 0.01, 0.02, 0.03, 0.05, 0.08, 0.12]
-    };
+    let result = run_sweep(quick, obs.threads, obs.journey_config());
 
-    let mut journeys = obs.journey_config().map(|_| TraceBuilder::new());
-    for (name, relation) in &designs {
-        for (tname, traffic) in traffics {
-            for &rate in rates {
-                for (pname, policy) in [
-                    ("multi", BufferPolicy::MultiPacket),
-                    ("single", BufferPolicy::SinglePacket),
-                ] {
-                    let cfg = SimConfig {
-                        injection_rate: rate,
-                        traffic: traffic.clone(),
-                        buffer_policy: policy,
-                        warmup: if quick { 100 } else { 500 },
-                        measurement: if quick { 400 } else { 2_000 },
-                        drain: if quick { 600 } else { 2_500 },
-                        deadlock_threshold: if quick { 400 } else { 1_200 },
-                        collect_latencies: false,
-                        ..SimConfig::default()
-                    };
-                    let r = if let Some(builder) = journeys.as_mut() {
-                        // One journey-only recorder per point, merged
-                        // into a single timeline: each point becomes
-                        // its own Chrome-trace process.
-                        let jcfg = obs.journey_config().expect("journeys requested");
-                        let mut rec = journey_recorder(jcfg);
-                        let r = simulate_traced(&topo, relation.as_ref(), &cfg, Some(&mut rec));
-                        let label = format!("{name} {tname} rate {rate} {pname}");
-                        builder.add_run(&label, rec.journeys().expect("journeys attached"));
-                        r
-                    } else {
-                        simulate(&topo, relation.as_ref(), &cfg)
-                    };
-                    ebda_obs::metrics::counter_add("ebda_sweep_points_total", &[], 1);
-                    let outcome = if r.outcome.is_deadlock_free() {
-                        if r.measured_delivered == r.measured_injected {
-                            "ok"
-                        } else {
-                            "saturated"
-                        }
-                    } else {
-                        "deadlock"
-                    };
-                    writeln!(
-                        out,
-                        "{name},{tname},{rate},{pname},{:.2},{},{},{},{:.4},{:.3},{outcome}",
-                        r.avg_latency,
-                        r.latency_hist.quantile(0.50).unwrap_or(0),
-                        r.latency_hist.quantile(0.99).unwrap_or(0),
-                        r.latency_hist.quantile(0.999).unwrap_or(0),
-                        r.throughput,
-                        r.channel_balance_cv().unwrap_or(f64::NAN),
-                    )
-                    .expect("write row");
-                }
-            }
+    match args.first() {
+        Some(path) => {
+            std::fs::File::create(path)
+                .and_then(|mut f| f.write_all(result.csv.as_bytes()))
+                .expect("write output file");
+        }
+        None => {
+            std::io::stdout()
+                .lock()
+                .write_all(result.csv.as_bytes())
+                .expect("write csv");
         }
     }
     if let Some(path) = &obs.trace {
         write_telemetry(path);
     }
-    if let (Some(builder), Some(path)) = (journeys, &obs.journey) {
+    if let (Some(builder), Some(path)) = (result.journeys, &obs.journey) {
         std::fs::write(path, builder.finish())
             .unwrap_or_else(|e| panic!("write journey {}: {e}", path.display()));
         eprintln!(

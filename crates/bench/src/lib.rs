@@ -12,6 +12,7 @@
 
 pub mod harness;
 pub mod oracle_cli;
+pub mod sweep_matrix;
 pub mod trace;
 
 use ebda_core::extract::{Extraction, Justification};

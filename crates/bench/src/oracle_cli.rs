@@ -17,6 +17,7 @@
 //! | `--journey-sample-rate <p>` | 1.0 | fraction of replay packets journey-traced (`EBDA_JOURNEY_SAMPLE_RATE`) |
 //! | `--metrics-addr <host:port>` | off | serve live campaign metrics at `/metrics` (`EBDA_METRICS_ADDR`) |
 //! | `--metrics-linger <secs>` | 0 | keep the metrics endpoint up that long after the campaign |
+//! | `--threads <n>` | hardware | worker threads for artifact checking and shrinking (`EBDA_THREADS`); results are identical at every value |
 //!
 //! The exit code is 0 when the outcome matches the expectation — clean by
 //! default, caught-disagreement under `--expect-disagreement` — and 1
@@ -91,6 +92,7 @@ pub fn run(mut args: Vec<String>) -> i32 {
         max_nodes,
         mutation,
         journey_sample_rate: obs.journey_sample_rate,
+        threads: obs.threads,
     };
     if mutation != Mutation::None {
         println!("running with mutated checker: {mutation}");

@@ -14,9 +14,11 @@ use std::path::{Path, PathBuf};
 /// (`--trace-out <path>`, env `EBDA_TRACE`), packet-journey export
 /// (`--journey-out <path>` / `--journey-sample-rate <p>`, env
 /// `EBDA_JOURNEY_OUT` / `EBDA_JOURNEY_SAMPLE_RATE`), live metrics
-/// endpoint (`--metrics-addr <host:port>`, env `EBDA_METRICS_ADDR`) and
+/// endpoint (`--metrics-addr <host:port>`, env `EBDA_METRICS_ADDR`),
 /// `--metrics-linger <secs>` (keep serving that long after the work is
-/// done, so external scrapers can collect the final state).
+/// done, so external scrapers can collect the final state) and the
+/// worker-thread count (`--threads N`, env `EBDA_THREADS`, default
+/// hardware parallelism).
 ///
 /// Typical binary shape:
 ///
@@ -43,6 +45,10 @@ pub struct ObsOptions {
     pub metrics_addr: Option<String>,
     /// Seconds to keep the metrics endpoint up after [`ObsOptions::finish`].
     pub metrics_linger: u64,
+    /// Worker threads for the parallel layers (`--threads N`, env
+    /// `EBDA_THREADS`; default [`ebda_par::available`]). 1 means strictly
+    /// serial execution; results are identical at every value.
+    pub threads: usize,
     server: Option<MetricsServer>,
 }
 
@@ -54,6 +60,7 @@ impl Default for ObsOptions {
             journey_sample_rate: 1.0,
             metrics_addr: None,
             metrics_linger: 0,
+            threads: ebda_par::available(),
             server: None,
         }
     }
@@ -88,12 +95,22 @@ impl ObsOptions {
                 rate
             })
             .unwrap_or(1.0);
+        let threads = take_value(args, "--threads")
+            .map(|v| {
+                let n: usize = v.parse().expect("--threads needs a positive integer");
+                assert!(n > 0, "--threads needs a positive integer");
+                n
+            })
+            // EBDA_THREADS / hardware fallback lives in ebda-par so that
+            // library callers resolve identically to the binaries.
+            .unwrap_or_else(ebda_par::threads);
         ObsOptions {
             trace: trace_path(args),
             journey,
             journey_sample_rate,
             metrics_addr,
             metrics_linger,
+            threads,
             server: None,
         }
     }
@@ -109,6 +126,9 @@ impl ObsOptions {
     /// Panics when the metrics address cannot be bound — an explicitly
     /// requested endpoint must not fail silently.
     pub fn activate(&mut self) {
+        // Install the thread count process-wide so library entry points
+        // that resolve via ebda_par::threads() see the flag too.
+        ebda_par::set_threads(self.threads);
         if self.trace.is_some() || self.metrics_addr.is_some() {
             ebda_obs::telemetry::set_enabled(true);
         }

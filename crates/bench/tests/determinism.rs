@@ -1,0 +1,46 @@
+//! End-to-end determinism contract of the parallel execution layer: the
+//! `sweep` binary must produce byte-identical CSV at every thread count
+//! (flag or `EBDA_THREADS`), and one seed's quick-sweep output is pinned
+//! as a golden file so "deterministic but silently different from last
+//! release" cannot slip through either.
+//!
+//! Regenerate the golden file after an intentional engine change with:
+//! `cargo run -p ebda-bench --bin sweep -- --quick > crates/bench/tests/golden/sweep_quick.csv`
+
+use std::process::Command;
+
+fn sweep_csv(args: &[&str], envs: &[(&str, &str)]) -> String {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_sweep"));
+    cmd.args(args);
+    // Never inherit a thread count from the test runner's environment.
+    cmd.env_remove("EBDA_THREADS");
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("run sweep");
+    assert!(
+        out.status.success(),
+        "sweep {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 csv")
+}
+
+#[test]
+fn sweep_csv_is_byte_identical_across_thread_counts() {
+    let serial = sweep_csv(&["--quick", "--threads", "1"], &[]);
+    let parallel = sweep_csv(&["--quick", "--threads", "8"], &[]);
+    let via_env = sweep_csv(&["--quick"], &[("EBDA_THREADS", "3")]);
+    assert_eq!(serial, parallel, "--threads must not change the CSV");
+    assert_eq!(serial, via_env, "EBDA_THREADS must not change the CSV");
+}
+
+#[test]
+fn quick_sweep_matches_its_golden_file() {
+    let golden = include_str!("golden/sweep_quick.csv");
+    let now = sweep_csv(&["--quick", "--threads", "2"], &[]);
+    for (i, (want, got)) in golden.lines().zip(now.lines()).enumerate() {
+        assert_eq!(want, got, "sweep_quick.csv drifted at line {}", i + 1);
+    }
+    assert_eq!(golden, now, "sweep_quick.csv drifted in length");
+}

@@ -155,13 +155,38 @@ fn env_fallbacks_and_flag_precedence() {
     }
 }
 
+#[test]
+fn threads_flag_and_env_layering() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    std::env::remove_var("EBDA_THREADS");
+
+    // Explicit flag wins and is removed from argv.
+    let mut args = argv("work --threads 3 rest");
+    let obs = ObsOptions::parse(&mut args);
+    assert_eq!(obs.threads, 3);
+    assert_eq!(args, argv("work rest"));
+
+    // Without the flag, EBDA_THREADS decides.
+    std::env::set_var("EBDA_THREADS", "5");
+    assert_eq!(ObsOptions::parse(&mut argv("work")).threads, 5);
+
+    // Flag beats the variable.
+    assert_eq!(ObsOptions::parse(&mut argv("--threads 2")).threads, 2);
+    std::env::remove_var("EBDA_THREADS");
+
+    // Neither: hardware parallelism, and always at least one worker.
+    let fallback = ObsOptions::parse(&mut argv("")).threads;
+    assert_eq!(fallback, ebda_par::available());
+    assert!(fallback >= 1);
+}
+
 /// Malformed input must panic with the offending flag named — these are
 /// explicitly requested observability layers, so silent misparses would
 /// lose data the user asked for.
 #[test]
 fn malformed_flags_panic_with_the_flag_named() {
     let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    let cases: [(&str, &str); 7] = [
+    let cases: [(&str, &str); 10] = [
         ("--trace-out", "--trace-out"),
         ("--journey-out", "--journey-out"),
         ("--journey-sample-rate", "--journey-sample-rate"),
@@ -169,6 +194,9 @@ fn malformed_flags_panic_with_the_flag_named() {
         ("--metrics-linger", "--metrics-linger"),
         ("--journey-sample-rate nope", "[0, 1]"),
         ("--journey-sample-rate 1.5", "[0, 1]"),
+        ("--threads", "--threads"),
+        ("--threads zero", "--threads needs a positive integer"),
+        ("--threads 0", "--threads needs a positive integer"),
     ];
     for (args, expected) in cases {
         let mut args = argv(args);

@@ -281,8 +281,10 @@ pub fn deadlock_free_combinations(n: usize, radix: usize) -> Vec<Vec<usize>> {
     }
     let vcs = vec![1u8; n];
     let total = 4usize.pow(cycles.len() as u32);
-    let mut free = Vec::new();
-    for combo in 0..total {
+    // Every combination checks independently; the index-order merge keeps
+    // the result identical at every thread count.
+    let combos: Vec<usize> = (0..total).collect();
+    ebda_par::parallel_map(ebda_par::threads(), &combos, |_, &combo| {
         let mut prohibited: Vec<Turn> = Vec::with_capacity(cycles.len());
         let mut idx = Vec::with_capacity(cycles.len());
         let mut rest = combo;
@@ -297,11 +299,13 @@ pub fn deadlock_free_combinations(n: usize, radix: usize) -> Vec<Vec<usize>> {
             .copied()
             .filter(|t| !prohibited.contains(t))
             .collect();
-        if Cdg::from_turn_set(&topo, &vcs, &universe, &allowed).is_acyclic() {
-            free.push(idx);
-        }
-    }
-    free
+        Cdg::from_turn_set(&topo, &vcs, &universe, &allowed)
+            .is_acyclic()
+            .then_some(idx)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// The abstract cycles of a 2D network with `q` virtual channels per

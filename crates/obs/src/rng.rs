@@ -26,6 +26,31 @@ impl Rng64 {
         Rng64 { state: seed }
     }
 
+    /// The `index`-th value of the stream seeded with `seed`, computed in
+    /// O(1) without advancing any state: `Rng64::nth(s, k)` equals the
+    /// `k+1`-th call to `next_u64` on `Rng64::new(s)`.
+    ///
+    /// This is how order-independent work (parallel sweep replicates,
+    /// batched oracle artifacts) derives per-item seeds from `(base, i)`
+    /// so the result cannot depend on execution order.
+    ///
+    /// ```
+    /// use ebda_obs::Rng64;
+    /// let mut r = Rng64::new(42);
+    /// r.next_u64();
+    /// r.next_u64();
+    /// assert_eq!(Rng64::nth(42, 2), r.next_u64());
+    /// ```
+    pub fn nth(seed: u64, index: u64) -> u64 {
+        // splitmix64's state after k calls is seed + k * golden; the k-th
+        // output is the mix of that state, so the whole stream is random
+        // access.
+        let mut z = seed.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -79,6 +104,18 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn nth_is_random_access_into_the_stream() {
+        let mut r = Rng64::new(0xEBDA);
+        for k in 0..64 {
+            assert_eq!(Rng64::nth(0xEBDA, k), r.next_u64(), "index {k}");
+        }
+        // Pinned values: the derivation is part of the sweep-replicate
+        // determinism contract and must never drift.
+        assert_eq!(Rng64::nth(0, 0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(Rng64::nth(0, 1), 0x6E78_9E6A_A1B9_65F4);
     }
 
     #[test]

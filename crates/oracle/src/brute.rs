@@ -142,25 +142,33 @@ fn enumerate_channels(topo: &Topology, vcs: &[u8]) -> Vec<BruteChannel> {
 pub fn search(topo: &Topology, vcs: &[u8], universe: &[Channel], turns: &TurnSet) -> BruteReport {
     let channels = enumerate_channels(topo, vcs);
     let n = channels.len();
+    let nu = universe.len();
+    let uw = nu.div_ceil(64); // words per class bitmask
 
-    // Class matches per concrete channel, evaluated at the source node.
-    let matches: Vec<Vec<usize>> = channels
-        .iter()
-        .map(|c| {
-            let coords = topo.coords(c.from);
-            universe
-                .iter()
-                .enumerate()
-                .filter(|(_, cl)| {
-                    cl.dim == c.dim
-                        && cl.dir == c.dir
-                        && cl.vc == c.vc
-                        && cl.class.contains(&coords)
-                })
-                .map(|(i, _)| i)
-                .collect()
-        })
-        .collect();
+    // Class matches per concrete channel, evaluated at the source node —
+    // one bitmask over the universe per channel, so the admissibility test
+    // below is word-wise AND instead of nested set membership.
+    let mut match_mask = vec![0u64; n * uw];
+    for (i, c) in channels.iter().enumerate() {
+        let coords = topo.coords(c.from);
+        for (k, cl) in universe.iter().enumerate() {
+            if cl.dim == c.dim && cl.dir == c.dir && cl.vc == c.vc && cl.class.contains(&coords) {
+                match_mask[i * uw + k / 64] |= 1 << (k % 64);
+            }
+        }
+    }
+
+    // The turn relation flattened to a class × class bit matrix: row `a`
+    // is the set of classes `a` may continue on (straight included). The
+    // O(nu²) tree lookups happen once here, not once per channel pair.
+    let mut allow = vec![0u64; nu * uw];
+    for a in 0..nu {
+        for b in 0..nu {
+            if turns.allows(universe[a], universe[b]) {
+                allow[a * uw + b / 64] |= 1 << (b % 64);
+            }
+        }
+    }
 
     // Channels grouped by source node, to find the wants of each hold.
     let mut by_source: Vec<Vec<usize>> = vec![Vec::new(); topo.node_count()];
@@ -168,61 +176,97 @@ pub fn search(topo: &Topology, vcs: &[u8], universe: &[Channel], turns: &TurnSet
         by_source[c.from].push(i);
     }
 
-    // All admissible (hold, want) pairs.
-    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    // All admissible (hold, want) pairs, in hold-major order: some matched
+    // class of `hold` must be allowed to continue on some matched class of
+    // `want`, i.e. some hold-class row of `allow` intersects `want`'s mask.
+    let mut pair_hold: Vec<u32> = Vec::new();
+    let mut pair_want: Vec<u32> = Vec::new();
     for hold in 0..n {
+        let hm = &match_mask[hold * uw..(hold + 1) * uw];
         for &want in &by_source[channels[hold].to] {
-            let admissible = matches[hold].iter().any(|&ca| {
-                matches[want]
-                    .iter()
-                    .any(|&cb| turns.allows(universe[ca], universe[cb]))
+            let wm = &match_mask[want * uw..(want + 1) * uw];
+            let admissible = hm.iter().enumerate().any(|(wi, &hword)| {
+                let mut bits = hword;
+                while bits != 0 {
+                    let ca = wi * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let row = &allow[ca * uw..(ca + 1) * uw];
+                    if row.iter().zip(wm).any(|(&r, &w)| r & w != 0) {
+                        return true;
+                    }
+                }
+                false
             });
             if admissible {
-                pairs.push((hold, want));
+                pair_hold.push(hold as u32);
+                pair_want.push(want as u32);
             }
         }
     }
-    let pair_count = pairs.len();
+    let pair_count = pair_hold.len();
 
     // Greatest fixed point: discard pairs whose wanted channel is not held
-    // by any surviving pair, until a sweep removes nothing.
-    let mut alive = vec![true; pairs.len()];
-    let mut holds = vec![0usize; n]; // surviving pairs holding each channel
-    for &(hold, _) in &pairs {
-        holds[hold] += 1;
+    // by any surviving pair, until a sweep removes nothing. Liveness is a
+    // bitset over pairs; sweeps walk set bits in index order, so removals
+    // cascade within a sweep exactly like the element-wise loop did.
+    let pw = pair_count.div_ceil(64);
+    let mut alive = vec![u64::MAX; pw];
+    if !pair_count.is_multiple_of(64) {
+        alive[pw - 1] = (1u64 << (pair_count % 64)) - 1;
+    }
+    let mut holds = vec![0u32; n]; // surviving pairs holding each channel
+    for &h in &pair_hold {
+        holds[h as usize] += 1;
     }
     let mut sweeps = 0usize;
     loop {
         sweeps += 1;
         ebda_obs::metrics::counter_add("ebda_oracle_brute_sweeps_total", &[], 1);
         let mut removed = false;
-        for (i, &(hold, want)) in pairs.iter().enumerate() {
-            if alive[i] && holds[want] == 0 {
-                alive[i] = false;
-                holds[hold] -= 1;
-                removed = true;
+        for (w, word) in alive.iter_mut().enumerate() {
+            let mut bits = *word;
+            while bits != 0 {
+                let b = bits.trailing_zeros();
+                bits &= bits - 1;
+                let i = w * 64 + b as usize;
+                if holds[pair_want[i] as usize] == 0 {
+                    *word &= !(1u64 << b);
+                    holds[pair_hold[i] as usize] -= 1;
+                    removed = true;
+                }
             }
         }
         if !removed {
             break;
         }
     }
-    let surviving = alive.iter().filter(|&&a| a).count();
+    let surviving: usize = alive.iter().map(|w| w.count_ones() as usize).sum();
 
     // Read a circular wait off the fixed point: follow want → hold links
     // (each wanted channel is held by a surviving pair, by construction)
     // until a channel repeats.
-    let witness = pairs.iter().zip(&alive).find(|(_, &a)| a).map(|(&p, _)| {
+    let first_alive =
+        (0..pw).find_map(|w| (alive[w] != 0).then(|| w * 64 + alive[w].trailing_zeros() as usize));
+    let witness = first_alive.map(|p0| {
+        // Pairs are hold-major, so each hold's pairs form one contiguous
+        // run; CSR offsets replace the full-array scan per witness hop.
+        let mut hold_start = vec![0u32; n + 1];
+        for &h in &pair_hold {
+            hold_start[h as usize + 1] += 1;
+        }
+        for i in 0..n {
+            hold_start[i + 1] += hold_start[i];
+        }
+        let alive_bit = |i: usize| alive[i / 64] >> (i % 64) & 1 == 1;
         let next_of = |ch: usize| -> usize {
-            pairs
-                .iter()
-                .zip(&alive)
-                .find(|(&(hold, _), &a)| a && hold == ch)
-                .map(|(&(_, want), _)| want)
+            (hold_start[ch] as usize..hold_start[ch + 1] as usize)
+                .find(|&i| alive_bit(i))
+                .map(|i| pair_want[i] as usize)
                 .expect("fixed point: every surviving channel has a request")
         };
-        let mut seen: Vec<usize> = vec![p.0];
-        let mut cur = p.0;
+        let start = pair_hold[p0] as usize;
+        let mut seen: Vec<usize> = vec![start];
+        let mut cur = start;
         loop {
             cur = next_of(cur);
             if let Some(pos) = seen.iter().position(|&c| c == cur) {
@@ -324,6 +368,47 @@ mod tests {
         let u2 = design_universe(&plain);
         let t2 = extract_turns(&plain).unwrap().into_turn_set();
         assert!(!search(&torus, &[1, 1], &u2, &t2).is_deadlock_free());
+    }
+
+    #[test]
+    fn report_internals_match_the_reference_implementation() {
+        // Pinned against the original Vec/BTreeSet implementation: the
+        // bitset rewrite must reproduce pair counts, fixed-point sizes and
+        // sweep counts exactly, not just the free/deadlocked verdict.
+        let u = parse_channels("X+ X- Y+ Y-").unwrap();
+        let mut all = TurnSet::new();
+        for &a in &u {
+            for &b in &u {
+                if a != b {
+                    all.insert(Turn::new(a, b));
+                }
+            }
+        }
+        let r = search(&Topology::mesh(&[3, 3]), &[1, 1], &u, &all);
+        assert_eq!(
+            (r.channels, r.pairs, r.surviving, r.sweeps),
+            (24, 68, 68, 1)
+        );
+        assert_eq!(r.witness.unwrap().len(), 2);
+
+        let r = search(&Topology::torus(&[4, 4]), &[1, 1], &u, &TurnSet::new());
+        assert_eq!(
+            (r.channels, r.pairs, r.surviving, r.sweeps),
+            (64, 64, 64, 1)
+        );
+        assert_eq!(r.witness.unwrap().len(), 4);
+
+        let radix = vec![4usize, 4];
+        let seq = catalog::torus_dateline(&radix);
+        let universe = design_universe(&seq);
+        let vcs = infer_vcs(&universe, 2);
+        let turns = extract_turns(&seq).unwrap().into_turn_set();
+        let r = search(&Topology::torus(&radix), &vcs, &universe, &turns);
+        assert_eq!(
+            (r.channels, r.pairs, r.surviving, r.sweeps),
+            (128, 428, 0, 14)
+        );
+        assert!(r.is_deadlock_free());
     }
 
     #[test]

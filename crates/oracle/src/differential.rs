@@ -11,7 +11,7 @@
 
 use crate::artifact::{Artifact, ArtifactKind, Generator};
 use crate::brute::BruteChannel;
-use crate::shrink::{shrink, DEFAULT_SHRINK_BUDGET};
+use crate::shrink::{shrink_with_threads, DEFAULT_SHRINK_BUDGET};
 use crate::verdict::{cross_check, evaluate, Disagreement, Mutation};
 use ebda_obs::{JourneyConfig, Rng64, TraceBuilder};
 use ebda_routing::{PortVc, RouteChoice, RouteState, RoutingRelation, TurnRouting, INJECT};
@@ -40,6 +40,9 @@ pub struct CampaignConfig {
     /// Fraction of replayed packets whose journeys are traced, in
     /// `[0, 1]`; replays are small, so tracing everything is the default.
     pub journey_sample_rate: f64,
+    /// Worker threads for artifact checking and shrinking; 0 resolves via
+    /// [`ebda_par::threads`] (`--threads` / `EBDA_THREADS` / hardware).
+    pub threads: usize,
 }
 
 impl Default for CampaignConfig {
@@ -52,6 +55,7 @@ impl Default for CampaignConfig {
             max_nodes: 36,
             mutation: Mutation::None,
             journey_sample_rate: 1.0,
+            threads: 0,
         }
     }
 }
@@ -185,38 +189,60 @@ impl fmt::Display for CampaignReport {
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     let _span = ebda_obs::span("oracle.campaign");
     let start = Instant::now();
+    let threads = if cfg.threads == 0 {
+        ebda_par::threads()
+    } else {
+        cfg.threads
+    };
+    // Artifacts are generated sequentially from the deterministic stream,
+    // then checked in parallel batches; tallies and the first-disagreement
+    // scan walk the batch in stream order, so the report is independent of
+    // the thread count. The batch size is a constant (never derived from
+    // `threads`) because it shapes how a budget-bound campaign rounds off.
+    const BATCH: usize = 16;
     let mut generator = Generator::with_max_nodes(cfg.seed, cfg.max_nodes);
     let mut report = CampaignReport::default();
-    while (start.elapsed() < cfg.budget || report.configs < cfg.min_configs)
+    'campaign: while (start.elapsed() < cfg.budget || report.configs < cfg.min_configs)
         && report.configs < cfg.max_configs
     {
-        let artifact = generator.next_artifact();
-        let verdicts = evaluate(&artifact, cfg.mutation);
-        report.configs += 1;
-        ebda_obs::counter_add("oracle.configs", 1);
-        ebda_obs::metrics::counter_add("ebda_oracle_artifacts_checked_total", &[], 1);
-        match artifact.kind {
-            ArtifactKind::Partitioning => report.partitionings += 1,
-            ArtifactKind::ChannelOrdering => report.orderings += 1,
-            ArtifactKind::RandomTurns => report.random_turns += 1,
+        let mut n = BATCH.min(cfg.max_configs - report.configs);
+        if start.elapsed() >= cfg.budget {
+            // Only the min-configs floor keeps us going: stop exactly at
+            // it, like the serial per-artifact loop did (and like
+            // config-count-bound determinism tests require).
+            n = n.min(cfg.min_configs - report.configs);
         }
-        if verdicts.brute.is_deadlock_free() {
-            report.deadlock_free += 1;
-        } else {
-            report.deadlocking += 1;
-            ebda_obs::metrics::counter_add("ebda_oracle_deadlocking_artifacts_total", &[], 1);
-        }
-        if verdicts.ebda.as_ref().is_some_and(|e| e.is_deadlock_free()) {
-            report.ebda_accepted += 1;
-        }
-        if verdicts.duato.escape_connected {
-            report.duato_connected += 1;
-        }
-        if cross_check(&artifact, &verdicts).is_some() {
-            ebda_obs::counter_add("oracle.disagreements", 1);
-            ebda_obs::metrics::counter_add("ebda_oracle_disagreements_total", &[], 1);
-            report.caught = Some(investigate(&artifact, cfg));
-            break;
+        let artifacts: Vec<Artifact> = (0..n).map(|_| generator.next_artifact()).collect();
+        let batch = ebda_par::parallel_map(threads, &artifacts, |_, a| evaluate(a, cfg.mutation));
+        for (artifact, verdicts) in artifacts.iter().zip(&batch) {
+            report.configs += 1;
+            ebda_obs::counter_add("oracle.configs", 1);
+            ebda_obs::metrics::counter_add("ebda_oracle_artifacts_checked_total", &[], 1);
+            match artifact.kind {
+                ArtifactKind::Partitioning => report.partitionings += 1,
+                ArtifactKind::ChannelOrdering => report.orderings += 1,
+                ArtifactKind::RandomTurns => report.random_turns += 1,
+            }
+            if verdicts.brute.is_deadlock_free() {
+                report.deadlock_free += 1;
+            } else {
+                report.deadlocking += 1;
+                ebda_obs::metrics::counter_add("ebda_oracle_deadlocking_artifacts_total", &[], 1);
+            }
+            if verdicts.ebda.as_ref().is_some_and(|e| e.is_deadlock_free()) {
+                report.ebda_accepted += 1;
+            }
+            if verdicts.duato.escape_connected {
+                report.duato_connected += 1;
+            }
+            if cross_check(artifact, verdicts).is_some() {
+                ebda_obs::counter_add("oracle.disagreements", 1);
+                ebda_obs::metrics::counter_add("ebda_oracle_disagreements_total", &[], 1);
+                report.caught = Some(investigate(artifact, cfg, threads));
+                // Later artifacts of this batch were checked speculatively;
+                // they are not tallied, exactly as if never generated.
+                break 'campaign;
+            }
         }
     }
     report.elapsed_ms = start.elapsed().as_millis();
@@ -224,12 +250,12 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
 }
 
 /// Shrinks a disagreeing artifact and replays the result.
-fn investigate(artifact: &Artifact, cfg: &CampaignConfig) -> CaughtDisagreement {
+fn investigate(artifact: &Artifact, cfg: &CampaignConfig, threads: usize) -> CaughtDisagreement {
     let still_failing = |a: &Artifact| {
         let v = evaluate(a, cfg.mutation);
         cross_check(a, &v).is_some()
     };
-    let shrunk = shrink(artifact, still_failing, DEFAULT_SHRINK_BUDGET);
+    let shrunk = shrink_with_threads(artifact, still_failing, DEFAULT_SHRINK_BUDGET, threads);
     ebda_obs::metrics::counter_add("ebda_oracle_artifacts_shrunk_total", &[], 1);
     let verdicts = evaluate(&shrunk, cfg.mutation);
     let disagreement = cross_check(&shrunk, &verdicts)
@@ -476,7 +502,31 @@ mod tests {
             max_nodes: 16,
             mutation,
             journey_sample_rate: 1.0,
+            threads: 0,
         }
+    }
+
+    #[test]
+    fn campaign_summary_is_thread_count_invariant() {
+        // A config-count-bound campaign (budget 0) must tally identically
+        // at any thread count: same stream, same batches, same order.
+        let serial = run_campaign(&CampaignConfig {
+            threads: 1,
+            ..quick(Mutation::None)
+        });
+        let parallel = run_campaign(&CampaignConfig {
+            threads: 8,
+            ..quick(Mutation::None)
+        });
+        assert_eq!(serial.configs, parallel.configs);
+        assert_eq!(serial.partitionings, parallel.partitionings);
+        assert_eq!(serial.orderings, parallel.orderings);
+        assert_eq!(serial.random_turns, parallel.random_turns);
+        assert_eq!(serial.deadlock_free, parallel.deadlock_free);
+        assert_eq!(serial.deadlocking, parallel.deadlocking);
+        assert_eq!(serial.ebda_accepted, parallel.ebda_accepted);
+        assert_eq!(serial.duato_connected, parallel.duato_connected);
+        assert!(serial.is_clean() && parallel.is_clean());
     }
 
     #[test]

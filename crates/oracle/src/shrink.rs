@@ -20,28 +20,71 @@ pub const DEFAULT_SHRINK_BUDGET: usize = 400;
 /// Shrinks `artifact` while `still_failing` holds, spending at most
 /// `budget` predicate evaluations. Returns the smallest artifact reached —
 /// `artifact` itself if nothing smaller kept the property.
+///
+/// Candidates are evaluated in parallel waves on the [`ebda_par`] pool
+/// (see [`shrink_with_threads`]); the result is identical to the serial
+/// greedy loop at every budget and thread count.
 pub fn shrink<F>(artifact: &Artifact, still_failing: F, budget: usize) -> Artifact
 where
-    F: Fn(&Artifact) -> bool,
+    F: Fn(&Artifact) -> bool + Sync,
+{
+    shrink_with_threads(artifact, still_failing, budget, ebda_par::threads())
+}
+
+/// [`shrink`] with an explicit worker count (1 = strictly serial).
+///
+/// Parallelism is speculative but the *outcome* is not: each pass
+/// evaluates candidates in fixed-size waves and accepts the
+/// lowest-indexed candidate that still fails — exactly the one the
+/// serial loop would have accepted — charging the budget only for the
+/// evaluations that loop would have spent (`j + 1` for a hit at index
+/// `j`). Extra speculative evaluations in the winning wave are free, so
+/// the accepted chain, the final artifact, and the budget cutoff are
+/// byte-identical at any thread count.
+pub fn shrink_with_threads<F>(
+    artifact: &Artifact,
+    still_failing: F,
+    budget: usize,
+    threads: usize,
+) -> Artifact
+where
+    F: Fn(&Artifact) -> bool + Sync,
 {
     let mut current = artifact.clone();
     let mut evals = 0usize;
     loop {
-        let mut improved = false;
-        for candidate in candidates(&current) {
-            if evals >= budget {
+        if evals >= budget {
+            return current;
+        }
+        let mut cands = candidates(&current);
+        // The serial loop would evaluate at most this many candidates
+        // before the budget check stopped it.
+        let scan = cands.len().min(budget - evals);
+        let wave = if threads <= 1 { 1 } else { threads * 2 };
+        let mut hit = None;
+        let mut offset = 0;
+        while offset < scan && hit.is_none() {
+            let end = (offset + wave).min(scan);
+            let fails =
+                ebda_par::parallel_map(threads, &cands[offset..end], |_, c| still_failing(c));
+            hit = fails.iter().position(|&f| f).map(|j| offset + j);
+            offset = end;
+        }
+        match hit {
+            Some(j) => {
+                // Charge what the serial loop would have: candidates
+                // 0..=j. The counter tracks chargeable evaluations, so it
+                // too is thread-count invariant.
+                evals += j + 1;
+                ebda_obs::metrics::counter_add("ebda_oracle_shrink_evals_total", &[], j as u64 + 1);
+                current = cands.swap_remove(j); // restart from the smaller artifact
+            }
+            None => {
+                ebda_obs::metrics::counter_add("ebda_oracle_shrink_evals_total", &[], scan as u64);
+                // Full pass without improvement (1-minimal) or budget
+                // exhausted mid-pass: either way, this is the answer.
                 return current;
             }
-            evals += 1;
-            ebda_obs::metrics::counter_add("ebda_oracle_shrink_evals_total", &[], 1);
-            if still_failing(&candidate) {
-                current = candidate;
-                improved = true;
-                break; // restart proposals from the smaller artifact
-            }
-        }
-        if !improved {
-            return current;
         }
     }
 }
@@ -192,6 +235,20 @@ mod tests {
         // Budget 0: no candidate may even be evaluated.
         let same = shrink(&start, brute_deadlocks, 0);
         assert_eq!(same, start);
+    }
+
+    #[test]
+    fn parallel_shrink_matches_serial_at_every_budget() {
+        let start = torus_rings();
+        // The accepted chain and the budget cutoff must be identical at
+        // any thread count, including budgets that expire mid-pass.
+        for budget in [0, 1, 2, 3, 7, 25, DEFAULT_SHRINK_BUDGET] {
+            let serial = shrink_with_threads(&start, brute_deadlocks, budget, 1);
+            for threads in [2, 4, 8] {
+                let par = shrink_with_threads(&start, brute_deadlocks, budget, threads);
+                assert_eq!(par, serial, "budget {budget}, threads {threads}");
+            }
+        }
     }
 
     #[test]

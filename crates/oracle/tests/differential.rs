@@ -15,6 +15,7 @@ fn base(mutation: Mutation) -> CampaignConfig {
         max_nodes: 25,
         mutation,
         journey_sample_rate: 1.0,
+        threads: 0,
     }
 }
 

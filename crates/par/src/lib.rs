@@ -1,0 +1,229 @@
+//! Deterministic fork-join parallelism on std alone — no rayon, no
+//! crossbeam, matching the workspace's zero-external-dependency rule.
+//!
+//! The one primitive is [`parallel_map`]: apply a function to every
+//! element of a slice and get the results back **in index order**,
+//! regardless of which worker computed what. Work is handed out through
+//! a single atomic cursor (each worker claims the next unclaimed index),
+//! results flow back over an `mpsc` channel tagged with their index, and
+//! the caller scatters them into a pre-sized buffer. Because the output
+//! only depends on `f(i, &items[i])` per index, a caller whose `f` is a
+//! pure function gets byte-identical results at any thread count — that
+//! is the determinism contract the sweep/oracle layers build on (see
+//! `docs/PERFORMANCE.md`).
+//!
+//! Thread-count resolution is layered: an explicit `threads` argument
+//! wins, then a process-wide override installed by [`set_threads`]
+//! (bound to `--threads` by the CLI layer), then the `EBDA_THREADS`
+//! environment variable, then [`std::thread::available_parallelism`].
+//! `threads <= 1` (or a single-element slice) takes a strictly serial
+//! in-place path: no threads are spawned, no channel exists, and
+//! execution is exactly today's sequential loop.
+//!
+//! When the metrics registry is enabled the pool reports
+//! `ebda_par_tasks_total`, `ebda_par_jobs_total`,
+//! `ebda_par_worker_busy_ns_total`, `ebda_par_worker_idle_ns_total` and
+//! an `ebda_par_queue_depth` gauge, so `/metrics` and `ebda monitor`
+//! show pool health next to the simulator counters.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Process-wide thread-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs a process-wide thread-count override (0 clears it, returning
+/// resolution to `EBDA_THREADS` / hardware). The CLI layer calls this
+/// from `--threads N`; libraries should accept an explicit count instead
+/// so tests never race on this global.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Number of hardware threads the runtime reports (at least 1).
+pub fn available() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Resolves the effective thread count: [`set_threads`] override, then
+/// `EBDA_THREADS`, then [`available`]. Always at least 1.
+pub fn threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    if let Some(n) = std::env::var("EBDA_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    available()
+}
+
+/// Maps `f` over `items` with up to `threads` workers, returning results
+/// in index order. `threads == 0` resolves via [`threads()`].
+///
+/// `f` is called exactly once per index (never for indexes past the
+/// slice), and a panic in any call propagates to the caller after the
+/// remaining workers drain, exactly like a panic in a serial loop.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = if threads == 0 {
+        self::threads()
+    } else {
+        threads
+    };
+    let metrics_on = ebda_obs::metrics::enabled();
+    if metrics_on {
+        ebda_obs::metrics::counter_add("ebda_par_jobs_total", &[], 1);
+        ebda_obs::metrics::counter_add("ebda_par_tasks_total", &[], items.len() as u64);
+    }
+    if threads <= 1 || items.len() <= 1 {
+        // Serial path: today's sequential loop, verbatim. No pool, no
+        // channel, no reordering — `--threads 1` means this code.
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let workers = threads.min(items.len());
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || {
+                let spawned = Instant::now();
+                let mut busy_ns: u64 = 0;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    if metrics_on {
+                        let depth = items.len().saturating_sub(i + 1);
+                        ebda_obs::metrics::gauge_set("ebda_par_queue_depth", &[], depth as f64);
+                    }
+                    let t0 = Instant::now();
+                    let r = f(i, &items[i]);
+                    busy_ns += t0.elapsed().as_nanos() as u64;
+                    // The receiver outlives the scope; send only fails if
+                    // the parent panicked, and then we are unwinding anyway.
+                    let _ = tx.send((i, r));
+                }
+                if metrics_on {
+                    let alive_ns = spawned.elapsed().as_nanos() as u64;
+                    ebda_obs::metrics::counter_add("ebda_par_worker_busy_ns_total", &[], busy_ns);
+                    ebda_obs::metrics::counter_add(
+                        "ebda_par_worker_idle_ns_total",
+                        &[],
+                        alive_ns.saturating_sub(busy_ns),
+                    );
+                }
+            });
+        }
+        drop(tx);
+        // Scatter results as they arrive; index tags restore order.
+        for (i, r) in rx.iter() {
+            out[i] = Some(r);
+        }
+    });
+    if metrics_on {
+        ebda_obs::metrics::gauge_set("ebda_par_queue_depth", &[], 0.0);
+    }
+    out.into_iter()
+        .map(|r| r.expect("every index produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let got = parallel_map(8, &items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * x
+        });
+        let want: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u32> = (0..40).rev().collect();
+        let f = |_: usize, &x: &u32| x.wrapping_mul(2654435761).rotate_left(7);
+        let serial = parallel_map(1, &items, f);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(parallel_map(threads, &items, f), serial);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(parallel_map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(4, &[9u8], |i, &x| (i, x)), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn each_index_runs_exactly_once() {
+        let counts: Vec<AtomicUsize> = (0..50).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..50).collect();
+        parallel_map(6, &items, |i, _| counts[i].fetch_add(1, Ordering::Relaxed));
+        for c in &counts {
+            assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let items = [1u8, 2, 3];
+        assert_eq!(parallel_map(32, &items, |_, &x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn override_beats_env_and_hardware() {
+        // Not parallel-test safe in general, but this is the only test in
+        // the crate that touches the global, and it restores it.
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        set_threads(0);
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..16).collect();
+        parallel_map(4, &items, |_, &x| {
+            if x == 7 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn pool_metrics_are_emitted() {
+        ebda_obs::metrics::set_enabled(true);
+        let before = ebda_obs::metrics::global().counter_value("ebda_par_tasks_total", &[]);
+        let items: Vec<u32> = (0..12).collect();
+        parallel_map(4, &items, |_, &x| x);
+        let after = ebda_obs::metrics::global().counter_value("ebda_par_tasks_total", &[]);
+        ebda_obs::metrics::set_enabled(false);
+        assert_eq!(after - before, 12);
+    }
+}

@@ -71,25 +71,40 @@ impl RoutingRelation for DimensionOrder {
         &self,
         topo: &Topology,
         node: NodeId,
+        state: RouteState,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Vec<RouteChoice> {
+        let mut out = Vec::new();
+        self.route_into(topo, node, state, src, dst, &mut out);
+        out
+    }
+
+    fn route_into(
+        &self,
+        topo: &Topology,
+        node: NodeId,
         _state: RouteState,
         _src: NodeId,
         dst: NodeId,
-    ) -> Vec<RouteChoice> {
+        out: &mut Vec<RouteChoice>,
+    ) {
+        out.clear();
         let off = offsets(topo, node, dst);
         for &dim in &self.order {
             let o = off[dim.index()];
             if o != 0 {
-                return vec![RouteChoice {
+                out.push(RouteChoice {
                     port: PortVc {
                         dim,
                         dir: dir_of(o),
                         vc: 1,
                     },
                     state: 0,
-                }];
+                });
+                return;
             }
         }
-        Vec::new()
     }
 }
 

@@ -68,6 +68,23 @@ pub trait RoutingRelation: Send + Sync {
         dst: NodeId,
     ) -> Vec<RouteChoice>;
 
+    /// Writes the candidates of [`RoutingRelation::route`] into `out`
+    /// (cleared first). The default delegates to `route`; hot relations
+    /// override it so per-hop routing reuses the caller's buffer instead
+    /// of allocating — the simulator's VC-allocation loop depends on this.
+    fn route_into(
+        &self,
+        topo: &Topology,
+        node: NodeId,
+        state: RouteState,
+        src: NodeId,
+        dst: NodeId,
+        out: &mut Vec<RouteChoice>,
+    ) {
+        out.clear();
+        out.extend(self.route(topo, node, state, src, dst));
+    }
+
     /// Per-dimension virtual-channel budget the algorithm needs on `topo`.
     fn vcs(&self, topo: &Topology) -> Vec<u8> {
         let mut vcs = vec![1u8; topo.dims()];

@@ -206,18 +206,32 @@ impl RoutingRelation for TurnRouting {
         topo: &Topology,
         node: NodeId,
         state: RouteState,
-        _src: NodeId,
+        src: NodeId,
         dst: NodeId,
     ) -> Vec<RouteChoice> {
+        let mut out = Vec::new();
+        self.route_into(topo, node, state, src, dst, &mut out);
+        out
+    }
+
+    fn route_into(
+        &self,
+        topo: &Topology,
+        node: NodeId,
+        state: RouteState,
+        _src: NodeId,
+        dst: NodeId,
+        out: &mut Vec<RouteChoice>,
+    ) {
+        out.clear();
         let dist = self.dist_table(topo, dst);
         let k = self.universe.len();
         let here = dist[self.state_index(node, state)];
         if here == UNREACHABLE || here == 0 {
-            return Vec::new();
+            return;
         }
         let s = if state == INJECT { k } else { state as usize };
         let coords = topo.coords(node);
-        let mut out = Vec::new();
         for (ci, &c) in self.universe.iter().enumerate() {
             if !self.allow[s][ci] || !c.class.contains(&coords) {
                 continue;
@@ -236,7 +250,6 @@ impl RoutingRelation for TurnRouting {
                 });
             }
         }
-        out
     }
 }
 

@@ -259,6 +259,48 @@ impl WaitEdge {
     }
 }
 
+/// Reorder detector: the highest injection cycle delivered so far per
+/// (src, dst) pair. Dense `n*n` table for the meshes we simulate (zero-
+/// initialised, matching a map's `or_insert(0)`); falls back to hashing
+/// above [`DeliveredLog::DENSE_LIMIT`] pairs so giant topologies don't
+/// pay O(n²) memory.
+enum DeliveredLog {
+    Dense { n: usize, last: Vec<u64> },
+    Sparse(std::collections::HashMap<(NodeId, NodeId), u64>),
+}
+
+impl DeliveredLog {
+    /// Pair count above which the dense table (8 bytes/pair) is not worth
+    /// its memory. 1<<22 pairs = 32 MiB, i.e. meshes past ~2048 nodes.
+    const DENSE_LIMIT: usize = 1 << 22;
+
+    fn new(n: usize) -> Self {
+        if n.saturating_mul(n) <= Self::DENSE_LIMIT {
+            DeliveredLog::Dense {
+                n,
+                last: vec![0; n * n],
+            }
+        } else {
+            DeliveredLog::Sparse(std::collections::HashMap::new())
+        }
+    }
+
+    /// Records a delivery; returns `true` when it arrived out of order
+    /// (injected earlier than an already-delivered packet of the pair).
+    fn note(&mut self, src: NodeId, dst: NodeId, injected: u64) -> bool {
+        let last = match self {
+            DeliveredLog::Dense { n, last } => &mut last[src * *n + dst],
+            DeliveredLog::Sparse(map) => map.entry((src, dst)).or_insert(0),
+        };
+        if injected < *last {
+            true
+        } else {
+            *last = injected;
+            false
+        }
+    }
+}
+
 struct Simulator<'a> {
     topo: Topology,
     relation: &'a dyn RoutingRelation,
@@ -319,8 +361,18 @@ struct Simulator<'a> {
     channel_flits: Vec<u64>,
     routing_faults: u64,
     /// Highest injection cycle delivered so far per (src, dst) pair.
-    last_delivered: std::collections::HashMap<(NodeId, NodeId), u64>,
+    last_delivered: DeliveredLog,
     reordered: u64,
+    /// Total flits currently sitting in input buffers, maintained
+    /// incrementally so the per-cycle in-flight check is O(1) instead of
+    /// a scan over every VC buffer.
+    buffered_flits: usize,
+    /// Scratch reused across cycles by `arbitrate_and_move` and
+    /// `allocate` — the per-cycle hot path allocates nothing.
+    moves_buf: Vec<(usize, Option<usize>)>,
+    arrivals_buf: Vec<(usize, FlitTag)>,
+    used_inputs: Vec<u64>,
+    route_buf: Vec<ebda_routing::RouteChoice>,
     /// Per-node ON/OFF state for bursty traffic (empty otherwise).
     burst_on: Vec<bool>,
     /// Next unapplied fault-schedule index (the schedule is sorted once).
@@ -391,8 +443,13 @@ impl<'a> Simulator<'a> {
             window_flits_ejected: 0,
             channel_flits,
             routing_faults: 0,
-            last_delivered: std::collections::HashMap::new(),
+            last_delivered: DeliveredLog::new(n),
             reordered: 0,
+            buffered_flits: 0,
+            moves_buf: Vec::new(),
+            arrivals_buf: Vec::new(),
+            used_inputs: Vec::new(),
+            route_buf: Vec::new(),
             burst_on: vec![false; n],
             fault_cursor: 0,
             faults_sorted,
@@ -418,6 +475,7 @@ impl<'a> Simulator<'a> {
             {
                 let (_, slot, flit) = self.in_transit.pop_front().expect("checked front");
                 self.in_vcs[slot].buf.push_back(flit);
+                self.buffered_flits += 1;
             }
             if cycle < self.cfg.warmup + self.cfg.measurement {
                 self.inject(cycle);
@@ -429,8 +487,12 @@ impl<'a> Simulator<'a> {
             if moved {
                 last_progress = cycle;
             }
-            let in_flight =
-                !self.in_transit.is_empty() || self.in_vcs.iter().any(|v| !v.buf.is_empty());
+            debug_assert_eq!(
+                self.buffered_flits > 0,
+                self.in_vcs.iter().any(|v| !v.buf.is_empty()),
+                "buffered-flit counter drifted from actual occupancy"
+            );
+            let in_flight = !self.in_transit.is_empty() || self.buffered_flits > 0;
             if self.cfg.watchdog_window > 0 {
                 self.watchdog_tick(
                     cycle,
@@ -484,6 +546,7 @@ impl<'a> Simulator<'a> {
         if !drained {
             return; // horizon hit with traffic still in flight: fine
         }
+        assert_eq!(self.buffered_flits, 0, "buffered-flit counter leaked");
         for (i, vc) in self.in_vcs.iter().enumerate() {
             assert_eq!(vc.alloc, Alloc::None, "in-slot {i} kept an allocation");
         }
@@ -724,15 +787,18 @@ impl<'a> Simulator<'a> {
     /// described hop by hop. Empty when no cycle is found (e.g. a stall
     /// caused by a routing fault rather than a deadlock).
     fn diagnose_deadlock(&self) -> Vec<WaitEdge> {
-        use std::collections::HashMap;
-        // Wait edges with a description of the waiting side.
+        // Wait edges with a description of the waiting side. Pids are
+        // sequential, so interning uses a direct-indexed table (sentinel
+        // `u32::MAX` = not yet seen) rather than a hash map.
         let mut pids: Vec<Pid> = Vec::new();
-        let mut index: HashMap<Pid, usize> = HashMap::new();
-        let intern = |pids: &mut Vec<Pid>, index: &mut HashMap<Pid, usize>, p: Pid| {
-            *index.entry(p).or_insert_with(|| {
+        let mut index: Vec<u32> = vec![u32::MAX; self.packets.len()];
+        let intern = |pids: &mut Vec<Pid>, index: &mut Vec<u32>, p: Pid| {
+            let e = &mut index[p as usize];
+            if *e == u32::MAX {
                 pids.push(p);
-                pids.len() - 1
-            })
+                *e = (pids.len() - 1) as u32;
+            }
+            *e as usize
         };
         // Per-waiter annotation: the label plus the (held, wanted)
         // channel coordinates it describes, first reason wins.
@@ -951,7 +1017,9 @@ impl<'a> Simulator<'a> {
         }
         for slot in 0..self.in_vcs.len() {
             let had_front = self.in_vcs[slot].buf.front().is_some_and(|f| f.pid == pid);
+            let before = self.in_vcs[slot].buf.len();
             self.in_vcs[slot].buf.retain(|f| f.pid != pid);
+            self.buffered_flits -= before - self.in_vcs[slot].buf.len();
             if had_front {
                 self.in_vcs[slot].alloc = Alloc::None;
             }
@@ -1087,6 +1155,7 @@ impl<'a> Simulator<'a> {
             for idx in 0..self.cfg.packet_length as u32 {
                 self.in_vcs[slot].buf.push_back(FlitTag { pid, idx });
             }
+            self.buffered_flits += self.cfg.packet_length;
             if let Some(rec) = self.rec.as_deref_mut() {
                 rec.record(Event::Inject {
                     cycle,
@@ -1137,9 +1206,12 @@ impl<'a> Simulator<'a> {
                         continue;
                     }
                 }
-                let cands = self.relation.route(&self.topo, node, state, src, dst);
+                let mut cands = std::mem::take(&mut self.route_buf);
+                self.relation
+                    .route_into(&self.topo, node, state, src, dst, &mut cands);
                 if cands.is_empty() {
                     self.routing_faults += 1;
+                    self.route_buf = cands;
                     continue;
                 }
                 let feasible = |sim: &Simulator<'_>, oslot: usize| {
@@ -1200,6 +1272,7 @@ impl<'a> Simulator<'a> {
                         self.rec.as_deref_mut().expect("checked").record(ev);
                     }
                 }
+                self.route_buf = cands;
             }
         }
     }
@@ -1207,10 +1280,15 @@ impl<'a> Simulator<'a> {
     /// Switch allocation + traversal. Returns `true` if any flit moved.
     fn arbitrate_and_move(&mut self, cycle: u64) -> bool {
         let in_window = cycle >= self.cfg.warmup && cycle < self.cfg.warmup + self.cfg.measurement;
-        // (from in-slot, Option<out-slot>): None = ejection.
-        let mut moves: Vec<(usize, Option<usize>)> = Vec::new();
+        // (from in-slot, Option<out-slot>): None = ejection. All three
+        // scratch vectors live on the Simulator and are reused every
+        // cycle — this loop runs once per cycle and must not allocate.
+        let mut moves = std::mem::take(&mut self.moves_buf);
+        moves.clear();
         let ports = 2 * self.layout.dims;
-        let mut used_inputs = vec![0u64; self.topo.node_count()];
+        let mut used_inputs = std::mem::take(&mut self.used_inputs);
+        used_inputs.clear();
+        used_inputs.resize(self.topo.node_count(), 0);
         let input_bit = |local_port: usize| 1u64 << local_port;
 
         for node in self.topo.nodes() {
@@ -1270,12 +1348,14 @@ impl<'a> Simulator<'a> {
         }
 
         let moved = !moves.is_empty();
-        let mut arrivals: Vec<(usize, FlitTag)> = Vec::new();
-        for (islot, target) in moves {
+        let mut arrivals = std::mem::take(&mut self.arrivals_buf);
+        arrivals.clear();
+        for &(islot, target) in &moves {
             let flit = self.in_vcs[islot]
                 .buf
                 .pop_front()
                 .expect("scheduled move from empty buffer");
+            self.buffered_flits -= 1;
             self.return_credit(islot);
             let last = flit.idx + 1 == self.packets[flit.pid as usize].len;
             match target {
@@ -1334,12 +1414,15 @@ impl<'a> Simulator<'a> {
                 }
             }
         }
-        for (slot, flit) in arrivals {
+        for &(slot, flit) in &arrivals {
             // Arrival after the link latency (1 = next cycle, since the
             // in-transit queue drains at the start of each cycle).
             self.in_transit
                 .push_back((cycle + self.cfg.link_latency, slot, flit));
         }
+        self.moves_buf = moves;
+        self.arrivals_buf = arrivals;
+        self.used_inputs = used_inputs;
         moved
     }
 
@@ -1384,11 +1467,8 @@ impl<'a> Simulator<'a> {
                 latency,
             });
         }
-        let last = self.last_delivered.entry((src, dst)).or_insert(0);
-        if injected < *last {
+        if self.last_delivered.note(src, dst, injected) {
             self.reordered += 1;
-        } else {
-            *last = injected;
         }
         self.delivered += 1;
         if self.packets[pid as usize].measured {

@@ -52,24 +52,39 @@ impl SweepPoint {
 
 /// Runs the relation at each rate and collects the curve. The `base`
 /// configuration supplies everything except the injection rate.
+///
+/// Points run in parallel on the [`ebda_par`] pool (thread count from
+/// `--threads` / `EBDA_THREADS` / hardware) and merge in rate order, so
+/// the curve is identical at any thread count. Use
+/// [`latency_curve_with_threads`] to pin the count explicitly.
 pub fn latency_curve(
     topo: &Topology,
     relation: &dyn RoutingRelation,
     base: &SimConfig,
     rates: &[f64],
 ) -> Vec<SweepPoint> {
-    rates
-        .iter()
-        .map(|&rate| {
-            let cfg = SimConfig {
-                injection_rate: rate,
-                // Histogram quantiles suffice: skip raw-latency storage.
-                collect_latencies: false,
-                ..base.clone()
-            };
-            SweepPoint::from_result(rate, &simulate(topo, relation, &cfg))
-        })
-        .collect()
+    latency_curve_with_threads(topo, relation, base, rates, ebda_par::threads())
+}
+
+/// [`latency_curve`] with an explicit worker count (1 = strictly serial).
+pub fn latency_curve_with_threads(
+    topo: &Topology,
+    relation: &dyn RoutingRelation,
+    base: &SimConfig,
+    rates: &[f64],
+    threads: usize,
+) -> Vec<SweepPoint> {
+    // Each point depends only on its own rate and the shared base config,
+    // so parallel_map's index-order merge reproduces the serial curve.
+    ebda_par::parallel_map(threads, rates, |_, &rate| {
+        let cfg = SimConfig {
+            injection_rate: rate,
+            // Histogram quantiles suffice: skip raw-latency storage.
+            collect_latencies: false,
+            ..base.clone()
+        };
+        SweepPoint::from_result(rate, &simulate(topo, relation, &cfg))
+    })
 }
 
 /// Estimates the saturation rate by bisection: the highest rate (within
@@ -132,8 +147,22 @@ pub struct Replication {
     pub replicates: usize,
 }
 
-/// Runs `cfg` under `replicates` different seeds (derived from `cfg.seed`)
-/// and aggregates latency and throughput.
+/// The seed replicate `i` of a base-seed run simulates under.
+///
+/// Pure function of `(base_seed, i)` — the `i`-th value of the splitmix64
+/// stream seeded with `base_seed` ([`ebda_obs::Rng64::nth`]) — so a
+/// replicate's result does not depend on which other replicates ran, in
+/// what order, or on which worker thread. Replicate 0 is **not** the base
+/// seed itself: derived seeds must be well-mixed even when callers pass
+/// small sequential base seeds.
+pub fn replicate_seed(base_seed: u64, i: usize) -> u64 {
+    ebda_obs::Rng64::nth(base_seed, i as u64)
+}
+
+/// Runs `cfg` under `replicates` different seeds (derived from `cfg.seed`
+/// via [`replicate_seed`]) and aggregates latency and throughput.
+/// Replicates run on the [`ebda_par`] pool and aggregate in index order;
+/// [`replicate_with_threads`] pins the worker count.
 ///
 /// # Panics
 ///
@@ -144,26 +173,34 @@ pub fn replicate(
     cfg: &SimConfig,
     replicates: usize,
 ) -> Replication {
+    replicate_with_threads(topo, relation, cfg, replicates, ebda_par::threads())
+}
+
+/// [`replicate`] with an explicit worker count (1 = strictly serial).
+pub fn replicate_with_threads(
+    topo: &Topology,
+    relation: &dyn RoutingRelation,
+    cfg: &SimConfig,
+    replicates: usize,
+    threads: usize,
+) -> Replication {
     assert!(replicates >= 1, "at least one replicate");
-    let mut latencies = Vec::with_capacity(replicates);
-    let mut throughputs = Vec::with_capacity(replicates);
-    let mut clean = 0;
-    for i in 0..replicates {
+    let indexes: Vec<usize> = (0..replicates).collect();
+    let results = ebda_par::parallel_map(threads, &indexes, |_, &i| {
         let run_cfg = SimConfig {
-            seed: cfg.seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B9),
+            seed: replicate_seed(cfg.seed, i),
             ..cfg.clone()
         };
         let r = simulate(topo, relation, &run_cfg);
-        if matches!(r.outcome, Outcome::Completed) {
-            clean += 1;
-        }
-        latencies.push(r.avg_latency);
-        throughputs.push(r.throughput);
-    }
+        let clean = matches!(r.outcome, Outcome::Completed);
+        (r.avg_latency, r.throughput, clean)
+    });
+    let latencies: Vec<f64> = results.iter().map(|r| r.0).collect();
+    let throughputs: Vec<f64> = results.iter().map(|r| r.1).collect();
     Replication {
         latency: mean_std(&latencies),
         throughput: mean_std(&throughputs),
-        clean_runs: clean,
+        clean_runs: results.iter().filter(|r| r.2).count(),
         replicates,
     }
 }
@@ -254,6 +291,50 @@ mod tests {
         // Single replicate has zero std by definition.
         let one = replicate(&topo, &xy, &cfg, 1);
         assert_eq!(one.latency.std, 0.0);
+    }
+
+    #[test]
+    fn replicate_seed_is_pinned_and_order_free() {
+        // The derivation is (base, i) -> Rng64::nth(base, i): pure in the
+        // pair, so replicate i's world is fixed no matter what ran before
+        // it. These exact values are part of the determinism contract.
+        assert_eq!(replicate_seed(0, 0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(replicate_seed(0, 1), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(
+            replicate_seed(0xEBDA, 0),
+            ebda_obs::Rng64::new(0xEBDA).next_u64()
+        );
+        // Distinct replicates get distinct, well-mixed seeds even from a
+        // base seed of 0.
+        let seeds: Vec<u64> = (0..8).map(|i| replicate_seed(0, i)).collect();
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seeds.len());
+    }
+
+    #[test]
+    fn sweep_results_are_thread_count_invariant() {
+        let topo = Topology::mesh(&[4, 4]);
+        let xy = DimensionOrder::xy();
+        let cfg = SimConfig {
+            injection_rate: 0.04,
+            ..base()
+        };
+        let rates = [0.01, 0.03, 0.05, 0.08];
+        let serial = latency_curve_with_threads(&topo, &xy, &base(), &rates, 1);
+        let parallel = latency_curve_with_threads(&topo, &xy, &base(), &rates, 8);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.rate, b.rate);
+            assert_eq!(a.avg_latency, b.avg_latency);
+            assert_eq!(a.throughput, b.throughput);
+            assert_eq!(a.p99_latency, b.p99_latency);
+        }
+        let r1 = replicate_with_threads(&topo, &xy, &cfg, 4, 1);
+        let r8 = replicate_with_threads(&topo, &xy, &cfg, 4, 8);
+        assert_eq!(r1.latency, r8.latency);
+        assert_eq!(r1.throughput, r8.throughput);
+        assert_eq!(r1.clean_runs, r8.clean_runs);
     }
 
     #[test]

@@ -55,6 +55,10 @@ const USAGE: &str = "usage:
                  [--metrics-addr HOST:PORT]  serve live Prometheus metrics at
                                              /metrics (EBDA_METRICS_ADDR too;
                                              --metrics-linger SECS keeps it up)
+                 [--threads N]               worker threads for parallel helpers
+                                             (EBDA_THREADS; default: hardware
+                                             parallelism; results are identical
+                                             at every value)
                  [--heatmap-out FILE]        per-channel utilization heatmap CSV
   ebda monitor  --addr HOST:PORT [--once] [--interval SECS] [--interval-ms N]
                                              poll a /metrics endpoint and render

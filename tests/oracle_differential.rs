@@ -15,6 +15,7 @@ fn quick(mutation: Mutation) -> CampaignConfig {
         max_nodes: 16,
         mutation,
         journey_sample_rate: 1.0,
+        threads: 0,
     }
 }
 
