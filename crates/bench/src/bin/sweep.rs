@@ -23,8 +23,11 @@
 //! exit; `--metrics-addr <host:port>` (or `EBDA_METRICS_ADDR`) serves
 //! live Prometheus metrics at `/metrics` while the sweep runs, with
 //! `--metrics-linger <secs>` keeping the endpoint up after the last
-//! point so scrapers can collect the final state. `--quick` shrinks
-//! the matrix to a smoke-test size.
+//! point so scrapers can collect the final state; `--profile-out
+//! <path>` (or `EBDA_PROFILE_OUT`) enables the deterministic
+//! self-profiler and writes the phase/worker report on exit (render
+//! with `ebda profile <path>`). `--quick` shrinks the matrix to a
+//! smoke-test size.
 
 use ebda_bench::sweep_matrix::run_sweep;
 use ebda_bench::trace::{write_telemetry, ObsOptions};
@@ -60,7 +63,12 @@ fn main() {
     if let Some(path) = &obs.trace {
         write_telemetry(path);
     }
-    if let (Some(builder), Some(path)) = (result.journeys, &obs.journey) {
+    if let (Some(mut builder), Some(path)) = (result.journeys, &obs.journey) {
+        // With the profiler on, the worker busy timeline renders next to
+        // the per-point packet journeys in the same Perfetto tab.
+        if ebda_obs::prof::enabled() {
+            builder.add_worker_timeline("workers", &ebda_obs::prof::snapshot().workers);
+        }
         std::fs::write(path, builder.finish())
             .unwrap_or_else(|e| panic!("write journey {}: {e}", path.display()));
         eprintln!(

@@ -44,6 +44,7 @@ struct Point<'a> {
 /// renders the CSV. Pass the journey configuration to also collect a
 /// per-point packet-journey timeline.
 pub fn run_sweep(quick: bool, threads: usize, journeys: Option<JourneyConfig>) -> SweepOutput {
+    let _p = ebda_obs::prof::phase("sweep/run");
     let topo = if quick {
         Topology::mesh(&[4, 4])
     } else {
@@ -104,6 +105,7 @@ pub fn run_sweep(quick: bool, threads: usize, journeys: Option<JourneyConfig>) -
         }
     }
 
+    ebda_obs::prof::work("sweep/run", "points", points.len() as u64);
     // Each point simulates independently and renders its own row; the
     // index-order merge below makes the CSV thread-count invariant.
     let rows: Vec<(String, Option<(String, Recorder)>)> =

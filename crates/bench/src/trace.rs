@@ -16,8 +16,9 @@ use std::path::{Path, PathBuf};
 /// `EBDA_JOURNEY_OUT` / `EBDA_JOURNEY_SAMPLE_RATE`), live metrics
 /// endpoint (`--metrics-addr <host:port>`, env `EBDA_METRICS_ADDR`),
 /// `--metrics-linger <secs>` (keep serving that long after the work is
-/// done, so external scrapers can collect the final state) and the
-/// worker-thread count (`--threads N`, env `EBDA_THREADS`, default
+/// done, so external scrapers can collect the final state), the
+/// self-profiler (`--profile-out <path>`, env `EBDA_PROFILE_OUT`) and
+/// the worker-thread count (`--threads N`, env `EBDA_THREADS`, default
 /// hardware parallelism).
 ///
 /// Typical binary shape:
@@ -41,6 +42,13 @@ pub struct ObsOptions {
     /// default 1.0 = every packet). Sampling is deterministic per
     /// packet id, so reruns trace the same set.
     pub journey_sample_rate: f64,
+    /// Where to write the self-profiler report, when requested
+    /// (`--profile-out`, env `EBDA_PROFILE_OUT`). The file is a
+    /// Perfetto-loadable Chrome trace carrying the per-worker busy
+    /// timeline, with the aggregated phase tree spliced in under the
+    /// extra top-level `ebdaProfile` key (`ebda profile <file>` renders
+    /// it as a table).
+    pub profile: Option<PathBuf>,
     /// Address to serve `/metrics` on, when requested (port 0 allowed).
     pub metrics_addr: Option<String>,
     /// Seconds to keep the metrics endpoint up after [`ObsOptions::finish`].
@@ -58,6 +66,7 @@ impl Default for ObsOptions {
             trace: None,
             journey: None,
             journey_sample_rate: 1.0,
+            profile: None,
             metrics_addr: None,
             metrics_linger: 0,
             threads: ebda_par::available(),
@@ -95,6 +104,9 @@ impl ObsOptions {
                 rate
             })
             .unwrap_or(1.0);
+        let profile = take_value(args, "--profile-out")
+            .or_else(|| env_string("EBDA_PROFILE_OUT"))
+            .map(PathBuf::from);
         let threads = take_value(args, "--threads")
             .map(|v| {
                 let n: usize = v.parse().expect("--threads needs a positive integer");
@@ -108,6 +120,7 @@ impl ObsOptions {
             trace: trace_path(args),
             journey,
             journey_sample_rate,
+            profile,
             metrics_addr,
             metrics_linger,
             threads,
@@ -131,6 +144,9 @@ impl ObsOptions {
         ebda_par::set_threads(self.threads);
         if self.trace.is_some() || self.metrics_addr.is_some() {
             ebda_obs::telemetry::set_enabled(true);
+        }
+        if self.profile.is_some() {
+            ebda_obs::prof::set_enabled(true);
         }
         if let Some(addr) = &self.metrics_addr {
             ebda_obs::metrics::set_enabled(true);
@@ -172,9 +188,13 @@ impl ObsOptions {
         self.server.as_ref().map(MetricsServer::local_addr)
     }
 
-    /// Ends the observability session: keeps the metrics endpoint up for
-    /// the configured linger window, then shuts it down.
+    /// Ends the observability session: writes the self-profiler report
+    /// when one was requested, keeps the metrics endpoint up for the
+    /// configured linger window, then shuts it down.
     pub fn finish(&self) {
+        if let Some(path) = &self.profile {
+            write_profile(path);
+        }
         if let Some(server) = &self.server {
             if self.metrics_linger > 0 {
                 eprintln!(
@@ -296,12 +316,45 @@ pub fn write_journey(rec: &Recorder, label: &str, path: &Path) {
         .expect("write_journey needs a journey-enabled recorder");
     let mut builder = TraceBuilder::new();
     builder.add_run(label, tracer);
+    // When the self-profiler is on, render the worker busy timeline next
+    // to the packet journeys so one Perfetto tab shows both.
+    if ebda_obs::prof::enabled() {
+        builder.add_worker_timeline("workers", &ebda_obs::prof::snapshot().workers);
+    }
     std::fs::write(path, builder.finish())
         .unwrap_or_else(|e| panic!("write journey {}: {e}", path.display()));
     eprintln!(
         "journeys: {} traced ({} dropped at the cap) written to {}",
         tracer.journeys().len(),
         tracer.skipped(),
+        path.display()
+    );
+}
+
+/// Writes the self-profiler report to `path`: a Chrome-trace JSON whose
+/// events are the per-worker busy segments (one Perfetto track per
+/// worker) and whose extra top-level `ebdaProfile` key carries the full
+/// aggregated phase snapshot — [`ebda_obs::ProfSnapshot::to_json`] —
+/// so `ebda profile <path>` can render the table, the deterministic
+/// counter tree, or the flame view without re-running anything.
+///
+/// # Panics
+///
+/// Panics when the file cannot be written — profiles are explicitly
+/// requested, so losing one silently would be worse.
+pub fn write_profile(path: &Path) {
+    let snap = ebda_obs::prof::snapshot();
+    let mut builder = TraceBuilder::new();
+    builder.add_worker_timeline("workers", &snap.workers);
+    std::fs::write(
+        path,
+        builder.finish_with_extra("ebdaProfile", &snap.to_json()),
+    )
+    .unwrap_or_else(|e| panic!("write profile {}: {e}", path.display()));
+    eprintln!(
+        "profile: {} phases, {} worker segments written to {}",
+        snap.phases.len(),
+        snap.workers.len(),
         path.display()
     );
 }
@@ -345,7 +398,7 @@ mod tests {
         obs.activate();
         let addr = obs.bound_addr().expect("bound after activate");
         let body = ebda_obs::http_get(&addr.to_string(), "/healthz").unwrap();
-        assert_eq!(body, "ok\n");
+        assert!(body.starts_with("ok uptime_seconds="), "body {body:?}");
         obs.finish();
     }
 

@@ -26,6 +26,7 @@ struct Case {
     rate: f64,
     metrics_addr: Option<&'static str>,
     linger: u64,
+    profile: Option<&'static str>,
     leftover: &'static str,
 }
 
@@ -41,6 +42,7 @@ fn flag_extraction_table() {
             rate: 1.0,
             metrics_addr: None,
             linger: 0,
+            profile: None,
             leftover: "run --quick",
         },
         Case {
@@ -51,7 +53,19 @@ fn flag_extraction_table() {
             rate: 1.0,
             metrics_addr: None,
             linger: 0,
+            profile: None,
             leftover: "",
+        },
+        Case {
+            name: "profile alone",
+            args: "--profile-out /tmp/p.json run",
+            trace: None,
+            journey: None,
+            rate: 1.0,
+            metrics_addr: None,
+            linger: 0,
+            profile: Some("/tmp/p.json"),
+            leftover: "run",
         },
         Case {
             name: "journey alone keeps the default sample rate",
@@ -61,6 +75,7 @@ fn flag_extraction_table() {
             rate: 1.0,
             metrics_addr: None,
             linger: 0,
+            profile: None,
             leftover: "work",
         },
         Case {
@@ -71,6 +86,7 @@ fn flag_extraction_table() {
             rate: 0.25,
             metrics_addr: None,
             linger: 0,
+            profile: None,
             leftover: "",
         },
         Case {
@@ -81,17 +97,19 @@ fn flag_extraction_table() {
             rate: 0.5,
             metrics_addr: None,
             linger: 0,
+            profile: None,
             leftover: "",
         },
         Case {
             name: "all flags at once, positionals preserved in order",
             args: "a --trace-out t.csv --journey-out j.json --journey-sample-rate 0.5 \
-                   --metrics-addr 127.0.0.1:0 --metrics-linger 3 b",
+                   --metrics-addr 127.0.0.1:0 --metrics-linger 3 --profile-out p.json b",
             trace: Some("t.csv"),
             journey: Some("j.json"),
             rate: 0.5,
             metrics_addr: Some("127.0.0.1:0"),
             linger: 3,
+            profile: Some("p.json"),
             leftover: "a b",
         },
     ];
@@ -103,6 +121,7 @@ fn flag_extraction_table() {
         assert_eq!(obs.journey_sample_rate, c.rate, "{}", c.name);
         assert_eq!(obs.metrics_addr.as_deref(), c.metrics_addr, "{}", c.name);
         assert_eq!(obs.metrics_linger, c.linger, "{}", c.name);
+        assert_eq!(obs.profile, c.profile.map(PathBuf::from), "{}", c.name);
         assert_eq!(args, argv(c.leftover), "{}", c.name);
     }
 }
@@ -115,6 +134,7 @@ fn env_fallbacks_and_flag_precedence() {
         ("EBDA_JOURNEY_OUT", "/tmp/env-journey.json"),
         ("EBDA_JOURNEY_SAMPLE_RATE", "0.125"),
         ("EBDA_METRICS_ADDR", "127.0.0.1:9"),
+        ("EBDA_PROFILE_OUT", "/tmp/env-profile.json"),
     ];
     for (k, v) in vars {
         std::env::set_var(k, v);
@@ -129,16 +149,21 @@ fn env_fallbacks_and_flag_precedence() {
     );
     assert_eq!(env_only.journey_sample_rate, 0.125);
     assert_eq!(env_only.metrics_addr.as_deref(), Some("127.0.0.1:9"));
+    assert_eq!(
+        env_only.profile,
+        Some(PathBuf::from("/tmp/env-profile.json"))
+    );
 
     // Explicit flags win over the variables.
     let flags_win = ObsOptions::parse(&mut argv(
         "--trace-out /f/t.json --journey-out /f/j.json \
-         --journey-sample-rate 0.75 --metrics-addr 127.0.0.1:0",
+         --journey-sample-rate 0.75 --metrics-addr 127.0.0.1:0 --profile-out /f/p.json",
     ));
     assert_eq!(flags_win.trace, Some(PathBuf::from("/f/t.json")));
     assert_eq!(flags_win.journey, Some(PathBuf::from("/f/j.json")));
     assert_eq!(flags_win.journey_sample_rate, 0.75);
     assert_eq!(flags_win.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+    assert_eq!(flags_win.profile, Some(PathBuf::from("/f/p.json")));
 
     // Empty variables count as unset.
     for (k, _) in vars {
@@ -149,6 +174,7 @@ fn env_fallbacks_and_flag_precedence() {
     assert_eq!(empty_env.journey, None);
     assert_eq!(empty_env.journey_sample_rate, 1.0);
     assert_eq!(empty_env.metrics_addr, None);
+    assert_eq!(empty_env.profile, None);
 
     for (k, _) in vars {
         std::env::remove_var(k);
@@ -186,8 +212,9 @@ fn threads_flag_and_env_layering() {
 #[test]
 fn malformed_flags_panic_with_the_flag_named() {
     let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    let cases: [(&str, &str); 10] = [
+    let cases: [(&str, &str); 11] = [
         ("--trace-out", "--trace-out"),
+        ("--profile-out", "--profile-out"),
         ("--journey-out", "--journey-out"),
         ("--journey-sample-rate", "--journey-sample-rate"),
         ("--metrics-addr", "--metrics-addr"),

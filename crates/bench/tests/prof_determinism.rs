@@ -1,0 +1,92 @@
+//! The self-profiler's headline contract, end to end through the `sweep`
+//! binary: the deterministic work-unit counter tree is **byte-identical**
+//! at every `--threads` value, and the written `--profile-out` file is a
+//! valid Chrome trace with one track per worker.
+
+use ebda_obs::json::Value;
+use ebda_obs::ProfSnapshot;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Runs `sweep --quick --threads N --profile-out <tmp>` and returns the
+/// parsed snapshot plus the raw file text.
+fn profiled_sweep(threads: usize) -> (ProfSnapshot, String) {
+    let path = std::env::temp_dir().join(format!("ebda-prof-det-{threads}.json"));
+    let status = Command::new(env!("CARGO_BIN_EXE_sweep"))
+        .args([
+            "--quick",
+            "--threads",
+            &threads.to_string(),
+            "--profile-out",
+            path.to_str().unwrap(),
+        ])
+        .env_remove("EBDA_THREADS")
+        .env_remove("EBDA_PROFILE_OUT")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("spawn sweep");
+    assert!(status.success(), "sweep --threads {threads} failed");
+    let text = std::fs::read_to_string(&path).expect("profile written");
+    std::fs::remove_file(&path).ok();
+    let doc = Value::parse(&text).expect("profile is JSON");
+    let snap = ProfSnapshot::from_value(doc.get("ebdaProfile").expect("ebdaProfile key"))
+        .expect("snapshot parses");
+    (snap, text)
+}
+
+#[test]
+fn work_unit_counters_are_byte_identical_across_thread_counts() {
+    let (serial, _) = profiled_sweep(1);
+    let (parallel, text) = profiled_sweep(8);
+
+    // The deterministic artifact: same phases, same calls, same work
+    // units, byte for byte. Wall-clock times are excluded by design.
+    assert!(!serial.counters_text().is_empty(), "counters recorded");
+    assert_eq!(
+        serial.counters_text(),
+        parallel.counters_text(),
+        "work-unit counter tree must not depend on --threads"
+    );
+
+    // The sweep phases and the engine phases both show up.
+    for phase in ["sweep/run", "sim/run", "sim/run/route", "sim/run/eject"] {
+        assert!(serial.phases.contains_key(phase), "missing phase {phase}");
+    }
+    assert_eq!(serial.phases["sweep/run"].work["points"], 8);
+
+    // The 8-thread profile is a loadable Chrome trace whose worker pid
+    // carries one named thread track per worker.
+    let summary = ebda_obs::chrome::validate(&text).expect("valid Trace Event Format");
+    assert!(summary.tracks >= 1, "at least one worker track");
+    assert!(text.contains("\"worker 0\""), "worker 0 track named");
+    assert!(
+        !parallel.workers.is_empty(),
+        "parallel run records worker segments"
+    );
+    // Every sweep point is one busy segment, whichever worker won it
+    // (on a loaded 1-CPU host one worker may legitimately take them all).
+    assert_eq!(
+        parallel.workers.len(),
+        8,
+        "one busy segment per quick-sweep point"
+    );
+}
+
+#[test]
+fn env_fallback_writes_the_profile_too() {
+    let path: PathBuf = std::env::temp_dir().join("ebda-prof-env.json");
+    let status = Command::new(env!("CARGO_BIN_EXE_sweep"))
+        .args(["--quick", "--threads", "2"])
+        .env_remove("EBDA_THREADS")
+        .env("EBDA_PROFILE_OUT", path.to_str().unwrap())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("spawn sweep");
+    assert!(status.success());
+    let text = std::fs::read_to_string(&path).expect("EBDA_PROFILE_OUT written");
+    std::fs::remove_file(&path).ok();
+    let doc = Value::parse(&text).expect("profile is JSON");
+    assert!(doc.get("ebdaProfile").is_some());
+}

@@ -59,6 +59,7 @@ pub fn find_cycle(edges: &[Vec<u32>]) -> Option<Vec<u32>> {
                         cycle.reverse();
                         ebda_obs::counter_add("cdg.cycle.edges_visited", edges_visited);
                         ebda_obs::counter_add("cdg.cycle.cycles_found", 1);
+                        ebda_obs::prof::work("cdg/cycle", "edges_visited", edges_visited);
                         return Some(cycle);
                     }
                     Color::Black => {}
@@ -70,6 +71,7 @@ pub fn find_cycle(edges: &[Vec<u32>]) -> Option<Vec<u32>> {
         }
     }
     ebda_obs::counter_add("cdg.cycle.edges_visited", edges_visited);
+    ebda_obs::prof::work("cdg/cycle", "edges_visited", edges_visited);
     None
 }
 

@@ -193,14 +193,70 @@ impl TraceBuilder {
         }
     }
 
+    /// Appends the self-profiler's worker busy slices as a new trace
+    /// process named `label`: one thread (track) per pool worker, one
+    /// complete event per busy segment. Timestamps are real
+    /// nanoseconds-since-epoch rendered as integer microseconds (unlike
+    /// the journey processes, whose "µs" are simulation cycles — the
+    /// tracks coexist in one file; only the rulers differ in meaning).
+    /// A builder with no journey runs still renders: a profile-only
+    /// export is a valid trace.
+    pub fn add_worker_timeline(&mut self, label: &str, segments: &[crate::prof::WorkerSegment]) {
+        if segments.is_empty() {
+            return;
+        }
+        let pid = self.runs;
+        self.runs += 1;
+        self.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":{}}}}}",
+            json::escape(label)
+        ));
+        let workers: BTreeSet<usize> = segments.iter().map(|s| s.worker).collect();
+        for w in workers {
+            self.push(format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"worker {w}\"}}}}",
+                w + 1
+            ));
+        }
+        for s in segments {
+            self.push(format!(
+                "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{},\"ts\":{},\"dur\":{},\"name\":{},\"args\":{{\"dur_ns\":{}}}}}",
+                s.worker + 1,
+                s.start_ns / 1_000,
+                (s.dur_ns / 1_000).max(1),
+                json::escape(&s.label),
+                s.dur_ns
+            ));
+        }
+    }
+
     fn push(&mut self, event: String) {
         self.events.push(event);
     }
 
     /// Serializes the trace as a Trace Event Format JSON object.
     pub fn finish(self) -> String {
+        self.finish_inner(None)
+    }
+
+    /// Like [`Self::finish`], but splices one extra top-level key into
+    /// the document (`value_json` must already be serialized JSON).
+    /// Perfetto ignores unknown top-level keys, so the file stays
+    /// loadable while carrying e.g. the `ebdaProfile` phase tree.
+    pub fn finish_with_extra(self, key: &str, value_json: &str) -> String {
+        self.finish_inner(Some((key, value_json)))
+    }
+
+    fn finish_inner(self, extra: Option<(&str, &str)>) -> String {
         let mut out = String::with_capacity(self.events.len() * 96 + 64);
-        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        out.push_str("{\"displayTimeUnit\":\"ms\",");
+        if let Some((key, value_json)) = extra {
+            out.push_str(&json::escape(key));
+            out.push(':');
+            out.push_str(value_json);
+            out.push(',');
+        }
+        out.push_str("\"traceEvents\":[\n");
         for (i, e) in self.events.iter().enumerate() {
             if i > 0 {
                 out.push_str(",\n");
@@ -441,6 +497,46 @@ mod tests {
                 assert!(e.get("dur").unwrap().as_u64().unwrap() >= 1);
             }
         }
+    }
+
+    #[test]
+    fn worker_timeline_renders_one_track_per_worker() {
+        let seg =
+            |worker: usize, label: &str, start_ns: u64, dur_ns: u64| crate::prof::WorkerSegment {
+                worker,
+                label: label.into(),
+                start_ns,
+                dur_ns,
+            };
+        let mut b = TraceBuilder::new();
+        b.add_run("run", &sample_tracer());
+        b.add_worker_timeline(
+            "workers",
+            &[
+                seg(0, "task 0", 1_000, 500), // sub-µs dur still renders (≥1)
+                seg(0, "task 2", 9_000, 4_000),
+                seg(1, "task 1", 2_000, 3_000),
+            ],
+        );
+        let text = b.finish();
+        let summary = validate(&text).unwrap();
+        assert!(text.contains("\"name\":\"workers\""));
+        assert!(text.contains("worker 0") && text.contains("worker 1"));
+        assert!(summary.complete >= 8, "journey spans + 3 worker slices");
+        // No segments → no process either.
+        let mut empty = TraceBuilder::new();
+        empty.add_worker_timeline("workers", &[]);
+        assert_eq!(empty.runs(), 0);
+    }
+
+    #[test]
+    fn finish_with_extra_stays_a_valid_trace() {
+        let mut b = TraceBuilder::new();
+        b.add_run("run", &sample_tracer());
+        let text = b.finish_with_extra("ebdaProfile", "{\"phases\":[]}");
+        validate(&text).expect("extra key must not break the trace");
+        let doc = Value::parse(&text).unwrap();
+        assert!(doc.get("ebdaProfile").is_some());
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //!
 //! * `GET /metrics` — the Prometheus text exposition from
 //!   [`crate::metrics::render_global`]
-//! * `GET /healthz` — `ok\n`, for liveness probes
+//! * `GET /healthz` — `ok uptime_seconds=N\n`, for liveness probes
+//!   (`N` counts whole seconds since the server started serving)
 //!
 //! It is deliberately tiny: one detached thread, one connection at a
 //! time, HTTP/1.0-style `Connection: close` responses. Scrapes are rare
@@ -19,7 +20,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A running `/metrics` endpoint. Dropping the handle leaves the server
 /// thread running (detached); call [`MetricsServer::shutdown`] to stop
@@ -38,9 +39,10 @@ impl MetricsServer {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
+        let started = Instant::now();
         std::thread::Builder::new()
             .name("ebda-metrics".into())
-            .spawn(move || serve_loop(listener, &stop2))?;
+            .spawn(move || serve_loop(listener, &stop2, started))?;
         Ok(MetricsServer { addr, stop })
     }
 
@@ -57,18 +59,18 @@ impl MetricsServer {
     }
 }
 
-fn serve_loop(listener: TcpListener, stop: &AtomicBool) {
+fn serve_loop(listener: TcpListener, stop: &AtomicBool, started: Instant) {
     for conn in listener.incoming() {
         if stop.load(Ordering::Relaxed) {
             return;
         }
         let Ok(mut stream) = conn else { continue };
         let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-        let _ = handle(&mut stream);
+        let _ = handle(&mut stream, started);
     }
 }
 
-fn handle(stream: &mut TcpStream) -> std::io::Result<()> {
+fn handle(stream: &mut TcpStream, started: Instant) -> std::io::Result<()> {
     // Read until the end of the request head; we only need the first line.
     let mut buf = Vec::new();
     let mut chunk = [0u8; 1024];
@@ -91,7 +93,11 @@ fn handle(stream: &mut TcpStream) -> std::io::Result<()> {
             "text/plain; version=0.0.4; charset=utf-8",
             crate::metrics::render_global(),
         ),
-        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        "/healthz" => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            format!("ok uptime_seconds={}\n", started.elapsed().as_secs()),
+        ),
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
@@ -141,7 +147,17 @@ mod tests {
         let addr = server.local_addr().to_string();
 
         let health = http_get(&addr, "/healthz").expect("healthz");
-        assert_eq!(health, "ok\n");
+        assert!(
+            health.starts_with("ok uptime_seconds=") && health.ends_with('\n'),
+            "unexpected healthz body {health:?}"
+        );
+        let secs: u64 = health
+            .trim()
+            .strip_prefix("ok uptime_seconds=")
+            .unwrap()
+            .parse()
+            .expect("uptime is whole seconds");
+        assert!(secs < 60, "fresh server cannot be up {secs}s");
 
         crate::metrics::global().counter_add("ebda_http_test_total", &[], 41);
         let body = http_get(&addr, "/metrics").expect("metrics");

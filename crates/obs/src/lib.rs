@@ -17,6 +17,11 @@
 //!   counters, gauges) rendered as Prometheus text exposition, and
 //!   [`http`] — the blocking `/metrics` + `/healthz` endpoint serving it
 //!   while a sweep or oracle campaign runs.
+//! * [`prof`] — a deterministic **self-profiler**: hierarchical phases
+//!   (slash paths like `sim/run/route`) each recording wall nanoseconds
+//!   *and* deterministic work-unit counters, plus per-worker busy
+//!   timelines, exported as a phase table / flame JSON / Perfetto
+//!   worker tracks and gated on by `bench_report --baseline`.
 //! * [`json`] / [`csv`] — hand-rolled writers *and* parsers, so traces can
 //!   be exported and round-tripped without pulling in serde (the build
 //!   environment has no registry access).
@@ -42,6 +47,7 @@ pub mod http;
 pub mod journey;
 pub mod json;
 pub mod metrics;
+pub mod prof;
 pub mod recorder;
 pub mod ring;
 pub mod rng;
@@ -52,6 +58,7 @@ pub use event::{Event, EventKind};
 pub use http::{http_get, MetricsServer};
 pub use journey::{ChannelId, Journey, JourneyConfig, JourneyEnd, JourneyTracer};
 pub use metrics::{Histogram, MetricsRegistry};
+pub use prof::{PhaseStat, ProfSnapshot, WorkerSegment};
 pub use recorder::{Recorder, RecorderConfig, Sample};
 pub use ring::RingBuffer;
 pub use rng::Rng64;

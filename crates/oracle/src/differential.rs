@@ -212,7 +212,11 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
             // config-count-bound determinism tests require).
             n = n.min(cfg.min_configs - report.configs);
         }
-        let artifacts: Vec<Artifact> = (0..n).map(|_| generator.next_artifact()).collect();
+        let artifacts: Vec<Artifact> = {
+            let _p = ebda_obs::prof::phase("oracle/generate");
+            ebda_obs::prof::work("oracle/generate", "artifacts", n as u64);
+            (0..n).map(|_| generator.next_artifact()).collect()
+        };
         let batch = ebda_par::parallel_map(threads, &artifacts, |_, a| evaluate(a, cfg.mutation));
         for (artifact, verdicts) in artifacts.iter().zip(&batch) {
             report.configs += 1;
@@ -255,7 +259,10 @@ fn investigate(artifact: &Artifact, cfg: &CampaignConfig, threads: usize) -> Cau
         let v = evaluate(a, cfg.mutation);
         cross_check(a, &v).is_some()
     };
-    let shrunk = shrink_with_threads(artifact, still_failing, DEFAULT_SHRINK_BUDGET, threads);
+    let shrunk = {
+        let _p = ebda_obs::prof::phase("oracle/shrink");
+        shrink_with_threads(artifact, still_failing, DEFAULT_SHRINK_BUDGET, threads)
+    };
     ebda_obs::metrics::counter_add("ebda_oracle_artifacts_shrunk_total", &[], 1);
     let verdicts = evaluate(&shrunk, cfg.mutation);
     let disagreement = cross_check(&shrunk, &verdicts)
@@ -264,7 +271,10 @@ fn investigate(artifact: &Artifact, cfg: &CampaignConfig, threads: usize) -> Cau
         sample_rate: cfg.journey_sample_rate,
         ..JourneyConfig::default()
     };
-    let replay = replay_artifact(&shrunk, cfg.seed, journeys);
+    let replay = {
+        let _p = ebda_obs::prof::phase("oracle/replay");
+        replay_artifact(&shrunk, cfg.seed, journeys)
+    };
     CaughtDisagreement {
         artifact: artifact.clone(),
         shrunk,

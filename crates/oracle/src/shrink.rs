@@ -77,10 +77,12 @@ where
                 // too is thread-count invariant.
                 evals += j + 1;
                 ebda_obs::metrics::counter_add("ebda_oracle_shrink_evals_total", &[], j as u64 + 1);
+                ebda_obs::prof::work("oracle/shrink", "shrink_evals", j as u64 + 1);
                 current = cands.swap_remove(j); // restart from the smaller artifact
             }
             None => {
                 ebda_obs::metrics::counter_add("ebda_oracle_shrink_evals_total", &[], scan as u64);
+                ebda_obs::prof::work("oracle/shrink", "shrink_evals", scan as u64);
                 // Full pass without improvement (1-minimal) or budget
                 // exhausted mid-pass: either way, this is the answer.
                 return current;

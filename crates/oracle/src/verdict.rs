@@ -94,27 +94,45 @@ impl fmt::Display for Disagreement {
 /// Runs all four verdict paths on an artifact, with `mutation` optionally
 /// sabotaging one of them.
 pub fn evaluate(artifact: &Artifact, mutation: Mutation) -> Verdicts {
+    use ebda_obs::prof;
+    let _p = prof::phase("oracle/evaluate");
+    prof::work("oracle/evaluate", "artifacts", 1);
     let topo = artifact.topology();
-    let ebda = artifact.design.as_ref().map(|seq| match mutation {
-        Mutation::EbdaSkipsTheorem1 => DesignVerdict::DeadlockFree {
-            partitions: seq.len(),
-            channels: seq.channel_count(),
-            turns: artifact.turns.counts(),
-        },
-        _ => design_verdict(seq),
-    });
+    let ebda = {
+        let _p = prof::phase("oracle/evaluate/ebda");
+        artifact.design.as_ref().map(|seq| match mutation {
+            Mutation::EbdaSkipsTheorem1 => DesignVerdict::DeadlockFree {
+                partitions: seq.len(),
+                channels: seq.channel_count(),
+                turns: artifact.turns.counts(),
+            },
+            _ => design_verdict(seq),
+        })
+    };
     let dally_topo = match mutation {
         Mutation::DallyIgnoresWrap => Topology::mesh(&artifact.radix),
         _ => topo.clone(),
     };
-    let dally = verify_turn_set(
-        &dally_topo,
-        &artifact.vcs,
-        &artifact.universe,
-        &artifact.turns,
-    );
-    let duato = verify_escape(&topo, &artifact.vcs, &artifact.universe, &artifact.turns);
-    let brute = brute::search(&topo, &artifact.vcs, &artifact.universe, &artifact.turns);
+    let dally = {
+        let _p = prof::phase("oracle/evaluate/dally");
+        verify_turn_set(
+            &dally_topo,
+            &artifact.vcs,
+            &artifact.universe,
+            &artifact.turns,
+        )
+    };
+    let duato = {
+        let _p = prof::phase("oracle/evaluate/duato");
+        verify_escape(&topo, &artifact.vcs, &artifact.universe, &artifact.turns)
+    };
+    let brute = {
+        let _p = prof::phase("oracle/evaluate/brute");
+        brute::search(&topo, &artifact.vcs, &artifact.universe, &artifact.turns)
+    };
+    // The brute report carries the deterministic work behind its verdict.
+    prof::work("oracle/evaluate/brute", "gfp_sweeps", brute.sweeps as u64);
+    prof::work("oracle/evaluate/brute", "wait_pairs", brute.pairs as u64);
     Verdicts {
         ebda,
         dally,

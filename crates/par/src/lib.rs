@@ -25,6 +25,13 @@
 //! `ebda_par_worker_busy_ns_total`, `ebda_par_worker_idle_ns_total` and
 //! an `ebda_par_queue_depth` gauge, so `/metrics` and `ebda monitor`
 //! show pool health next to the simulator counters.
+//!
+//! When the self-profiler (`ebda_obs::prof`) is enabled each worker
+//! additionally records one busy segment per task — batched locally and
+//! pushed once at worker exit — which the profile export renders as one
+//! Perfetto track per worker (gaps between slices are the idle time).
+//! The serial path records its tasks as worker 0, so a `--threads 1`
+//! profile still shows the timeline.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -81,11 +88,35 @@ where
         threads
     };
     let metrics_on = ebda_obs::metrics::enabled();
+    let prof_on = ebda_obs::prof::enabled();
     if metrics_on {
         ebda_obs::metrics::counter_add("ebda_par_jobs_total", &[], 1);
         ebda_obs::metrics::counter_add("ebda_par_tasks_total", &[], items.len() as u64);
     }
     if threads <= 1 || items.len() <= 1 {
+        if prof_on {
+            // Same sequential loop, with each task recorded as a busy
+            // segment of "worker 0" so serial profiles show a timeline.
+            let mut segments = Vec::with_capacity(items.len());
+            let out = items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let start_ns = ebda_obs::prof::now_ns();
+                    let t0 = Instant::now();
+                    let r = f(i, t);
+                    segments.push(ebda_obs::prof::WorkerSegment {
+                        worker: 0,
+                        label: format!("task {i}"),
+                        start_ns,
+                        dur_ns: t0.elapsed().as_nanos() as u64,
+                    });
+                    r
+                })
+                .collect();
+            ebda_obs::prof::push_worker_segments(segments);
+            return out;
+        }
         // Serial path: today's sequential loop, verbatim. No pool, no
         // channel, no reordering — `--threads 1` means this code.
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
@@ -98,13 +129,14 @@ where
     out.resize_with(items.len(), || None);
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for w in 0..workers {
             let tx = tx.clone();
             let cursor = &cursor;
             let f = &f;
             scope.spawn(move || {
                 let spawned = Instant::now();
                 let mut busy_ns: u64 = 0;
+                let mut segments: Vec<ebda_obs::prof::WorkerSegment> = Vec::new();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= items.len() {
@@ -114,9 +146,19 @@ where
                         let depth = items.len().saturating_sub(i + 1);
                         ebda_obs::metrics::gauge_set("ebda_par_queue_depth", &[], depth as f64);
                     }
+                    let start_ns = if prof_on { ebda_obs::prof::now_ns() } else { 0 };
                     let t0 = Instant::now();
                     let r = f(i, &items[i]);
-                    busy_ns += t0.elapsed().as_nanos() as u64;
+                    let task_ns = t0.elapsed().as_nanos() as u64;
+                    busy_ns += task_ns;
+                    if prof_on {
+                        segments.push(ebda_obs::prof::WorkerSegment {
+                            worker: w,
+                            label: format!("task {i}"),
+                            start_ns,
+                            dur_ns: task_ns,
+                        });
+                    }
                     // The receiver outlives the scope; send only fails if
                     // the parent panicked, and then we are unwinding anyway.
                     let _ = tx.send((i, r));
@@ -130,6 +172,7 @@ where
                         alive_ns.saturating_sub(busy_ns),
                     );
                 }
+                ebda_obs::prof::push_worker_segments(segments);
             });
         }
         drop(tx);
@@ -214,6 +257,26 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    fn profiler_records_worker_segments_on_both_paths() {
+        // Existence assertions only: sibling tests may run parallel_map
+        // concurrently while the global profiler is enabled.
+        ebda_obs::prof::set_enabled(true);
+        let items: Vec<u32> = (0..9).collect();
+        let serial = parallel_map(1, &items, |_, &x| x + 1);
+        let parallel = parallel_map(4, &items, |_, &x| x + 1);
+        ebda_obs::prof::set_enabled(false);
+        assert_eq!(serial, parallel);
+        let snap = ebda_obs::prof::snapshot();
+        let on_worker_0 = snap.workers.iter().filter(|s| s.worker == 0).count();
+        assert!(on_worker_0 >= 9, "serial path must record as worker 0");
+        assert!(
+            snap.workers.iter().any(|s| s.label == "task 8"),
+            "every task index gets a labelled segment"
+        );
+        assert!(snap.workers.len() >= 18, "both jobs record all tasks");
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::metrics::{ChannelCoord, Outcome, SimResult, SuspectedEdge};
 use ebda_obs::{Event, Recorder, Rng64, Sample};
 use ebda_routing::{NodeId, RouteState, RoutingRelation, Topology, INJECT};
 use std::collections::VecDeque;
+use std::time::Instant;
 
 type Pid = u32;
 
@@ -48,6 +49,34 @@ enum Alloc {
     None,
     Out(usize),
     Eject,
+}
+
+/// Local self-profiler accumulator for one run's cycle-loop phases.
+/// Filled only when `prof_on`; flushed once to `ebda_obs::prof` in
+/// `finish()` so the hot loop never takes the registry lock. The
+/// operation counts are deterministic (pure functions of the seeded
+/// run); only the `_ns` sums are wall-clock.
+#[derive(Debug, Default)]
+struct ProfAcc {
+    /// Wall ns inside `relation.route_into` and number of route queries.
+    route_ns: u64,
+    routes: u64,
+    /// Wall ns of whole `allocate()` calls; VC allocation time is this
+    /// minus `route_ns`.
+    alloc_ns: u64,
+    /// Output-VC grants (plus ejection-port claims).
+    vc_allocs: u64,
+    /// Wall ns of whole `arbitrate_and_move()` calls; switch-traversal
+    /// time is this minus credit-return and ejection time.
+    arb_ns: u64,
+    /// Wall ns inside `return_credit` and number of credits returned.
+    credit_ns: u64,
+    credits: u64,
+    /// Wall ns spent in the ejection branch and flits ejected there.
+    eject_ns: u64,
+    eject_flits: u64,
+    /// Flits that crossed a link (the switch-traversal work unit).
+    link_flits: u64,
 }
 
 #[derive(Debug)]
@@ -332,6 +361,14 @@ struct Simulator<'a> {
     /// Whether the live metrics registry was enabled when the run started
     /// — snapshotted once so a mid-run toggle cannot skew a run.
     metrics_on: bool,
+    /// Whether the self-profiler was enabled at run start (same
+    /// snapshot-once rule as `metrics_on`); `false` keeps every timing
+    /// site a single branch with no clock reads and no allocations.
+    prof_on: bool,
+    /// Per-phase accumulator, flushed once in `finish()`.
+    prof: ProfAcc,
+    /// Run start time, set at the top of `run()` when `prof_on`.
+    prof_run_t0: Option<Instant>,
     /// Head-of-packet injection-queue residency, live-metrics only.
     inject_queue_hist: ebda_obs::Histogram,
     /// Per-channel buffer occupancy sampled every 64 cycles, live-metrics
@@ -429,6 +466,9 @@ impl<'a> Simulator<'a> {
             latencies: Vec::new(),
             latency_hist: ebda_obs::Histogram::new(),
             metrics_on: ebda_obs::metrics::enabled(),
+            prof_on: ebda_obs::prof::enabled(),
+            prof: ProfAcc::default(),
+            prof_run_t0: None,
             inject_queue_hist: ebda_obs::Histogram::new(),
             occupancy_hist: ebda_obs::Histogram::new(),
             credit_stalls: 0,
@@ -458,6 +498,9 @@ impl<'a> Simulator<'a> {
     }
 
     fn run(mut self) -> SimResult {
+        if self.prof_on {
+            self.prof_run_t0 = Some(Instant::now());
+        }
         let horizon = self.cfg.warmup + self.cfg.measurement + self.cfg.drain;
         let mut last_progress = 0u64;
         let mut cycle = 0u64;
@@ -480,10 +523,20 @@ impl<'a> Simulator<'a> {
             if cycle < self.cfg.warmup + self.cfg.measurement {
                 self.inject(cycle);
             }
-            self.allocate(cycle);
             let stalls_before = self.credit_stalls;
             let ejected_before = self.flits_ejected_total;
-            let moved = self.arbitrate_and_move(cycle);
+            let moved = if self.prof_on {
+                let t0 = Instant::now();
+                self.allocate(cycle);
+                let t1 = Instant::now();
+                self.prof.alloc_ns += t1.duration_since(t0).as_nanos() as u64;
+                let moved = self.arbitrate_and_move(cycle);
+                self.prof.arb_ns += t1.elapsed().as_nanos() as u64;
+                moved
+            } else {
+                self.allocate(cycle);
+                self.arbitrate_and_move(cycle)
+            };
             if moved {
                 last_progress = cycle;
             }
@@ -656,6 +709,42 @@ impl<'a> Simulator<'a> {
         }
     }
 
+    /// Flushes the run's phase accumulator into the global self-profiler
+    /// after the hot loop is done. The `calls` and work units of every
+    /// phase are deterministic functions of the seeded run; only the
+    /// wall-ns totals vary between hosts. Phase wall times are
+    /// accounted so the five cycle-loop phases are disjoint children of
+    /// `sim/run`: VC allocation is `allocate()` minus routing, switch
+    /// traversal is `arbitrate_and_move()` minus credit return and
+    /// ejection.
+    fn flush_prof(&self, cycles: u64) {
+        use ebda_obs::prof;
+        let p = &self.prof;
+        let run_ns = self
+            .prof_run_t0
+            .map_or(0, |t| t.elapsed().as_nanos() as u64);
+        prof::record("sim/run", 1, run_ns);
+        prof::work("sim/run", "cycles", cycles);
+        prof::record("sim/run/route", p.routes, p.route_ns);
+        prof::work("sim/run/route", "route_queries", p.routes);
+        prof::record(
+            "sim/run/vc_alloc",
+            p.vc_allocs,
+            p.alloc_ns.saturating_sub(p.route_ns),
+        );
+        prof::work("sim/run/vc_alloc", "vc_grants", p.vc_allocs);
+        prof::record(
+            "sim/run/switch",
+            p.link_flits,
+            p.arb_ns.saturating_sub(p.credit_ns + p.eject_ns),
+        );
+        prof::work("sim/run/switch", "link_flits", p.link_flits);
+        prof::record("sim/run/credit", p.credits, p.credit_ns);
+        prof::work("sim/run/credit", "credits_returned", p.credits);
+        prof::record("sim/run/eject", p.eject_flits, p.eject_ns);
+        prof::work("sim/run/eject", "flits_ejected", p.eject_flits);
+    }
+
     /// One step of the online stall watchdog (called only when
     /// `cfg.watchdog_window > 0`). Two independent triggers, both scaled
     /// by the window `W`: a movement freeze (`cycle - last_progress >=
@@ -748,6 +837,9 @@ impl<'a> Simulator<'a> {
         ebda_obs::counter_add("sim.engine.routing_faults", self.routing_faults);
         if self.metrics_on {
             self.flush_metrics(&outcome, cycles);
+        }
+        if self.prof_on {
+            self.flush_prof(cycles);
         }
         let delivered = self.measured_delivered.max(1);
         self.latencies.sort_unstable();
@@ -1190,6 +1282,9 @@ impl<'a> Simulator<'a> {
                     if self.eject_owner[node].is_none() {
                         self.eject_owner[node] = Some((pid, slot));
                         self.in_vcs[slot].alloc = Alloc::Eject;
+                        if self.prof_on {
+                            self.prof.vc_allocs += 1;
+                        }
                     }
                     continue;
                 }
@@ -1207,8 +1302,16 @@ impl<'a> Simulator<'a> {
                     }
                 }
                 let mut cands = std::mem::take(&mut self.route_buf);
-                self.relation
-                    .route_into(&self.topo, node, state, src, dst, &mut cands);
+                if self.prof_on {
+                    let t0 = Instant::now();
+                    self.relation
+                        .route_into(&self.topo, node, state, src, dst, &mut cands);
+                    self.prof.route_ns += t0.elapsed().as_nanos() as u64;
+                    self.prof.routes += 1;
+                } else {
+                    self.relation
+                        .route_into(&self.topo, node, state, src, dst, &mut cands);
+                }
                 if cands.is_empty() {
                     self.routing_faults += 1;
                     self.route_buf = cands;
@@ -1259,6 +1362,9 @@ impl<'a> Simulator<'a> {
                     self.out_vcs[oslot].src_in = slot;
                     self.in_vcs[slot].alloc = Alloc::Out(oslot);
                     self.packets[pid as usize].route_state = cands[k].state;
+                    if self.prof_on {
+                        self.prof.vc_allocs += 1;
+                    }
                     if self.rec.is_some() {
                         let ch = cands[k];
                         let ev = Event::VcAlloc {
@@ -1356,7 +1462,14 @@ impl<'a> Simulator<'a> {
                 .pop_front()
                 .expect("scheduled move from empty buffer");
             self.buffered_flits -= 1;
-            self.return_credit(islot);
+            if self.prof_on {
+                let t0 = Instant::now();
+                self.return_credit(islot);
+                self.prof.credit_ns += t0.elapsed().as_nanos() as u64;
+                self.prof.credits += 1;
+            } else {
+                self.return_credit(islot);
+            }
             let last = flit.idx + 1 == self.packets[flit.pid as usize].len;
             match target {
                 Some(oslot) => {
@@ -1399,8 +1512,12 @@ impl<'a> Simulator<'a> {
                         });
                     }
                     arrivals.push((self.layout.in_slot(nbr, port, vc0), flit));
+                    if self.prof_on {
+                        self.prof.link_flits += 1;
+                    }
                 }
                 None => {
+                    let t0 = self.prof_on.then(Instant::now);
                     self.flits_ejected_total += 1;
                     if in_window {
                         self.window_flits_ejected += 1;
@@ -1410,6 +1527,10 @@ impl<'a> Simulator<'a> {
                         self.eject_owner[node] = None;
                         self.in_vcs[islot].alloc = Alloc::None;
                         self.complete_packet(flit.pid, cycle, node);
+                    }
+                    if let Some(t0) = t0 {
+                        self.prof.eject_ns += t0.elapsed().as_nanos() as u64;
+                        self.prof.eject_flits += 1;
                     }
                 }
             }

@@ -53,7 +53,9 @@ fn live_sim_metrics_scrape_end_to_end() {
     // Scrape the live endpoint over loopback HTTP.
     let server = MetricsServer::serve("127.0.0.1:0").expect("bind loopback");
     let addr = server.local_addr().to_string();
-    assert_eq!(http_get(&addr, "/healthz").unwrap(), "ok\n");
+    assert!(http_get(&addr, "/healthz")
+        .unwrap()
+        .starts_with("ok uptime_seconds="));
     let body = http_get(&addr, "/metrics").unwrap();
     server.shutdown();
     metrics::set_enabled(false);

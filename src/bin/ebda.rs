@@ -55,6 +55,10 @@ const USAGE: &str = "usage:
                  [--metrics-addr HOST:PORT]  serve live Prometheus metrics at
                                              /metrics (EBDA_METRICS_ADDR too;
                                              --metrics-linger SECS keeps it up)
+                 [--profile-out FILE]        deterministic self-profiler report:
+                                             phase tree + worker timeline as
+                                             Chrome Trace JSON (EBDA_PROFILE_OUT;
+                                             render with `ebda profile FILE`)
                  [--threads N]               worker threads for parallel helpers
                                              (EBDA_THREADS; default: hardware
                                              parallelism; results are identical
@@ -64,6 +68,12 @@ const USAGE: &str = "usage:
                                              poll a /metrics endpoint and render
                                              a compact terminal snapshot;
                                              --interval re-renders in place
+  ebda profile  FILE [--counters|--flame]    render a --profile-out report:
+                                             default is the phase table with
+                                             self/total times; --counters prints
+                                             the deterministic work-unit tree
+                                             (byte-identical at every --threads);
+                                             --flame prints nested flame JSON
 
 a <design> is partitions separated by '|' or '->', channels like X1+, Ye2-
 (example: \"X- | X+ Y+ Y-\" is the west-first turn model), or a preset:
@@ -84,6 +94,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "report" => cmd_report(rest),
         "simulate" => cmd_simulate(rest),
         "monitor" => cmd_monitor(rest),
+        "profile" => cmd_profile(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -403,9 +414,35 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Renders a `--profile-out` report (or a bare snapshot JSON) in one of
+/// three views: the human phase table (default), the deterministic
+/// work-unit counter tree (`--counters`), or nested flame-style JSON
+/// (`--flame`).
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("missing profile file (written by --profile-out / EBDA_PROFILE_OUT)")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = ebda_obs::json::Value::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    // A --profile-out file is a Chrome trace with the snapshot spliced in
+    // under "ebdaProfile"; a bare snapshot document works too.
+    let snap = ebda_obs::ProfSnapshot::from_value(doc.get("ebdaProfile").unwrap_or(&doc))
+        .map_err(|e| format!("{path}: {e}"))?;
+    if args.iter().any(|a| a == "--counters") {
+        print!("{}", snap.counters_text());
+    } else if args.iter().any(|a| a == "--flame") {
+        println!("{}", snap.flame_json());
+    } else {
+        print!("{}", snap.table());
+    }
+    Ok(())
+}
+
 /// Renders one compact terminal snapshot of a scraped exposition: run and
 /// packet counters, latency quantiles reconstructed from the histogram
-/// buckets, sweep/oracle campaign progress and the busiest channels.
+/// buckets, sweep/oracle campaign progress, worker-pool and stall-watchdog
+/// state, and the busiest channels.
 fn monitor_snapshot(addr: &str, samples: &[ebda_obs::metrics::Sample]) -> String {
     use ebda_obs::metrics::quantile_from_buckets;
     use std::fmt::Write as _;
@@ -454,6 +491,31 @@ fn monitor_snapshot(addr: &str, samples: &[ebda_obs::metrics::Sample]) -> String
     }
     if value("ebda_sweep_points_total").is_some() {
         let _ = writeln!(out, "sweep  : {} points", count("ebda_sweep_points_total"));
+    }
+    if value("ebda_par_jobs_total").is_some() {
+        let busy = value("ebda_par_worker_busy_ns_total").unwrap_or(0.0);
+        let idle = value("ebda_par_worker_idle_ns_total").unwrap_or(0.0);
+        let util = if busy + idle > 0.0 {
+            100.0 * busy / (busy + idle)
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "par    : {} jobs, {} tasks, queue depth {}, workers {util:.0}% busy",
+            count("ebda_par_jobs_total"),
+            count("ebda_par_tasks_total"),
+            count("ebda_par_queue_depth"),
+        );
+    }
+    if value("ebda_watchdog_trips_total").is_some() {
+        let _ = writeln!(
+            out,
+            "watchdog: {} trips, {} suspected cycles (last len {})",
+            count("ebda_watchdog_trips_total"),
+            count("ebda_watchdog_suspected_cycles_total"),
+            count("ebda_watchdog_suspected_cycle_len"),
+        );
     }
     if value("ebda_oracle_artifacts_checked_total").is_some() {
         let _ = writeln!(
@@ -581,6 +643,13 @@ mod tests {
         reg.counter_add("ebda_sim_runs_total", &[], 2);
         reg.counter_add("ebda_sim_packets_injected_total", &[], 10);
         reg.observe("ebda_sim_packet_latency_cycles", &[], 12);
+        reg.counter_add("ebda_par_jobs_total", &[], 3);
+        reg.counter_add("ebda_par_tasks_total", &[], 24);
+        reg.counter_add("ebda_par_worker_busy_ns_total", &[], 900);
+        reg.counter_add("ebda_par_worker_idle_ns_total", &[], 100);
+        reg.counter_add("ebda_watchdog_trips_total", &[], 1);
+        reg.counter_add("ebda_watchdog_suspected_cycles_total", &[], 1);
+        reg.gauge_set("ebda_watchdog_suspected_cycle_len", &[], 4.0);
         reg.gauge_set(
             "ebda_sim_channel_utilization",
             &[
@@ -599,6 +668,14 @@ mod tests {
         let snap = monitor_snapshot(&addr, &samples);
         assert!(snap.contains("sim    : 2 runs"), "{snap}");
         assert!(snap.contains("latency: p50 12"), "{snap}");
+        assert!(
+            snap.contains("par    : 3 jobs, 24 tasks, queue depth 0, workers 90% busy"),
+            "{snap}"
+        );
+        assert!(
+            snap.contains("watchdog: 1 trips, 1 suspected cycles (last len 4)"),
+            "{snap}"
+        );
         assert!(
             snap.contains("hottest channels: n3 d0+ vc0 0.250"),
             "{snap}"
@@ -631,6 +708,38 @@ mod tests {
         assert!(summary.complete > 0, "hold spans expected");
         assert!(summary.tracks > 1, "per-router tracks expected");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn simulate_profile_out_roundtrips_through_profile_subcommand() {
+        let path = std::env::temp_dir().join("ebda-cli-profile.json");
+        run(&s(&[
+            "simulate",
+            "X- | X+ Y+ Y-",
+            "--mesh",
+            "4x4",
+            "--rate",
+            "0.02",
+            "--profile-out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        ebda_obs::chrome::validate(&text).expect("profile is a valid Chrome trace");
+        let doc = ebda_obs::json::Value::parse(&text).unwrap();
+        let snap = ebda_obs::ProfSnapshot::from_value(doc.get("ebdaProfile").unwrap()).unwrap();
+        assert!(snap.phases.contains_key("sim/run"), "{:?}", snap.phases);
+        // All three render modes work off the written file.
+        run(&s(&["profile", path.to_str().unwrap()])).unwrap();
+        run(&s(&["profile", path.to_str().unwrap(), "--counters"])).unwrap();
+        run(&s(&["profile", path.to_str().unwrap(), "--flame"])).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn profile_requires_a_readable_file() {
+        assert!(run(&s(&["profile"])).is_err());
+        assert!(run(&s(&["profile", "/nonexistent/p.json"])).is_err());
     }
 
     #[test]
