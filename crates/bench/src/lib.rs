@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus_cli;
 pub mod harness;
 pub mod oracle_cli;
 pub mod sweep_matrix;

@@ -1,0 +1,184 @@
+//! Canonical content hashing of verification problems.
+//!
+//! A verification problem — a concrete topology shape, a per-dimension VC
+//! budget, a channel-class universe, and a turn relation — is identified
+//! by a canonical 64-bit content hash. *Canonical* means the hash is
+//! independent of how the caller happened to enumerate the channels or
+//! turns: the encoding sorts both before hashing, so two descriptions of
+//! the same design always collide (on purpose).
+//!
+//! The hash is the address of corpus entries on disk
+//! (`corpus/seed/<hash>.json`) and the key a persistent verdict cache can
+//! use to skip re-verifying a design it has already decided.
+
+use crate::{Channel, TurnSet};
+use std::fmt::Write as _;
+
+/// Version tag folded into every canonical encoding. Bump when the
+/// encoding (not the design) changes, so stale caches cannot alias.
+pub const CANONICAL_VERSION: u32 = 1;
+
+/// The canonical text encoding of a verification problem: a single line
+/// with sorted channel and turn renderings, suitable for hashing or
+/// golden-file comparison.
+///
+/// ```
+/// use ebda_core::{canonical, parse_channels, TurnSet};
+/// let a = canonical::canonical_string(
+///     &[4, 4], &[false, false], &[1, 1],
+///     &parse_channels("X+ Y+").unwrap(), &TurnSet::new());
+/// let b = canonical::canonical_string(
+///     &[4, 4], &[false, false], &[1, 1],
+///     &parse_channels("Y+ X+").unwrap(), &TurnSet::new());
+/// assert_eq!(a, b); // enumeration order does not matter
+/// ```
+pub fn canonical_string(
+    radix: &[usize],
+    wrap: &[bool],
+    vcs: &[u8],
+    universe: &[Channel],
+    turns: &TurnSet,
+) -> String {
+    let mut channels: Vec<String> = universe.iter().map(|c| c.to_string()).collect();
+    channels.sort();
+    channels.dedup();
+    // `TurnSet` iterates in sorted order already; render as `from>to`.
+    let turn_text: Vec<String> = turns
+        .iter()
+        .map(|t| format!("{}>{}", t.from, t.to))
+        .collect();
+    let mut out = String::new();
+    let _ = write!(out, "ebda-canonical-v{CANONICAL_VERSION}|radix=");
+    join_into(&mut out, radix.iter().map(|r| r.to_string()));
+    out.push_str("|wrap=");
+    join_into(&mut out, wrap.iter().map(|w| if *w { "1" } else { "0" }));
+    out.push_str("|vcs=");
+    join_into(&mut out, vcs.iter().map(|v| v.to_string()));
+    out.push_str("|universe=");
+    join_into(&mut out, channels);
+    out.push_str("|turns=");
+    join_into(&mut out, turn_text);
+    out
+}
+
+fn join_into<S: AsRef<str>>(out: &mut String, items: impl IntoIterator<Item = S>) {
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(item.as_ref());
+    }
+}
+
+/// The canonical 64-bit content hash of a verification problem (FNV-1a
+/// over [`canonical_string`]). Deterministic across runs, platforms and
+/// enumeration orders.
+pub fn canonical_hash(
+    radix: &[usize],
+    wrap: &[bool],
+    vcs: &[u8],
+    universe: &[Channel],
+    turns: &TurnSet,
+) -> u64 {
+    fnv1a(canonical_string(radix, wrap, vcs, universe, turns).as_bytes())
+}
+
+/// Renders a canonical hash as the fixed-width lowercase hex used in
+/// corpus file names.
+pub fn hash_hex(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+/// 64-bit FNV-1a over a byte string.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{catalog, extract_turns, parse_channels};
+
+    #[test]
+    fn hash_ignores_universe_order() {
+        let turns = TurnSet::new();
+        let a = parse_channels("X+ X- Y+ Y-").unwrap();
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(
+            canonical_hash(&[4, 4], &[false; 2], &[1, 1], &a, &turns),
+            canonical_hash(&[4, 4], &[false; 2], &[1, 1], &b, &turns),
+        );
+    }
+
+    #[test]
+    fn hash_distinguishes_every_field() {
+        let turns = TurnSet::new();
+        let universe = parse_channels("X+ X-").unwrap();
+        let base = canonical_hash(&[4, 4], &[false; 2], &[1, 1], &universe, &turns);
+        assert_ne!(
+            base,
+            canonical_hash(&[4, 3], &[false; 2], &[1, 1], &universe, &turns)
+        );
+        assert_ne!(
+            base,
+            canonical_hash(&[4, 4], &[true, false], &[1, 1], &universe, &turns)
+        );
+        assert_ne!(
+            base,
+            canonical_hash(&[4, 4], &[false; 2], &[2, 1], &universe, &turns)
+        );
+        let wider = parse_channels("X+ X- Y+").unwrap();
+        assert_ne!(
+            base,
+            canonical_hash(&[4, 4], &[false; 2], &[1, 1], &wider, &turns)
+        );
+        let seq = catalog::p3_west_first();
+        let with_turns = extract_turns(&seq).unwrap().into_turn_set();
+        assert_ne!(
+            base,
+            canonical_hash(&[4, 4], &[false; 2], &[1, 1], &universe, &with_turns)
+        );
+    }
+
+    #[test]
+    fn coordinate_restricted_channels_render_distinctly() {
+        // Dateline designs differ from plain designs only in channel
+        // classes; the hash must see that.
+        let seq = catalog::dateline_design(&[4, 4], &[true, true]);
+        let plain = crate::PartitionSeq::parse("X1+ X1- | Y1+ Y1-").unwrap();
+        let t1 = extract_turns(&seq).unwrap().into_turn_set();
+        let t2 = extract_turns(&plain).unwrap().into_turn_set();
+        assert_ne!(
+            canonical_hash(&[4, 4], &[true, true], &[2, 2], &seq.channels(), &t1),
+            canonical_hash(&[4, 4], &[true, true], &[1, 1], &plain.channels(), &t2),
+        );
+    }
+
+    #[test]
+    fn hex_rendering_is_fixed_width() {
+        assert_eq!(hash_hex(0), "0000000000000000");
+        assert_eq!(hash_hex(u64::MAX), "ffffffffffffffff");
+        assert_eq!(hash_hex(0xabc), "0000000000000abc");
+    }
+
+    #[test]
+    fn canonical_string_shape() {
+        let s = canonical_string(
+            &[3, 3],
+            &[true, false],
+            &[1, 2],
+            &parse_channels("Y+ X+").unwrap(),
+            &TurnSet::new(),
+        );
+        assert_eq!(
+            s,
+            "ebda-canonical-v1|radix=3,3|wrap=1,0|vcs=1,2|universe=X1+,Y1+|turns="
+        );
+    }
+}

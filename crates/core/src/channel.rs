@@ -358,6 +358,10 @@ impl Channel {
     /// present, restricts by the parity convention of the paper: `Y`
     /// channels by column (`X` coordinate), `X` channels by row (`Y`
     /// coordinate); for any other dimension the parity axis defaults to `X`.
+    /// Coordinate-restricted classes use the bracketed display suffix:
+    /// `X2+[X=3]` ([`ChannelClass::AtCoord`]) and `X2+[X!=3]`
+    /// ([`ChannelClass::NotAtCoord`]), so every [`fmt::Display`] rendering
+    /// round-trips.
     ///
     /// # Errors
     ///
@@ -435,15 +439,50 @@ impl Channel {
             Some(_) => return Err(err("expected '+' or '-' direction suffix")),
             None => return Err(err("missing '+' or '-' direction suffix")),
         };
+        // Optional bracketed coordinate restriction: `[X=3]` / `[X!=3]`.
+        let mut coord_class = None;
+        if chars.peek() == Some(&'[') {
+            chars.next();
+            let mut body = String::new();
+            loop {
+                match chars.next() {
+                    Some(']') => break,
+                    Some(c) => body.push(c),
+                    None => return Err(err("unterminated coordinate restriction bracket")),
+                }
+            }
+            let (axis_text, value_text, negated) = match body.split_once("!=") {
+                Some((a, v)) => (a, v, true),
+                None => match body.split_once('=') {
+                    Some((a, v)) => (a, v, false),
+                    None => return Err(err("coordinate restriction needs '=' or '!='")),
+                },
+            };
+            let axis = Dimension::parse(axis_text.trim())
+                .ok_or_else(|| err("bad axis in coordinate restriction"))?;
+            let value: i64 = value_text
+                .trim()
+                .parse()
+                .map_err(|_| err("bad value in coordinate restriction"))?;
+            coord_class = Some(if negated {
+                ChannelClass::NotAtCoord { axis, value }
+            } else {
+                ChannelClass::AtCoord { axis, value }
+            });
+        }
         if chars.next().is_some() {
             return Err(err("trailing characters after direction"));
         }
-        let class = match parity {
-            None => ChannelClass::All,
-            Some(p) => ChannelClass::AtParity {
+        let class = match (parity, coord_class) {
+            (Some(_), Some(_)) => {
+                return Err(err("parity and coordinate restrictions are exclusive"))
+            }
+            (None, Some(c)) => c,
+            (Some(p), None) => ChannelClass::AtParity {
                 axis: Channel::conventional_parity_axis(dim),
                 parity: p,
             },
+            (None, None) => ChannelClass::All,
         };
         Ok(Channel {
             dim,
@@ -477,8 +516,8 @@ impl fmt::Display for Channel {
             write!(f, ":")?;
         }
         write!(f, "{}{}", self.vc, self.dir)?;
-        // Coordinate restrictions use a bracketed suffix; these forms are
-        // display-only (they do not round-trip through `parse`).
+        // Coordinate restrictions use a bracketed suffix, accepted back by
+        // `parse`.
         match self.class {
             ChannelClass::AtCoord { axis, value } => write!(f, "[{axis}={value}]"),
             ChannelClass::NotAtCoord { axis, value } => write!(f, "[{axis}!={value}]"),
@@ -590,11 +629,48 @@ mod tests {
 
     #[test]
     fn display_roundtrip() {
-        for s in ["X1+", "Y2-", "Z3+", "T1-", "Ye1+", "Xo2-", "D4:1+", "D4:2-"] {
+        for s in [
+            "X1+",
+            "Y2-",
+            "Z3+",
+            "T1-",
+            "Ye1+",
+            "Xo2-",
+            "D4:1+",
+            "D4:2-",
+            "X2+[X=3]",
+            "X2-[X!=0]",
+            "Y1+[Y=-2]",
+            "D4:2-[D4!=1]",
+        ] {
             let c = Channel::parse(s).unwrap();
             let printed = c.to_string();
             let reparsed = Channel::parse(&printed).unwrap();
             assert_eq!(c, reparsed, "roundtrip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn parse_coordinate_restrictions() {
+        let c = Channel::parse("X2+[X=3]").unwrap();
+        assert_eq!(
+            c.class,
+            ChannelClass::AtCoord {
+                axis: Dimension::X,
+                value: 3
+            }
+        );
+        assert_eq!(c.vc, 2);
+        let c = Channel::parse("Y2-[Y!=0]").unwrap();
+        assert_eq!(
+            c.class,
+            ChannelClass::NotAtCoord {
+                axis: Dimension::Y,
+                value: 0
+            }
+        );
+        for bad in ["X1+[X=3", "X1+[X~3]", "X1+[Q=3]", "X1+[X=a]", "Ye1+[X=2]"] {
+            assert!(Channel::parse(bad).is_err(), "should reject {bad:?}");
         }
     }
 

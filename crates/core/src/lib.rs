@@ -40,6 +40,8 @@
 //! * [`min_channels`] — Section 4's `(n+1)·2^(n-1)` minimum-channel
 //!   constructions.
 //! * [`adaptiveness`] — region coverage and minimal-path counting.
+//! * [`canonical`] — order-independent content hashing of verification
+//!   problems (corpus addressing, verdict-cache keys).
 //! * [`catalog`] — the paper's named designs (XY, west-first,
 //!   negative-first, north-last, DyXY, Odd-Even, Hamiltonian, Figures 7
 //!   and 9, Table 5).
@@ -57,6 +59,7 @@ pub mod adaptiveness;
 pub mod algorithm1;
 pub mod algorithm2;
 pub mod builder;
+pub mod canonical;
 pub mod catalog;
 pub mod certify;
 pub mod channel;

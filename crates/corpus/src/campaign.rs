@@ -1,0 +1,410 @@
+//! The corpus regression campaign: check every labeled entry against all
+//! four verdict paths, shrink any mismatch, archive the shrunk witness.
+//!
+//! Unlike the oracle's random differential campaign (which only checks
+//! that the paths agree with *each other*), the corpus campaign holds
+//! every path to the entry's proven `expected` label — a bug that breaks
+//! all four paths in the same direction still gets caught here.
+//!
+//! Determinism contract: for a fixed entry list and configuration, the
+//! report's [`fmt::Display`] output is byte-identical at every thread
+//! count. Checks fan out over [`ebda_par::parallel_map`] (index-order
+//! merge); shrinking and archiving run serially afterwards, in entry
+//! order. Wall-clock time lives only in `elapsed_ms`, which Display
+//! excludes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use ebda_obs::prof;
+use ebda_oracle::artifact::Artifact;
+use ebda_oracle::shrink::{shrink_with_threads, DEFAULT_SHRINK_BUDGET};
+use ebda_oracle::verdict::{cross_check, evaluate, Mutation};
+
+use crate::entry::{CorpusEntry, ExpectedVerdict};
+use crate::store;
+
+/// Configuration for one corpus campaign run.
+#[derive(Debug, Clone)]
+pub struct CorpusCampaignConfig {
+    /// Worker threads (0 = the `ebda-par` global default).
+    pub threads: usize,
+    /// Fault injected into the verdict paths — [`Mutation::None`] for an
+    /// honest run, anything else for a self-check that the corpus trips.
+    pub mutation: Mutation,
+    /// Predicate-evaluation budget for shrinking each mismatch.
+    pub shrink_budget: usize,
+    /// Where to write shrunk witnesses as new labeled entries, if anywhere.
+    pub archive_dir: Option<PathBuf>,
+}
+
+impl Default for CorpusCampaignConfig {
+    fn default() -> CorpusCampaignConfig {
+        CorpusCampaignConfig {
+            threads: 0,
+            mutation: Mutation::None,
+            shrink_budget: DEFAULT_SHRINK_BUDGET,
+            archive_dir: None,
+        }
+    }
+}
+
+/// One entry whose four-path check disagreed with its label.
+#[derive(Debug, Clone)]
+pub struct CorpusMismatch {
+    /// The offending entry's name.
+    pub name: String,
+    /// The offending entry's canonical hash.
+    pub hash: String,
+    /// Which check failed and how.
+    pub reason: String,
+    /// Summary of the shrunk witness artifact.
+    pub shrunk: String,
+    /// File name of the archived witness entry, if archiving was enabled
+    /// and the witness was new.
+    pub archived: Option<String>,
+}
+
+/// The deterministic result of a corpus campaign.
+#[derive(Debug, Clone)]
+pub struct CorpusCampaignReport {
+    /// Total entries checked.
+    pub entries: usize,
+    /// Entries labeled deadlock-free.
+    pub free: usize,
+    /// Entries labeled deadlocking.
+    pub deadlocking: usize,
+    /// Entry count per family, sorted by family name.
+    pub families: BTreeMap<String, usize>,
+    /// Every entry whose check disagreed with its label, in entry order.
+    pub mismatches: Vec<CorpusMismatch>,
+    /// File names of newly archived witness entries, in entry order.
+    pub archived: Vec<String>,
+    /// Wall-clock duration — excluded from [`fmt::Display`] so campaign
+    /// output stays byte-comparable across runs and thread counts.
+    pub elapsed_ms: u128,
+}
+
+impl CorpusCampaignReport {
+    /// True when every entry's four verdict paths matched its label.
+    pub fn is_clean(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+impl fmt::Display for CorpusCampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "corpus campaign: {} entries ({} deadlock-free, {} deadlocking), {} families",
+            self.entries,
+            self.free,
+            self.deadlocking,
+            self.families.len()
+        )?;
+        for (family, count) in &self.families {
+            writeln!(f, "  family {family}: {count}")?;
+        }
+        writeln!(f, "mismatches: {}", self.mismatches.len())?;
+        for m in &self.mismatches {
+            writeln!(f, "  MISMATCH {} [{}]: {}", m.name, m.hash, m.reason)?;
+            writeln!(f, "    shrunk witness: {}", m.shrunk)?;
+            match &m.archived {
+                Some(file) => writeln!(f, "    archived as: {file}")?,
+                None => writeln!(f, "    archived as: (not archived)")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Checks one labeled entry against all four verdict paths. Returns
+/// `None` when everything matches the label, or a human-readable reason
+/// for the first failed check.
+pub fn check_entry(entry: &CorpusEntry, id: u64, mutation: Mutation) -> Option<String> {
+    let artifact = entry.to_artifact(id);
+    mismatch_reason(
+        &artifact,
+        entry.expected,
+        Some(entry.ebda_certified),
+        mutation,
+    )
+}
+
+/// The label check on a bare artifact. `ebda_certified` is compared only
+/// when the artifact still carries a design (shrinking may drop it).
+fn mismatch_reason(
+    artifact: &Artifact,
+    expected: ExpectedVerdict,
+    ebda_certified: Option<bool>,
+    mutation: Mutation,
+) -> Option<String> {
+    let verdicts = evaluate(artifact, mutation);
+    if let Some(d) = cross_check(artifact, &verdicts) {
+        return Some(format!("cross-check violation: {d}"));
+    }
+    let want_free = expected.is_free();
+    if verdicts.brute.is_deadlock_free() != want_free {
+        return Some(format!(
+            "brute disagrees with label {expected}: {}",
+            verdicts.brute
+        ));
+    }
+    if verdicts.dally.is_deadlock_free() != want_free {
+        return Some(format!(
+            "dally disagrees with label {expected}: {}",
+            verdicts.dally
+        ));
+    }
+    if verdicts.duato.escape_acyclic != want_free {
+        return Some(format!(
+            "duato disagrees with label {expected}: {}",
+            verdicts.duato
+        ));
+    }
+    if let (Some(v), Some(certified)) = (&verdicts.ebda, ebda_certified) {
+        if v.is_deadlock_free() != certified {
+            return Some(format!(
+                "ebda verdict contradicts ebda_certified={certified}: {v}"
+            ));
+        }
+    }
+    None
+}
+
+/// Runs the regression campaign over `entries`.
+///
+/// Every entry is checked against all four verdict paths under
+/// `cfg.mutation`. Each mismatching entry is then shrunk (the predicate
+/// being "the shrunk artifact still disagrees with the label") and, when
+/// `cfg.archive_dir` is set, the shrunk witness is written back as a new
+/// labeled entry whose `expected`/`ebda_certified` fields are re-proven
+/// honestly (always under [`Mutation::None`]) so even witnesses born
+/// from an injected fault carry true labels.
+pub fn run_corpus_campaign(
+    entries: &[CorpusEntry],
+    cfg: &CorpusCampaignConfig,
+) -> CorpusCampaignReport {
+    let started = Instant::now();
+    let _campaign = prof::phase("corpus/campaign");
+
+    let failures: Vec<Option<String>> = {
+        let _check = prof::phase("corpus/check");
+        prof::work("corpus/check", "entries", entries.len() as u64);
+        ebda_par::parallel_map(cfg.threads, entries, |i, entry| {
+            check_entry(entry, i as u64, cfg.mutation)
+        })
+    };
+
+    let mut report = CorpusCampaignReport {
+        entries: entries.len(),
+        free: entries.iter().filter(|e| e.expected.is_free()).count(),
+        deadlocking: entries.iter().filter(|e| !e.expected.is_free()).count(),
+        families: BTreeMap::new(),
+        mismatches: Vec::new(),
+        archived: Vec::new(),
+        elapsed_ms: 0,
+    };
+    for entry in entries {
+        *report.families.entry(entry.family.clone()).or_insert(0) += 1;
+    }
+    ebda_obs::metrics::counter_add(
+        "ebda_corpus_entries_checked_total",
+        &[],
+        entries.len() as u64,
+    );
+    ebda_obs::metrics::counter_add("ebda_corpus_deadlock_free_total", &[], report.free as u64);
+    ebda_obs::metrics::counter_add(
+        "ebda_corpus_deadlocking_total",
+        &[],
+        report.deadlocking as u64,
+    );
+
+    for (i, reason) in failures.into_iter().enumerate() {
+        let Some(reason) = reason else { continue };
+        let entry = &entries[i];
+        ebda_obs::metrics::counter_add("ebda_corpus_mismatches_total", &[], 1);
+        let shrunk = {
+            let _shrink = prof::phase("corpus/shrink");
+            prof::work("corpus/shrink", "mismatches", 1);
+            let artifact = entry.to_artifact(i as u64);
+            shrink_with_threads(
+                &artifact,
+                |candidate| {
+                    mismatch_reason(candidate, entry.expected, None, cfg.mutation).is_some()
+                },
+                cfg.shrink_budget,
+                cfg.threads,
+            )
+        };
+        let witness = witness_entry(entry, &reason, &shrunk);
+        let mut archived = None;
+        if let Some(dir) = &cfg.archive_dir {
+            let _archive = prof::phase("corpus/archive");
+            prof::work("corpus/archive", "witnesses", 1);
+            match store::save_entry(dir, &witness) {
+                Ok(file) => {
+                    ebda_obs::metrics::counter_add("ebda_corpus_witnesses_archived_total", &[], 1);
+                    report.archived.push(file.clone());
+                    archived = Some(file);
+                }
+                Err(e) => {
+                    eprintln!("warning: failed to archive witness for {}: {e}", entry.name)
+                }
+            }
+        }
+        report.mismatches.push(CorpusMismatch {
+            name: entry.name.clone(),
+            hash: entry.hash_hex(),
+            reason,
+            shrunk: shrunk.summary(),
+            archived,
+        });
+    }
+
+    report.elapsed_ms = started.elapsed().as_millis();
+    report
+}
+
+/// Builds the labeled corpus entry for a shrunk witness. Labels are
+/// re-proven honestly from the shrunk artifact — never inherited from
+/// the (possibly wrong, possibly mutation-tainted) source entry.
+fn witness_entry(source: &CorpusEntry, reason: &str, shrunk: &Artifact) -> CorpusEntry {
+    let verdicts = evaluate(shrunk, Mutation::None);
+    let expected = if verdicts.brute.is_deadlock_free() {
+        ExpectedVerdict::DeadlockFree
+    } else {
+        ExpectedVerdict::Deadlocking
+    };
+    let ebda_certified = verdicts
+        .ebda
+        .as_ref()
+        .map(|v| v.is_deadlock_free())
+        .unwrap_or(false);
+    let mut witness = CorpusEntry {
+        name: String::new(),
+        family: "witness".to_string(),
+        radix: shrunk.radix.clone(),
+        wrap: shrunk.wrap.clone(),
+        vcs: shrunk.vcs.clone(),
+        universe: shrunk.universe.clone(),
+        turns: shrunk.turns.clone(),
+        design: shrunk.design.clone(),
+        expected,
+        ebda_certified,
+        provenance: format!(
+            "witness shrunk from corpus entry {} [{}]; original failure: {reason}; label re-proven by brute force on the shrunk artifact",
+            source.name,
+            source.hash_hex()
+        ),
+    };
+    witness.name = format!("witness-{}", witness.hash_hex());
+    witness
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+
+    fn small_corpus() -> Vec<CorpusEntry> {
+        let mut entries = families::generate_family("mesh-xy");
+        entries.truncate(2);
+        entries.extend(
+            families::generate_family("removed-dateline")
+                .into_iter()
+                .take(2),
+        );
+        entries
+    }
+
+    #[test]
+    fn honest_campaign_is_clean() {
+        let entries = small_corpus();
+        let report = run_corpus_campaign(&entries, &CorpusCampaignConfig::default());
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.entries, 4);
+        assert_eq!(report.free, 2);
+        assert_eq!(report.deadlocking, 2);
+        assert_eq!(report.families.len(), 2);
+    }
+
+    #[test]
+    fn report_is_byte_identical_across_thread_counts() {
+        let entries = small_corpus();
+        let base = run_corpus_campaign(
+            &entries,
+            &CorpusCampaignConfig {
+                threads: 1,
+                ..CorpusCampaignConfig::default()
+            },
+        )
+        .to_string();
+        for threads in [2, 8] {
+            let other = run_corpus_campaign(
+                &entries,
+                &CorpusCampaignConfig {
+                    threads,
+                    ..CorpusCampaignConfig::default()
+                },
+            )
+            .to_string();
+            assert_eq!(base, other, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn mislabeled_entry_is_caught_shrunk_and_archived() {
+        // Flip a deadlocking entry's label: the campaign must catch it,
+        // shrink the counterexample, and archive an honestly labeled
+        // witness.
+        let mut entries = small_corpus();
+        entries[2].expected = ExpectedVerdict::DeadlockFree;
+        let dir = std::env::temp_dir().join(format!(
+            "ebda-corpus-test-{}-{}",
+            std::process::id(),
+            entries[2].hash_hex()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = run_corpus_campaign(
+            &entries,
+            &CorpusCampaignConfig {
+                archive_dir: Some(dir.clone()),
+                ..CorpusCampaignConfig::default()
+            },
+        );
+        assert_eq!(report.mismatches.len(), 1, "{report}");
+        let m = &report.mismatches[0];
+        assert_eq!(m.name, entries[2].name);
+        assert!(m.reason.contains("label deadlock-free"), "{}", m.reason);
+        let file = m.archived.clone().expect("witness archived");
+        let loaded = store::load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].family, "witness");
+        assert_eq!(loaded[0].expected, ExpectedVerdict::Deadlocking);
+        assert_eq!(loaded[0].file_name(), file);
+        // The honest witness must itself pass the check.
+        assert!(check_entry(&loaded[0], 0, Mutation::None).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_oracle_fault_trips_the_corpus() {
+        // The dally-ignores-wrap mutation makes Dally miss wrap rings:
+        // torus entries must catch it.
+        let entries: Vec<CorpusEntry> = families::generate_family("removed-dateline")
+            .into_iter()
+            .take(1)
+            .collect();
+        let report = run_corpus_campaign(
+            &entries,
+            &CorpusCampaignConfig {
+                mutation: Mutation::DallyIgnoresWrap,
+                ..CorpusCampaignConfig::default()
+            },
+        );
+        assert!(!report.is_clean(), "mutation went uncaught: {report}");
+    }
+}

@@ -1,0 +1,39 @@
+//! # ebda-corpus — labeled ground-truth scenario corpus
+//!
+//! A persistent, growing regression suite for the four verdict paths of
+//! the differential oracle (EbDa theorems, Dally CDG, Duato escape,
+//! brute-force search). Where the oracle's random campaign asks "do the
+//! paths agree with *each other*?", the corpus asks the stronger
+//! question: "do they agree with the *known truth*?" — every entry
+//! carries a proven `expected` verdict established at generation time.
+//!
+//! The crate has four parts:
+//!
+//! * [`entry`] — [`CorpusEntry`]: one labeled verification problem with
+//!   its provenance and canonical content hash, JSON round-trip included.
+//! * [`families`] — ten deterministic generator families in the verilock
+//!   mold: five provably deadlock-free (mesh XY, torus dateline, turn
+//!   models, Duato-style escape layers, EbDa-partitioned 3D) and five
+//!   provably deadlocking (removed dateline, merged partitions, cyclic
+//!   turn injections, escape-starved layers, adversarial random turn
+//!   sets filtered by brute force).
+//! * [`store`] — the versioned on-disk format: one JSON file per entry,
+//!   content-addressed as `<canonical-hash>.json`.
+//! * [`campaign`] — the regression runner: fans entries across
+//!   [`ebda_par`] workers, checks each against all four verdict paths,
+//!   and on any mismatch shrinks the counterexample and archives the
+//!   shrunk witness as a new labeled corpus entry.
+//!
+//! Campaign results are byte-identical at every thread count, so CI can
+//! diff the output of `--threads 1` against `--threads 8`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod entry;
+pub mod families;
+pub mod store;
+
+pub use campaign::{run_corpus_campaign, CorpusCampaignConfig, CorpusCampaignReport};
+pub use entry::{CorpusEntry, ExpectedVerdict, FORMAT_VERSION};

@@ -1,0 +1,88 @@
+//! Golden-file tests of the on-disk corpus format.
+//!
+//! The checked-in `tests/golden/mesh-xy-00.json` pins three contracts at
+//! once: the JSON shape (key order, indentation, field spellings), the
+//! canonical hash algorithm (a changed hash breaks every content-addressed
+//! file name and cache key in the wild), and the `mesh-xy` generator's
+//! output. Any intentional format change must bump
+//! [`ebda_corpus::FORMAT_VERSION`] / `CANONICAL_VERSION` and regenerate
+//! the golden file in the same commit.
+
+use ebda_core::canonical::canonical_hash;
+use ebda_corpus::{families, store, CorpusEntry};
+
+const GOLDEN: &str = include_str!("golden/mesh-xy-00.json");
+const GOLDEN_HASH: &str = "499b374294581b24";
+
+#[test]
+fn golden_file_round_trips_byte_identically() {
+    let entry = CorpusEntry::from_json(GOLDEN).unwrap();
+    assert_eq!(entry.name, "mesh-xy-00");
+    assert_eq!(
+        entry.to_json(),
+        GOLDEN,
+        "serializer drifted from the golden file"
+    );
+}
+
+#[test]
+fn golden_hash_is_pinned() {
+    let entry = CorpusEntry::from_json(GOLDEN).unwrap();
+    assert_eq!(
+        entry.hash_hex(),
+        GOLDEN_HASH,
+        "canonical hash changed — every content-addressed file name and cache key breaks"
+    );
+    assert_eq!(entry.file_name(), format!("{GOLDEN_HASH}.json"));
+}
+
+#[test]
+fn generator_still_produces_the_golden_entry() {
+    let generated = &families::generate_family("mesh-xy")[0];
+    assert_eq!(generated.to_json(), GOLDEN, "mesh-xy generator drifted");
+}
+
+#[test]
+fn hash_ignores_channel_and_turn_enumeration_order() {
+    let entry = CorpusEntry::from_json(GOLDEN).unwrap();
+    let mut reversed_universe = entry.universe.clone();
+    reversed_universe.reverse();
+    let reversed_turns = entry
+        .turns
+        .iter()
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    let reordered = canonical_hash(
+        &entry.radix,
+        &entry.wrap,
+        &entry.vcs,
+        &reversed_universe,
+        &reversed_turns,
+    );
+    assert_eq!(reordered, entry.content_hash());
+}
+
+#[test]
+fn stats_are_byte_identical_across_thread_counts() {
+    // render_stats is pure; the thread-sensitive surface is the load path
+    // feeding it. Save under one pool size, reload and render under
+    // another, and require identical bytes.
+    let dir = std::env::temp_dir().join(format!("ebda-golden-stats-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let entries = families::generate_family("mesh-xy");
+    ebda_par::set_threads(1);
+    for e in &entries {
+        store::save_entry(&dir, e).unwrap();
+    }
+    let serial = store::render_stats(&store::load_dir(&dir).unwrap());
+    ebda_par::set_threads(8);
+    let parallel = store::render_stats(&store::load_dir(&dir).unwrap());
+    assert_eq!(serial, parallel);
+    assert!(
+        serial.starts_with("corpus: 5 entries (5 deadlock-free, 0 deadlocking)\n"),
+        "{serial}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

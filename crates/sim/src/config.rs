@@ -127,27 +127,101 @@ impl Default for SimConfig {
     }
 }
 
+/// A rejected [`SimConfig`]. The [`std::fmt::Display`] text doubles as
+/// the panic message of [`SimConfig::validate`], so callers matching on
+/// either form see the same words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `buffer_depth` is zero.
+    ZeroBuffers,
+    /// `packet_length` is zero.
+    ZeroPacketLength,
+    /// `injection_rate` is outside `[0, 1]`.
+    BadInjectionRate,
+    /// `deadlock_threshold` is zero.
+    ZeroDeadlockThreshold,
+    /// `link_latency` is zero.
+    ZeroLinkLatency,
+    /// VCT/SAF switching with `buffer_depth < packet_length`.
+    ShallowBuffers,
+    /// A hotspot pattern with an empty `nodes` list — it could never pick
+    /// a destination and used to panic mid-run instead of at setup.
+    EmptyHotspot,
+    /// A hotspot `fraction` outside `[0, 1]`.
+    BadHotspotFraction,
+    /// A bursty `p_on`/`p_off` outside `[0, 1]`.
+    BadBurstProbability,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            ConfigError::ZeroBuffers => "buffers need at least one slot",
+            ConfigError::ZeroPacketLength => "packets need at least one flit",
+            ConfigError::BadInjectionRate => "injection rate must be a probability",
+            ConfigError::ZeroDeadlockThreshold => "deadlock threshold too small",
+            ConfigError::ZeroLinkLatency => "links need at least one cycle",
+            ConfigError::ShallowBuffers => "VCT and SAF need buffers that hold a whole packet",
+            ConfigError::EmptyHotspot => "hotspot pattern needs target nodes",
+            ConfigError::BadHotspotFraction => "hotspot fraction must be a probability",
+            ConfigError::BadBurstProbability => "bursty p_on and p_off must be probabilities",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 impl SimConfig {
+    /// Checks parameter sanity, returning the first violation.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if self.buffer_depth < 1 {
+            return Err(ConfigError::ZeroBuffers);
+        }
+        if self.packet_length < 1 {
+            return Err(ConfigError::ZeroPacketLength);
+        }
+        if !(0.0..=1.0).contains(&self.injection_rate) {
+            return Err(ConfigError::BadInjectionRate);
+        }
+        if self.deadlock_threshold < 1 {
+            return Err(ConfigError::ZeroDeadlockThreshold);
+        }
+        if self.link_latency < 1 {
+            return Err(ConfigError::ZeroLinkLatency);
+        }
+        if self.switching != Switching::Wormhole && self.buffer_depth < self.packet_length {
+            return Err(ConfigError::ShallowBuffers);
+        }
+        match &self.traffic {
+            TrafficPattern::Hotspot { nodes, fraction } => {
+                if nodes.is_empty() {
+                    return Err(ConfigError::EmptyHotspot);
+                }
+                if !(0.0..=1.0).contains(fraction) {
+                    return Err(ConfigError::BadHotspotFraction);
+                }
+            }
+            TrafficPattern::Bursty { p_on, p_off, .. }
+                if !(0.0..=1.0).contains(p_on) || !(0.0..=1.0).contains(p_off) =>
+            {
+                return Err(ConfigError::BadBurstProbability);
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
     /// Validates parameter sanity.
     ///
     /// # Panics
     ///
-    /// Panics on zero-sized buffers/packets or an injection rate outside
-    /// `[0, 1]`.
+    /// Panics with the [`ConfigError`] message on any violation — zero
+    /// buffers/packets, an injection rate outside `[0, 1]`, shallow VCT/SAF
+    /// buffers, or an unsatisfiable traffic pattern.
     pub fn validate(&self) {
-        assert!(self.buffer_depth >= 1, "buffers need at least one slot");
-        assert!(self.packet_length >= 1, "packets need at least one flit");
-        assert!(
-            (0.0..=1.0).contains(&self.injection_rate),
-            "injection rate must be a probability"
-        );
-        assert!(self.deadlock_threshold >= 1, "deadlock threshold too small");
-        assert!(self.link_latency >= 1, "links need at least one cycle");
-        if self.switching != Switching::Wormhole {
-            assert!(
-                self.buffer_depth >= self.packet_length,
-                "VCT and SAF need buffers that hold a whole packet"
-            );
+        if let Err(e) = self.check() {
+            panic!("{e}");
         }
     }
 }
@@ -202,5 +276,57 @@ mod tests {
             ..SimConfig::default()
         };
         cfg.validate();
+    }
+
+    #[test]
+    fn empty_hotspot_is_a_config_error_not_a_mid_run_panic() {
+        // Regression: this used to pass validation and then panic inside
+        // TrafficPattern::destination on the first injection attempt.
+        let cfg = SimConfig {
+            traffic: TrafficPattern::Hotspot {
+                nodes: vec![],
+                fraction: 0.5,
+            },
+            ..SimConfig::default()
+        };
+        assert_eq!(cfg.check(), Err(ConfigError::EmptyHotspot));
+        assert_eq!(
+            ConfigError::EmptyHotspot.to_string(),
+            "hotspot pattern needs target nodes"
+        );
+    }
+
+    #[test]
+    fn bad_traffic_probabilities_are_config_errors() {
+        let hotspot = SimConfig {
+            traffic: TrafficPattern::Hotspot {
+                nodes: vec![3],
+                fraction: 1.5,
+            },
+            ..SimConfig::default()
+        };
+        assert_eq!(hotspot.check(), Err(ConfigError::BadHotspotFraction));
+        let bursty = SimConfig {
+            traffic: TrafficPattern::Bursty {
+                p_on: -0.1,
+                p_off: 0.5,
+                burst_scale: 2.0,
+            },
+            ..SimConfig::default()
+        };
+        assert_eq!(bursty.check(), Err(ConfigError::BadBurstProbability));
+    }
+
+    #[test]
+    fn check_and_validate_agree_on_messages() {
+        let cfg = SimConfig {
+            injection_rate: 2.0,
+            ..SimConfig::default()
+        };
+        let err = cfg.check().unwrap_err();
+        assert_eq!(err.to_string(), "injection rate must be a probability");
+        let panic = std::panic::catch_unwind(|| cfg.validate()).unwrap_err();
+        let msg = panic.downcast_ref::<String>().unwrap();
+        assert_eq!(msg, &err.to_string());
     }
 }

@@ -37,7 +37,7 @@ pub mod replay;
 pub mod sweep;
 pub mod traffic;
 
-pub use config::{BufferPolicy, Selection, SimConfig, Switching};
+pub use config::{BufferPolicy, ConfigError, Selection, SimConfig, Switching};
 pub use ebda_routing::Topology;
 pub use engine::{channel_heatmap_csv, simulate, simulate_traced};
 pub use metrics::{ChannelCoord, EnergyModel, Outcome, SimResult, SuspectedEdge};

@@ -1,0 +1,192 @@
+//! Property tests for every [`TrafficPattern`] variant under pinned
+//! [`Rng64`] seeds: destinations are always valid nodes, the structured
+//! patterns compute the coordinates they advertise (including on
+//! non-square meshes), a saturated hotspot only ever targets hotspot
+//! nodes, and a trace pattern replays its event list verbatim.
+
+use ebda_obs::{Event, Recorder, Rng64};
+use ebda_routing::classic::DimensionOrder;
+use ebda_routing::Topology;
+use noc_sim::{simulate_traced, SimConfig, TrafficPattern};
+
+const SEEDS: [u64; 3] = [1, 0xEBDA, 0xDEAD_BEEF];
+
+/// Every pattern, on every topology it supports: a picked destination is
+/// a real node and never the source.
+#[test]
+fn destinations_are_always_valid_nodes() {
+    let topologies = [
+        Topology::mesh(&[4, 4]),
+        Topology::mesh(&[5, 3]),
+        Topology::mesh(&[3, 3, 3]),
+        Topology::torus(&[4, 4]),
+    ];
+    for topo in &topologies {
+        let n = topo.node_count();
+        let patterns = [
+            TrafficPattern::Uniform,
+            TrafficPattern::Transpose,
+            TrafficPattern::BitComplement,
+            TrafficPattern::Hotspot {
+                nodes: vec![0, n / 2, n - 1],
+                fraction: 0.5,
+            },
+            TrafficPattern::Bursty {
+                p_on: 0.1,
+                p_off: 0.3,
+                burst_scale: 4.0,
+            },
+        ];
+        for pattern in &patterns {
+            for seed in SEEDS {
+                let mut rng = Rng64::new(seed);
+                for src in topo.nodes() {
+                    for _ in 0..20 {
+                        if let Some(dst) = pattern.destination(topo, src, &mut rng) {
+                            assert!(dst < n, "{pattern:?} picked node {dst} of {n}");
+                            assert_ne!(dst, src, "{pattern:?} self-addressed {src}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Bit reversal only claims power-of-two node counts; there it is a
+/// valid, self-inverse permutation.
+#[test]
+fn bit_reverse_is_a_valid_involution_on_power_of_two_meshes() {
+    for topo in [Topology::mesh(&[4, 4]), Topology::mesh(&[8, 4])] {
+        let mut rng = Rng64::new(7);
+        for src in topo.nodes() {
+            if let Some(dst) = TrafficPattern::BitReverse.destination(&topo, src, &mut rng) {
+                assert!(dst < topo.node_count());
+                assert_ne!(dst, src);
+                let back = TrafficPattern::BitReverse
+                    .destination(&topo, dst, &mut rng)
+                    .expect("reversal of a non-fixed point is not a fixed point");
+                assert_eq!(back, src);
+            }
+        }
+    }
+}
+
+/// Transpose on a non-square mesh: sources whose first coordinate fits
+/// the second dimension map to the swapped coordinates; the rest send
+/// nothing rather than inventing an out-of-range node.
+#[test]
+fn transpose_is_exact_on_non_square_meshes() {
+    let topo = Topology::mesh(&[5, 3]);
+    let mut rng = Rng64::new(11);
+    for src in topo.nodes() {
+        let c = topo.coords(src);
+        let got = TrafficPattern::Transpose.destination(&topo, src, &mut rng);
+        if c[0] >= 3 {
+            // (3, y) and (4, y) have no transposed partner in a 5x3 mesh.
+            assert_eq!(got, None, "source {c:?} should be silent");
+        } else if c[0] == c[1] {
+            assert_eq!(got, None, "diagonal {c:?} should be silent");
+        } else {
+            let dst = got.expect("in-range off-diagonal source must send");
+            assert_eq!(topo.coords(dst), vec![c[1], c[0]]);
+        }
+    }
+}
+
+/// `Hotspot { fraction: 1.0 }` never picks a non-hotspot destination.
+#[test]
+fn saturated_hotspot_only_targets_hotspots() {
+    let topo = Topology::mesh(&[4, 4]);
+    let hotspots = vec![2, 7, 11];
+    let pattern = TrafficPattern::Hotspot {
+        nodes: hotspots.clone(),
+        fraction: 1.0,
+    };
+    for seed in SEEDS {
+        let mut rng = Rng64::new(seed);
+        for src in topo.nodes() {
+            for _ in 0..50 {
+                if let Some(dst) = pattern.destination(&topo, src, &mut rng) {
+                    assert!(hotspots.contains(&dst), "{dst} is not a hotspot");
+                }
+            }
+        }
+    }
+}
+
+/// A pattern is a pure function of the RNG stream: the same pinned seed
+/// replays the same destination sequence.
+#[test]
+fn destinations_are_deterministic_per_seed() {
+    let topo = Topology::mesh(&[4, 4]);
+    let pattern = TrafficPattern::Hotspot {
+        nodes: vec![5, 9],
+        fraction: 0.3,
+    };
+    let draw = |seed: u64| -> Vec<Option<usize>> {
+        let mut rng = Rng64::new(seed);
+        topo.nodes()
+            .flat_map(|src| {
+                (0..10)
+                    .map(|_| pattern.destination(&topo, src, &mut rng))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    };
+    assert_eq!(draw(42), draw(42));
+    assert_ne!(draw(42), draw(43), "different seeds should diverge");
+}
+
+/// A trace pattern injects exactly its event list — same cycles, sources
+/// and destinations, nothing more — as observed by the flight recorder.
+#[test]
+fn trace_replays_events_verbatim() {
+    let topo = Topology::mesh(&[4, 4]);
+    let events = vec![
+        (0, 0, 15),
+        (2, 5, 10),
+        (2, 3, 12),
+        (7, 15, 0),
+        (11, 8, 1),
+        (40, 6, 9),
+    ];
+    let cfg = SimConfig {
+        traffic: TrafficPattern::trace(events.clone()),
+        warmup: 0,
+        measurement: 100,
+        drain: 500,
+        ..SimConfig::default()
+    };
+    let mut rec = Recorder::with_defaults();
+    let result = simulate_traced(&topo, &DimensionOrder::xy(), &cfg, Some(&mut rec));
+    let mut injected: Vec<(u64, usize, usize)> = rec
+        .events()
+        .filter_map(|e| match *e {
+            Event::Inject {
+                cycle, src, dst, ..
+            } => Some((cycle, src, dst)),
+            _ => None,
+        })
+        .collect();
+    injected.sort();
+    let mut expected = events;
+    expected.sort();
+    assert_eq!(injected, expected, "trace must replay verbatim");
+    assert_eq!(result.injected_packets as usize, injected.len());
+    assert_eq!(result.delivered_packets, result.injected_packets);
+}
+
+/// The trace constructor sorts by cycle and refuses self-addressed events.
+#[test]
+fn trace_constructor_sorts_and_rejects_self_addressing() {
+    let pattern = TrafficPattern::trace(vec![(9, 1, 2), (3, 4, 5), (3, 0, 7)]);
+    match pattern {
+        TrafficPattern::Trace { events } => {
+            assert_eq!(events, vec![(3, 0, 7), (3, 4, 5), (9, 1, 2)]);
+        }
+        other => panic!("expected a trace, got {other:?}"),
+    }
+    let self_addressed = std::panic::catch_unwind(|| TrafficPattern::trace(vec![(1, 3, 3)]));
+    assert!(self_addressed.is_err());
+}

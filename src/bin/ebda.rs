@@ -64,6 +64,16 @@ const USAGE: &str = "usage:
                                              parallelism; results are identical
                                              at every value)
                  [--heatmap-out FILE]        per-channel utilization heatmap CSV
+  ebda corpus   generate --out DIR           build the labeled seed corpus
+                                             (ten families, labels proven at
+                                             generation time)
+  ebda corpus   run DIR [--archive-to DIR] [--mutate NAME] [--inject-mismatch]
+                 [--expect-mismatch] [--shrink-budget N] [--threads N]
+                                             regression campaign: check every
+                                             entry against all four verdict
+                                             paths; mismatches are shrunk and
+                                             archived as labeled witnesses
+  ebda corpus   stats DIR                    deterministic corpus statistics
   ebda monitor  --addr HOST:PORT [--once] [--interval SECS] [--interval-ms N]
                                              poll a /metrics endpoint and render
                                              a compact terminal snapshot;
@@ -93,6 +103,10 @@ fn run(args: &[String]) -> Result<(), String> {
         "certify" => cmd_certify(rest),
         "report" => cmd_report(rest),
         "simulate" => cmd_simulate(rest),
+        "corpus" => match ebda::bench::corpus_cli::run(rest.to_vec()) {
+            0 => Ok(()),
+            code => Err(format!("corpus command failed (exit {code})")),
+        },
         "monitor" => cmd_monitor(rest),
         "profile" => cmd_profile(rest),
         "help" | "--help" | "-h" => {

@@ -43,6 +43,7 @@
 pub use ebda_bench as bench;
 pub use ebda_cdg as cdg;
 pub use ebda_core as core;
+pub use ebda_corpus as corpus;
 pub use ebda_obs as obs;
 pub use ebda_oracle as oracle;
 pub use ebda_routing as routing;
