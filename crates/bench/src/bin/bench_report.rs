@@ -35,6 +35,7 @@ use ebda_bench::harness::bench;
 use ebda_cdg::dally::{design_universe, infer_vcs};
 use ebda_cdg::topology::Topology as CdgTopology;
 use ebda_obs::json::Value;
+use ebda_obs::ledger::git_rev;
 use ebda_oracle::artifact::{Artifact, ArtifactKind};
 use ebda_oracle::brute;
 use ebda_oracle::differential::{run_campaign, CampaignConfig};
@@ -221,19 +222,6 @@ fn apply_gate(entries: &[Entry], baseline: &BaselineMap, gate: f64) -> Vec<Strin
         }
     }
     violations
-}
-
-/// `git rev-parse --short HEAD`, or `"unknown"` outside a git checkout.
-fn git_rev() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".into())
 }
 
 fn main() -> ExitCode {

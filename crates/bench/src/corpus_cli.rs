@@ -19,6 +19,7 @@
 //! | `--expect-mismatch` | off | exit 0 iff a mismatch IS found (self-check mode) |
 //! | `--shrink-budget <n>` | 400 | predicate evaluations spent shrinking each mismatch |
 //! | `--threads <n>` | hardware | worker threads (`EBDA_THREADS`); report is byte-identical at every value |
+//! | `--ledger <path>` | off | append one provenance-carrying run-ledger record per entry (`EBDA_LEDGER`); bytes are identical at every thread count |
 //!
 //! All campaign and stats output is deterministic: wall-clock timings go
 //! to stderr only, so CI can diff stdout across thread counts. Exit code
@@ -124,6 +125,14 @@ fn campaign(mut args: Vec<String>) -> i32 {
     };
     let inject_mismatch = take_switch(&mut args, "--inject-mismatch");
     let expect_mismatch = take_switch(&mut args, "--expect-mismatch");
+    let ledger = take::<String>(&mut args, "--ledger")
+        .or_else(|| std::env::var("EBDA_LEDGER").ok().filter(|v| !v.is_empty()))
+        .map(PathBuf::from);
+    if let Some(path) = &ledger {
+        // Register the ledger with the /ledger route of a live
+        // --metrics-addr endpoint.
+        ebda_obs::ledger::set_global_path(Some(path.clone()));
+    }
     let dir = match positional(&mut args) {
         Ok(dir) => dir,
         Err(code) => return code,
@@ -160,10 +169,19 @@ fn campaign(mut args: Vec<String>) -> i32 {
         mutation,
         shrink_budget,
         archive_dir,
+        ledger: ledger.clone(),
     };
     let report = ebda_corpus::run_corpus_campaign(&entries, &cfg);
     print!("{report}");
     eprintln!("campaign finished in {} ms", report.elapsed_ms);
+    if let Some(path) = &ledger {
+        eprintln!(
+            "ledger: {} verdicts appended to {} ({} threads)",
+            report.entries,
+            path.display(),
+            obs.threads
+        );
+    }
     if let Some(path) = &obs.trace {
         write_telemetry(path);
     }

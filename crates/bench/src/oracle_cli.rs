@@ -18,6 +18,7 @@
 //! | `--metrics-addr <host:port>` | off | serve live campaign metrics at `/metrics` (`EBDA_METRICS_ADDR`) |
 //! | `--metrics-linger <secs>` | 0 | keep the metrics endpoint up that long after the campaign |
 //! | `--threads <n>` | hardware | worker threads for artifact checking and shrinking (`EBDA_THREADS`); results are identical at every value |
+//! | `--ledger <path>` | off | append one provenance-carrying run-ledger record per verdict (`EBDA_LEDGER`); bytes are identical at every thread count |
 //!
 //! The exit code is 0 when the outcome matches the expectation — clean by
 //! default, caught-disagreement under `--expect-disagreement` — and 1
@@ -79,9 +80,17 @@ pub fn run(mut args: Vec<String>) -> i32 {
         None => Mutation::None,
     };
     let expect_disagreement = take_switch(&mut args, "--expect-disagreement");
+    let ledger = take::<String>(&mut args, "--ledger")
+        .or_else(|| std::env::var("EBDA_LEDGER").ok().filter(|v| !v.is_empty()))
+        .map(std::path::PathBuf::from);
     if !args.is_empty() {
         eprintln!("unknown arguments: {args:?}");
         return 2;
+    }
+    if let Some(path) = &ledger {
+        // Register the ledger with the /ledger route of a live
+        // --metrics-addr endpoint.
+        ebda_obs::ledger::set_global_path(Some(path.clone()));
     }
 
     let cfg = CampaignConfig {
@@ -93,12 +102,21 @@ pub fn run(mut args: Vec<String>) -> i32 {
         mutation,
         journey_sample_rate: obs.journey_sample_rate,
         threads: obs.threads,
+        ledger: ledger.clone(),
     };
     if mutation != Mutation::None {
         println!("running with mutated checker: {mutation}");
     }
     let report = run_campaign(&cfg);
     println!("{report}");
+    if let Some(path) = &ledger {
+        eprintln!(
+            "ledger: {} verdicts appended to {} ({} threads)",
+            report.configs,
+            path.display(),
+            obs.threads
+        );
+    }
 
     if let Some(path) = &trace {
         match report.caught.as_ref().and_then(|c| c.replay.as_ref()) {

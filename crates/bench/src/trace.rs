@@ -150,6 +150,16 @@ impl ObsOptions {
         }
         if let Some(addr) = &self.metrics_addr {
             ebda_obs::metrics::set_enabled(true);
+            // Identify the build on every scrape; excluded from
+            // deterministic renders (its labels vary per commit).
+            ebda_obs::metrics::global().gauge_set(
+                "ebda_build_info",
+                &[
+                    ("git_rev", ebda_obs::ledger::git_rev()),
+                    ("version", env!("CARGO_PKG_VERSION").to_string()),
+                ],
+                1.0,
+            );
             let server = MetricsServer::serve(addr)
                 .unwrap_or_else(|e| panic!("cannot serve metrics on {addr}: {e}"));
             eprintln!("metrics: serving http://{}/metrics", server.local_addr());

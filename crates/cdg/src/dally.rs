@@ -85,6 +85,18 @@ pub fn verify_turn_set(
     }
 }
 
+/// The CDG's deterministic channel ordering when it is acyclic — Dally's
+/// positive evidence in exportable form (see [`Cdg::topological_order`]).
+/// Returns `None` exactly when [`verify_turn_set`] reports a cycle.
+pub fn channel_ordering(
+    topo: &Topology,
+    vcs: &[u8],
+    universe: &[Channel],
+    turns: &TurnSet,
+) -> Option<Vec<ConcreteChannel>> {
+    Cdg::from_turn_set(topo, vcs, universe, turns).topological_order()
+}
+
 /// Extracts the turns of an EbDa design (Theorems 1–3) and verifies the
 /// result on a concrete topology.
 ///
@@ -135,6 +147,41 @@ pub fn infer_vcs(universe: &[Channel], dims: usize) -> Vec<u8> {
 mod tests {
     use super::*;
     use ebda_core::catalog;
+
+    #[test]
+    fn channel_ordering_certifies_acyclic_cdgs() {
+        // XY routing on a mesh: an ordering exists and every dependency
+        // edge ascends in it.
+        let topo = Topology::mesh(&[3, 3]);
+        let seq = catalog::p1_xy();
+        let extraction = extract_turns(&seq).unwrap();
+        let universe = design_universe(&seq);
+        let vcs = infer_vcs(&universe, topo.dims());
+        let order = channel_ordering(&topo, &vcs, &universe, extraction.turn_set())
+            .expect("XY routing has an acyclic CDG");
+        let cdg = Cdg::from_turn_set(&topo, &vcs, &universe, extraction.turn_set());
+        assert_eq!(order.len(), cdg.node_count());
+        let rank: std::collections::HashMap<ConcreteChannel, usize> =
+            order.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        for (i, &a) in cdg.channels().iter().enumerate() {
+            for &j in cdg.successors(i) {
+                let b = cdg.channels()[j as usize];
+                assert!(rank[&a] < rank[&b], "{a} must precede {b}");
+            }
+        }
+
+        // The unrestricted relation is cyclic: no ordering exists.
+        let universe = ebda_core::parse_channels("X+ X- Y+ Y-").unwrap();
+        let mut turns = TurnSet::new();
+        for &a in &universe {
+            for &b in &universe {
+                if a != b {
+                    turns.insert(ebda_core::Turn::new(a, b));
+                }
+            }
+        }
+        assert!(channel_ordering(&topo, &[1, 1], &universe, &turns).is_none());
+    }
 
     #[test]
     fn every_catalog_design_is_deadlock_free_on_meshes() {

@@ -194,6 +194,38 @@ impl Cdg {
         self.find_cycle().is_none()
     }
 
+    /// A deterministic topological order of the concrete channels, or
+    /// `None` when the graph is cyclic. Among ready nodes the lowest
+    /// channel index goes first, so the order is byte-stable across runs.
+    ///
+    /// This is Dally's numbering argument made explicit: the returned
+    /// list is a *channel-ordering certificate* — every dependency edge
+    /// points from an earlier entry to a later one, which anyone can
+    /// re-check without rebuilding the graph.
+    pub fn topological_order(&self) -> Option<Vec<ConcreteChannel>> {
+        let n = self.channels.len();
+        let mut indeg = vec![0usize; n];
+        for out in &self.edges {
+            for &b in out {
+                indeg[b as usize] += 1;
+            }
+        }
+        let mut ready: std::collections::BTreeSet<usize> =
+            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(&v) = ready.iter().next() {
+            ready.remove(&v);
+            order.push(self.channels[v]);
+            for &b in &self.edges[v] {
+                indeg[b as usize] -= 1;
+                if indeg[b as usize] == 0 {
+                    ready.insert(b as usize);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
     /// Renders the concrete CDG in Graphviz DOT form (one node per
     /// concrete channel, one edge per dependency). Intended for small
     /// verification topologies; the output grows with links × VCs.

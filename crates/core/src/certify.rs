@@ -180,6 +180,124 @@ pub fn certify_checked(
     Ok((seq, surplus))
 }
 
+/// Independently re-checks a partition-sequence certificate against the
+/// turn set it claims to cover, walking every theorem obligation directly
+/// instead of re-running [`certify`]. This is the checker half of the
+/// prover/checker split: the walk below shares no code with the
+/// reconstruction above (no SCCs, no Kahn ordering), so a bug in the
+/// prover cannot silently validate its own output.
+///
+/// Obligations walked, in order:
+///
+/// 1. **coverage** — every universe channel and every turn endpoint sits
+///    in exactly one partition;
+/// 2. **disjointness** (Definition 6) — no channel of one partition
+///    overlaps a channel of another;
+/// 3. **Theorem 1** — each partition covers at most one complete D-pair;
+/// 4. **Theorem 2** — a same-dimension turn inside a partition whose
+///    dimension has a complete pair must move *forward* in the
+///    partition's channel numbering;
+/// 5. **Theorem 3** — a turn crossing partitions must land in a *later*
+///    partition.
+///
+/// Returns the number of obligations checked (useful for reporting that
+/// the walk actually covered something).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violated obligation.
+pub fn check_certificate(
+    seq: &PartitionSeq,
+    universe: &[Channel],
+    turns: &TurnSet,
+) -> std::result::Result<usize, String> {
+    let mut obligations = 0usize;
+
+    // 1. Coverage: channel -> (partition index, position within it).
+    let mut home: BTreeMap<Channel, (usize, usize)> = BTreeMap::new();
+    for (pi, part) in seq.partitions().iter().enumerate() {
+        for (ci, &c) in part.channels().iter().enumerate() {
+            if home.insert(c, (pi, ci)).is_some() {
+                return Err(format!("channel {c} appears in more than one partition"));
+            }
+        }
+    }
+    for &c in universe {
+        obligations += 1;
+        if !home.contains_key(&c) {
+            return Err(format!(
+                "universe channel {c} is not covered by any partition"
+            ));
+        }
+    }
+    for t in turns.iter() {
+        for c in [t.from, t.to] {
+            obligations += 1;
+            if !home.contains_key(&c) {
+                return Err(format!("turn endpoint {c} is not covered by any partition"));
+            }
+        }
+    }
+
+    // 2. Pairwise disjointness (class-level overlap, not just equality).
+    let parts = seq.partitions();
+    for i in 0..parts.len() {
+        for j in i + 1..parts.len() {
+            obligations += 1;
+            if let Some((a, b)) = parts[i].shared_channel(&parts[j]) {
+                return Err(format!(
+                    "partitions {} and {} overlap on {a} / {b}",
+                    i + 1,
+                    j + 1
+                ));
+            }
+        }
+    }
+
+    // 3. Theorem 1 in every partition.
+    for (pi, part) in parts.iter().enumerate() {
+        obligations += 1;
+        let dims = part.complete_pair_dims();
+        if dims.len() > 1 {
+            return Err(format!(
+                "partition {} covers {} complete D-pairs; Theorem 1 allows at most one",
+                pi + 1,
+                dims.len()
+            ));
+        }
+    }
+
+    // 4 & 5. Every turn is allowed by the sequence.
+    for t in turns.iter() {
+        let (pa, ia) = home[&t.from];
+        let (pb, ib) = home[&t.to];
+        if pa == pb {
+            // Within a partition 90° turns are free; same-dimension turns
+            // obey the ascending Theorem 2 numbering when the dimension
+            // has a complete pair (elsewhere the corollary frees them).
+            if t.from.dim == t.to.dim && parts[pa].complete_pair_dims().contains(&t.from.dim) {
+                obligations += 1;
+                if ia >= ib {
+                    return Err(format!(
+                        "turn {t} moves against the Theorem 2 numbering of partition {}",
+                        pa + 1
+                    ));
+                }
+            }
+        } else {
+            obligations += 1;
+            if pa > pb {
+                return Err(format!(
+                    "turn {t} crosses from partition {} back to {}, violating Theorem 3",
+                    pa + 1,
+                    pb + 1
+                ));
+            }
+        }
+    }
+    Ok(obligations)
+}
+
 /// Produces a channel order for one component realizing its
 /// same-dimension turns as ascending transitions.
 fn order_component(
@@ -436,6 +554,56 @@ mod tests {
         let cert = certify(&universe, &turns).unwrap();
         assert_eq!(cert.len(), 4);
         assert!(cert.validate().is_ok());
+    }
+
+    #[test]
+    fn checker_accepts_every_catalog_certificate() {
+        for (name, seq) in catalog::all_designs() {
+            let (universe, turns) = design_turns(&seq);
+            let cert = certify(&universe, &turns).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let obligations = check_certificate(&cert, &universe, &turns)
+                .unwrap_or_else(|e| panic!("{name}: checker rejected certificate: {e}"));
+            assert!(obligations > 0, "{name}: checker walked no obligations");
+        }
+    }
+
+    #[test]
+    fn checker_rejects_tampered_certificates() {
+        let (universe, turns) = design_turns(&catalog::north_last());
+        let cert = certify(&universe, &turns).unwrap();
+
+        // Reversing the partition order flips cross-partition turns
+        // backwards (Theorem 3).
+        let reversed = cert.reversed();
+        let err = check_certificate(&reversed, &universe, &turns).unwrap_err();
+        assert!(err.contains("Theorem 3"), "{err}");
+
+        // Dropping a partition leaves turn endpoints homeless.
+        let truncated = PartitionSeq::from_partitions(cert.partitions()[..1].to_vec());
+        let err = check_certificate(&truncated, &universe, &turns).unwrap_err();
+        assert!(err.contains("not covered"), "{err}");
+
+        // Welding all four directions into one partition violates Theorem 1.
+        let welded =
+            PartitionSeq::from_partitions(vec![
+                Partition::from_channels(universe.iter().copied()).unwrap()
+            ]);
+        let err = check_certificate(&welded, &universe, &turns).unwrap_err();
+        assert!(err.contains("Theorem 1"), "{err}");
+    }
+
+    #[test]
+    fn checker_rejects_reversed_theorem2_numbering() {
+        // X1+ -> X2+ is an I-turn; with the complete X pair present the
+        // partition numbering must realize it ascending.
+        let universe = parse_channels("X1+ X2+ X1-").unwrap();
+        let mut turns = TurnSet::new();
+        turns.insert(Turn::new(universe[0], universe[1]));
+        let good = PartitionSeq::from_partitions(vec![Partition::parse("X1+ X2+ X1-").unwrap()]);
+        assert!(check_certificate(&good, &universe, &turns).is_ok());
+        let bad = PartitionSeq::from_partitions(vec![Partition::parse("X2+ X1+ X1-").unwrap()]);
+        let err = check_certificate(&bad, &universe, &turns).unwrap_err();
+        assert!(err.contains("Theorem 2"), "{err}");
     }
 
     #[test]

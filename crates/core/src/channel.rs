@@ -359,9 +359,10 @@ impl Channel {
     /// channels by column (`X` coordinate), `X` channels by row (`Y`
     /// coordinate); for any other dimension the parity axis defaults to `X`.
     /// Coordinate-restricted classes use the bracketed display suffix:
-    /// `X2+[X=3]` ([`ChannelClass::AtCoord`]) and `X2+[X!=3]`
-    /// ([`ChannelClass::NotAtCoord`]), so every [`fmt::Display`] rendering
-    /// round-trips.
+    /// `X2+[X=3]` ([`ChannelClass::AtCoord`]), `X2+[X!=3]`
+    /// ([`ChannelClass::NotAtCoord`]), and `Z1+[Z%2=0]`
+    /// ([`ChannelClass::AtParity`] on a non-conventional axis), so every
+    /// [`fmt::Display`] rendering round-trips.
     ///
     /// # Errors
     ///
@@ -451,24 +452,37 @@ impl Channel {
                     None => return Err(err("unterminated coordinate restriction bracket")),
                 }
             }
-            let (axis_text, value_text, negated) = match body.split_once("!=") {
-                Some((a, v)) => (a, v, true),
-                None => match body.split_once('=') {
-                    Some((a, v)) => (a, v, false),
-                    None => return Err(err("coordinate restriction needs '=' or '!='")),
-                },
-            };
-            let axis = Dimension::parse(axis_text.trim())
-                .ok_or_else(|| err("bad axis in coordinate restriction"))?;
-            let value: i64 = value_text
-                .trim()
-                .parse()
-                .map_err(|_| err("bad value in coordinate restriction"))?;
-            coord_class = Some(if negated {
-                ChannelClass::NotAtCoord { axis, value }
+            // `[Z%2=0]` restricts by parity on a non-conventional axis;
+            // it must be recognised before the plain '=' split.
+            if let Some((axis_text, bit_text)) = body.split_once("%2=") {
+                let axis = Dimension::parse(axis_text.trim())
+                    .ok_or_else(|| err("bad axis in parity restriction"))?;
+                let parity = match bit_text.trim() {
+                    "0" => Parity::Even,
+                    "1" => Parity::Odd,
+                    _ => return Err(err("parity restriction needs %2=0 or %2=1")),
+                };
+                coord_class = Some(ChannelClass::AtParity { axis, parity });
             } else {
-                ChannelClass::AtCoord { axis, value }
-            });
+                let (axis_text, value_text, negated) = match body.split_once("!=") {
+                    Some((a, v)) => (a, v, true),
+                    None => match body.split_once('=') {
+                        Some((a, v)) => (a, v, false),
+                        None => return Err(err("coordinate restriction needs '=' or '!='")),
+                    },
+                };
+                let axis = Dimension::parse(axis_text.trim())
+                    .ok_or_else(|| err("bad axis in coordinate restriction"))?;
+                let value: i64 = value_text
+                    .trim()
+                    .parse()
+                    .map_err(|_| err("bad value in coordinate restriction"))?;
+                coord_class = Some(if negated {
+                    ChannelClass::NotAtCoord { axis, value }
+                } else {
+                    ChannelClass::AtCoord { axis, value }
+                });
+            }
         }
         if chars.next().is_some() {
             return Err(err("trailing characters after direction"));
@@ -507,8 +521,14 @@ impl Channel {
 impl fmt::Display for Channel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.dim)?;
-        if let ChannelClass::AtParity { parity, .. } = self.class {
-            write!(f, "{parity}")?;
+        // The short parity letter only encodes the paper's conventional
+        // axis; any other parity axis uses the bracketed suffix below so
+        // the rendering stays lossless.
+        let conventional = Channel::conventional_parity_axis(self.dim);
+        if let ChannelClass::AtParity { axis, parity } = self.class {
+            if axis == conventional {
+                write!(f, "{parity}")?;
+            }
         }
         // Beyond T the dimension prints as `D<k>`, so a colon separates the
         // VC number from the index to keep parsing unambiguous.
@@ -521,6 +541,13 @@ impl fmt::Display for Channel {
         match self.class {
             ChannelClass::AtCoord { axis, value } => write!(f, "[{axis}={value}]"),
             ChannelClass::NotAtCoord { axis, value } => write!(f, "[{axis}!={value}]"),
+            ChannelClass::AtParity { axis, parity } if axis != conventional => {
+                write!(
+                    f,
+                    "[{axis}%2={}]",
+                    if parity == Parity::Even { 0 } else { 1 }
+                )
+            }
             _ => Ok(()),
         }
     }
@@ -642,6 +669,9 @@ mod tests {
             "X2-[X!=0]",
             "Y1+[Y=-2]",
             "D4:2-[D4!=1]",
+            "Z1+[Z%2=0]",
+            "Z1-[Z%2=1]",
+            "X1+[X%2=0]",
         ] {
             let c = Channel::parse(s).unwrap();
             let printed = c.to_string();
@@ -670,6 +700,25 @@ mod tests {
             }
         );
         for bad in ["X1+[X=3", "X1+[X~3]", "X1+[Q=3]", "X1+[X=a]", "Ye1+[X=2]"] {
+            assert!(Channel::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn nonconventional_parity_axes_round_trip() {
+        // A Z channel classified by Z parity cannot use the `Ze` short form
+        // (that implies the conventional X axis); the bracketed rendering
+        // must carry the axis through a print/parse cycle unchanged.
+        let c = Channel::with_vc(Dimension::Z, Direction::Plus, 1)
+            .at_parity(Dimension::Z, Parity::Even);
+        assert_eq!(c.to_string(), "Z1+[Z%2=0]");
+        assert_eq!(Channel::parse(&c.to_string()).unwrap(), c);
+        // The conventional axis keeps its compact historical spelling.
+        let conventional =
+            Channel::new(Dimension::Z, Direction::Plus).at_parity(Dimension::X, Parity::Odd);
+        assert_eq!(conventional.to_string(), "Zo1+");
+        assert_eq!(Channel::parse("Zo1+").unwrap(), conventional);
+        for bad in ["Z1+[Z%2=2]", "Z1+[Q%2=0]", "Ze1+[Z%2=0]"] {
             assert!(Channel::parse(bad).is_err(), "should reject {bad:?}");
         }
     }

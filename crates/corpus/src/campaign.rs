@@ -20,8 +20,9 @@ use std::time::Instant;
 
 use ebda_obs::prof;
 use ebda_oracle::artifact::Artifact;
+use ebda_oracle::provenance::Provenance;
 use ebda_oracle::shrink::{shrink_with_threads, DEFAULT_SHRINK_BUDGET};
-use ebda_oracle::verdict::{cross_check, evaluate, Mutation};
+use ebda_oracle::verdict::{cross_check, evaluate, Mutation, Verdicts};
 
 use crate::entry::{CorpusEntry, ExpectedVerdict};
 use crate::store;
@@ -38,6 +39,9 @@ pub struct CorpusCampaignConfig {
     pub shrink_budget: usize,
     /// Where to write shrunk witnesses as new labeled entries, if anywhere.
     pub archive_dir: Option<PathBuf>,
+    /// When set, append one [`ebda_obs::ledger`] record per entry, in
+    /// entry order — so ledger bytes are identical at any thread count.
+    pub ledger: Option<PathBuf>,
 }
 
 impl Default for CorpusCampaignConfig {
@@ -47,6 +51,7 @@ impl Default for CorpusCampaignConfig {
             mutation: Mutation::None,
             shrink_budget: DEFAULT_SHRINK_BUDGET,
             archive_dir: None,
+            ledger: None,
         }
     }
 }
@@ -125,24 +130,25 @@ impl fmt::Display for CorpusCampaignReport {
 /// for the first failed check.
 pub fn check_entry(entry: &CorpusEntry, id: u64, mutation: Mutation) -> Option<String> {
     let artifact = entry.to_artifact(id);
+    let verdicts = evaluate(&artifact, mutation);
     mismatch_reason(
         &artifact,
         entry.expected,
         Some(entry.ebda_certified),
-        mutation,
+        &verdicts,
     )
 }
 
-/// The label check on a bare artifact. `ebda_certified` is compared only
-/// when the artifact still carries a design (shrinking may drop it).
+/// The label check on a bare artifact with already-computed verdicts.
+/// `ebda_certified` is compared only when the artifact still carries a
+/// design (shrinking may drop it).
 fn mismatch_reason(
     artifact: &Artifact,
     expected: ExpectedVerdict,
     ebda_certified: Option<bool>,
-    mutation: Mutation,
+    verdicts: &Verdicts,
 ) -> Option<String> {
-    let verdicts = evaluate(artifact, mutation);
-    if let Some(d) = cross_check(artifact, &verdicts) {
+    if let Some(d) = cross_check(artifact, verdicts) {
         return Some(format!("cross-check violation: {d}"));
     }
     let want_free = expected.is_free();
@@ -190,11 +196,21 @@ pub fn run_corpus_campaign(
     let started = Instant::now();
     let _campaign = prof::phase("corpus/campaign");
 
-    let failures: Vec<Option<String>> = {
+    let with_ledger = cfg.ledger.is_some();
+    let checks: Vec<(Option<String>, Option<Provenance>)> = {
         let _check = prof::phase("corpus/check");
         prof::work("corpus/check", "entries", entries.len() as u64);
         ebda_par::parallel_map(cfg.threads, entries, |i, entry| {
-            check_entry(entry, i as u64, cfg.mutation)
+            let artifact = entry.to_artifact(i as u64);
+            let verdicts = evaluate(&artifact, cfg.mutation);
+            let reason = mismatch_reason(
+                &artifact,
+                entry.expected,
+                Some(entry.ebda_certified),
+                &verdicts,
+            );
+            let prov = with_ledger.then(|| Provenance::from_artifact(&artifact, &verdicts));
+            (reason, prov)
         })
     };
 
@@ -222,7 +238,39 @@ pub fn run_corpus_campaign(
         report.deadlocking as u64,
     );
 
-    for (i, reason) in failures.into_iter().enumerate() {
+    if let Some(path) = &cfg.ledger {
+        // Parallel checks were merged in index order, so the records —
+        // and therefore the ledger bytes — are entry-ordered regardless
+        // of the thread count.
+        let git_rev = ebda_obs::ledger::git_rev();
+        let records: Vec<ebda_obs::LedgerRecord> = entries
+            .iter()
+            .zip(&checks)
+            .filter_map(|(entry, (_, prov))| prov.as_ref().map(|p| (entry, p)))
+            .map(|(entry, prov)| ebda_obs::LedgerRecord {
+                index: 0,
+                source: "corpus".into(),
+                name: entry.name.clone(),
+                git_rev: git_rev.clone(),
+                seed: 0,
+                verdict: prov.verdict_str().into(),
+                evidence: if prov.deadlock_free {
+                    "certificate".into()
+                } else {
+                    "witness".into()
+                },
+                hash: prov.hash_hex(),
+                gfp_sweeps: prov.brute.sweeps as u64,
+                wait_pairs: prov.brute.pairs as u64,
+                provenance: prov.to_json(),
+            })
+            .collect();
+        if let Err(e) = ebda_obs::ledger::append(path, &records) {
+            eprintln!("warning: corpus ledger append failed: {e}");
+        }
+    }
+
+    for (i, (reason, _)) in checks.into_iter().enumerate() {
         let Some(reason) = reason else { continue };
         let entry = &entries[i];
         ebda_obs::metrics::counter_add("ebda_corpus_mismatches_total", &[], 1);
@@ -233,7 +281,8 @@ pub fn run_corpus_campaign(
             shrink_with_threads(
                 &artifact,
                 |candidate| {
-                    mismatch_reason(candidate, entry.expected, None, cfg.mutation).is_some()
+                    let verdicts = evaluate(candidate, cfg.mutation);
+                    mismatch_reason(candidate, entry.expected, None, &verdicts).is_some()
                 },
                 cfg.shrink_budget,
                 cfg.threads,

@@ -2,12 +2,15 @@
 //! plus the matching one-shot client used by `ebda monitor`, the
 //! loopback tests and the CI smoke job.
 //!
-//! The server handles exactly two routes:
+//! The server handles exactly three routes:
 //!
 //! * `GET /metrics` — the Prometheus text exposition from
 //!   [`crate::metrics::render_global`]
 //! * `GET /healthz` — `ok uptime_seconds=N\n`, for liveness probes
 //!   (`N` counts whole seconds since the server started serving)
+//! * `GET /ledger` — the run ledger registered via
+//!   [`crate::ledger::set_global_path`] as a JSON array (404 when no
+//!   ledger is registered)
 //!
 //! It is deliberately tiny: one detached thread, one connection at a
 //! time, HTTP/1.0-style `Connection: close` responses. Scrapes are rare
@@ -98,6 +101,21 @@ fn handle(stream: &mut TcpStream, started: Instant) -> std::io::Result<()> {
             "text/plain; charset=utf-8",
             format!("ok uptime_seconds={}\n", started.elapsed().as_secs()),
         ),
+        "/ledger" => match crate::ledger::global_path() {
+            Some(path) => match crate::ledger::render_json(&path) {
+                Ok(body) => ("200 OK", "application/json; charset=utf-8", body),
+                Err(e) => (
+                    "500 Internal Server Error",
+                    "text/plain; charset=utf-8",
+                    format!("ledger unreadable: {e}\n"),
+                ),
+            },
+            None => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no ledger registered\n".to_string(),
+            ),
+        },
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
@@ -112,13 +130,20 @@ fn handle(stream: &mut TcpStream, started: Instant) -> std::io::Result<()> {
 }
 
 /// Performs a one-shot `GET path` against `addr` and returns the response
-/// body, failing on connection errors or non-200 statuses.
+/// body, failing on connection errors or non-200 statuses. Connect and
+/// read are both bounded by a 5 s timeout so a hung scrape cannot wedge
+/// a test run; use [`http_get_with_timeout`] to tighten or loosen it.
 pub fn http_get(addr: &str, path: &str) -> std::io::Result<String> {
+    http_get_with_timeout(addr, path, Duration::from_secs(5))
+}
+
+/// [`http_get`] with an explicit connect/read timeout.
+pub fn http_get_with_timeout(addr: &str, path: &str, timeout: Duration) -> std::io::Result<String> {
     let sock = addr.to_socket_addrs()?.next().ok_or_else(|| {
         std::io::Error::new(std::io::ErrorKind::InvalidInput, "unresolvable addr")
     })?;
-    let mut stream = TcpStream::connect_timeout(&sock, Duration::from_secs(5))?;
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut stream = TcpStream::connect_timeout(&sock, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
     write!(
         stream,
         "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
@@ -169,6 +194,60 @@ mod tests {
         assert!(samples.iter().any(|s| s.name == "ebda_http_test_total"));
 
         assert!(http_get(&addr, "/nope").is_err());
+
+        // /ledger: 404 until a ledger is registered, JSON array after.
+        assert!(http_get(&addr, "/ledger").is_err());
+        let mut ledger_path = std::env::temp_dir();
+        ledger_path.push(format!("ebda-http-ledger-{}", std::process::id()));
+        let _ = std::fs::remove_file(&ledger_path);
+        crate::ledger::append(
+            &ledger_path,
+            &[crate::ledger::LedgerRecord {
+                index: 0,
+                source: "cli".into(),
+                name: "test".into(),
+                git_rev: "abc".into(),
+                seed: 0,
+                verdict: "deadlock-free".into(),
+                evidence: "certificate".into(),
+                hash: "0000000000000000".into(),
+                gfp_sweeps: 1,
+                wait_pairs: 0,
+                provenance: "{}".into(),
+            }],
+        )
+        .unwrap();
+        crate::ledger::set_global_path(Some(ledger_path.clone()));
+        let body = http_get(&addr, "/ledger").expect("ledger route");
+        let parsed = crate::json::Value::parse(&body).expect("ledger body is JSON");
+        assert_eq!(parsed.as_arr().map(<[_]>::len), Some(1));
+        crate::ledger::set_global_path(None);
+        let _ = std::fs::remove_file(&ledger_path);
+
         server.shutdown();
+    }
+
+    #[test]
+    fn http_get_times_out_instead_of_hanging() {
+        // A listener that accepts but never responds: the read timeout
+        // must surface as an error rather than wedging the caller.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let start = Instant::now();
+        let err = http_get_with_timeout(&addr, "/metrics", Duration::from_millis(200))
+            .expect_err("silent server must time out");
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            "unexpected error {err:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "timeout was not honored"
+        );
+        drop(hold);
     }
 }

@@ -1,0 +1,408 @@
+//! An append-only JSONL **run ledger**: one record per verdict, written
+//! by every oracle campaign, corpus campaign and CLI verification that
+//! opts in with `--ledger FILE`.
+//!
+//! Each line is a self-contained JSON object carrying the run metadata
+//! (source, git revision, seed), the verdict, the deterministic work
+//! counters of the brute-force path (`gfp_sweeps`, `wait_pairs`) and —
+//! embedded verbatim as an escaped string — the full provenance document
+//! whose certificate or witness `ebda check-cert` re-validates without
+//! re-running the prover.
+//!
+//! **Byte determinism.** Campaigns assemble records in stream/entry
+//! order on the coordinating thread, so ledger bytes are identical at
+//! any `--threads` value — the determinism tests diff the files
+//! byte-for-byte. For that reason a record deliberately carries *no*
+//! worker-thread stamp and no wall-clock field (the same policy as the
+//! sweep CSVs and the profiler's `counters_text`): thread count and
+//! timing are reported on stderr at append time and through the
+//! `ebda_ledger_*` metric families instead.
+//!
+//! The ledger is strictly append-only: [`append`] assigns each new
+//! record the next index after the records already on disk and never
+//! rewrites an existing line. `ebda ledger <list|show|diff>` renders
+//! ledgers, `ebda explain <hash>` narrates one record, and a `/ledger`
+//! route on [`crate::http::MetricsServer`] serves the file registered
+//! via [`set_global_path`] as a JSON array.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// On-disk ledger format version (the `format` field of every record).
+pub const LEDGER_FORMAT: u64 = 1;
+
+/// One verdict in the run ledger. See the module docs for the field
+/// policy (no thread stamp, no wall clock).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerRecord {
+    /// Position in the ledger file, assigned by [`append`].
+    pub index: u64,
+    /// Producer: `"oracle"`, `"corpus"` or `"cli"`.
+    pub source: String,
+    /// Human-readable problem name (artifact summary, corpus entry name
+    /// or the CLI design string).
+    pub name: String,
+    /// Short git revision of the producing build (`"unknown"` outside a
+    /// checkout).
+    pub git_rev: String,
+    /// Campaign seed; 0 for corpus and CLI records, which are
+    /// content-addressed rather than seeded.
+    pub seed: u64,
+    /// `"deadlock-free"` or `"deadlocking"`.
+    pub verdict: String,
+    /// `"certificate"` for positive records, `"witness"` for negative.
+    pub evidence: String,
+    /// Canonical content hash of the (topology, turn-set) pair, in the
+    /// corpus' 16-digit lowercase hex.
+    pub hash: String,
+    /// Greatest-fixed-point sweeps the brute path needed (deterministic
+    /// work counter).
+    pub gfp_sweeps: u64,
+    /// Admissible hold/want pairs the brute path enumerated
+    /// (deterministic work counter).
+    pub wait_pairs: u64,
+    /// The single-line provenance JSON document, embedded verbatim.
+    pub provenance: String,
+}
+
+impl LedgerRecord {
+    /// Renders the record as its canonical single-line JSON form (no
+    /// trailing newline). Key order is fixed; [`from_line`] round-trips
+    /// byte-exactly.
+    pub fn to_line(&self) -> String {
+        format!(
+            "{{\"format\":{},\"index\":{},\"source\":{},\"name\":{},\"git_rev\":{},\"seed\":{},\"verdict\":{},\"evidence\":{},\"hash\":{},\"gfp_sweeps\":{},\"wait_pairs\":{},\"provenance\":{}}}",
+            LEDGER_FORMAT,
+            self.index,
+            crate::json::escape(&self.source),
+            crate::json::escape(&self.name),
+            crate::json::escape(&self.git_rev),
+            self.seed,
+            crate::json::escape(&self.verdict),
+            crate::json::escape(&self.evidence),
+            crate::json::escape(&self.hash),
+            self.gfp_sweeps,
+            self.wait_pairs,
+            crate::json::escape(&self.provenance),
+        )
+    }
+
+    /// Parses one ledger line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed field, or an
+    /// unsupported `format` version.
+    pub fn from_line(line: &str) -> Result<LedgerRecord, String> {
+        let v = crate::json::Value::parse(line)?;
+        let field = |key: &str| v.get(key).ok_or_else(|| format!("missing field {key}"));
+        let str_field = |key: &str| {
+            field(key).and_then(|x| {
+                x.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("field {key} is not a string"))
+            })
+        };
+        let u64_field = |key: &str| {
+            field(key).and_then(|x| {
+                x.as_u64()
+                    .ok_or_else(|| format!("field {key} is not a u64"))
+            })
+        };
+        let format = u64_field("format")?;
+        if format != LEDGER_FORMAT {
+            return Err(format!(
+                "unsupported ledger format {format} (this build reads {LEDGER_FORMAT})"
+            ));
+        }
+        Ok(LedgerRecord {
+            index: u64_field("index")?,
+            source: str_field("source")?,
+            name: str_field("name")?,
+            git_rev: str_field("git_rev")?,
+            seed: u64_field("seed")?,
+            verdict: str_field("verdict")?,
+            evidence: str_field("evidence")?,
+            hash: str_field("hash")?,
+            gfp_sweeps: u64_field("gfp_sweeps")?,
+            wait_pairs: u64_field("wait_pairs")?,
+            provenance: str_field("provenance")?,
+        })
+    }
+
+    /// One-line human summary for `ebda ledger list` and the monitor's
+    /// recent-verdicts section.
+    pub fn summary(&self) -> String {
+        format!(
+            "#{:<4} {:<6} {:<13} {} {:<11} {}",
+            self.index, self.source, self.verdict, self.hash, self.evidence, self.name
+        )
+    }
+}
+
+/// Appends `records` to the ledger at `path`, assigning each the next
+/// free index (records already on disk keep theirs — the file is never
+/// rewritten). Creates the file if needed. Returns the base index the
+/// first new record received.
+///
+/// Bumps `ebda_ledger_appends_total` and, per record,
+/// `ebda_ledger_records_total{source,verdict}`.
+///
+/// # Errors
+///
+/// Returns I/O failures and pre-existing malformed lines as strings.
+pub fn append(path: &Path, records: &[LedgerRecord]) -> Result<u64, String> {
+    let base = match std::fs::read_to_string(path) {
+        Ok(text) => text.lines().filter(|l| !l.trim().is_empty()).count() as u64,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut out = String::new();
+    for (i, r) in records.iter().enumerate() {
+        let mut stamped = r.clone();
+        stamped.index = base + i as u64;
+        out.push_str(&stamped.to_line());
+        out.push('\n');
+        crate::metrics::counter_add(
+            "ebda_ledger_records_total",
+            &[
+                ("source", stamped.source.clone()),
+                ("verdict", stamped.verdict.clone()),
+            ],
+            1,
+        );
+    }
+    file.write_all(out.as_bytes())
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    crate::metrics::counter_add("ebda_ledger_appends_total", &[], 1);
+    crate::metrics::gauge_set(
+        "ebda_ledger_last_index",
+        &[],
+        (base + records.len() as u64).saturating_sub(1) as f64,
+    );
+    Ok(base)
+}
+
+/// Reads and parses every record in the ledger at `path`.
+///
+/// # Errors
+///
+/// Returns I/O failures and the first malformed line (with its number).
+pub fn read(path: &Path) -> Result<Vec<LedgerRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .enumerate()
+        .map(|(i, l)| LedgerRecord::from_line(l).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+/// The last `n` records of the ledger at `path` (fewer when the ledger
+/// is shorter).
+///
+/// # Errors
+///
+/// See [`read`].
+pub fn tail(path: &Path, n: usize) -> Result<Vec<LedgerRecord>, String> {
+    let mut records = read(path)?;
+    let keep = records.len().saturating_sub(n);
+    Ok(records.split_off(keep))
+}
+
+/// Byte-compares two ledgers line by line. Returns `None` when they are
+/// identical, otherwise a description of the first divergence — the
+/// check the cross-thread determinism tests and the CI `ledger-smoke`
+/// job run.
+///
+/// # Errors
+///
+/// Returns I/O failures as strings.
+pub fn diff(a: &Path, b: &Path) -> Result<Option<String>, String> {
+    let read_text =
+        |p: &Path| std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()));
+    let (ta, tb) = (read_text(a)?, read_text(b)?);
+    if ta == tb {
+        return Ok(None);
+    }
+    let (mut la, mut lb) = (ta.lines(), tb.lines());
+    let mut line = 0usize;
+    loop {
+        line += 1;
+        match (la.next(), lb.next()) {
+            (Some(x), Some(y)) if x == y => continue,
+            (Some(x), Some(y)) => {
+                return Ok(Some(format!(
+                    "line {line} differs:\n  {}: {x}\n  {}: {y}",
+                    a.display(),
+                    b.display()
+                )))
+            }
+            (Some(_), None) => {
+                return Ok(Some(format!(
+                    "{} has {line}+ lines, {} ends at {}",
+                    a.display(),
+                    b.display(),
+                    line - 1
+                )))
+            }
+            (None, Some(_)) => {
+                return Ok(Some(format!(
+                    "{} ends at {}, {} has {line}+ lines",
+                    a.display(),
+                    line - 1,
+                    b.display()
+                )))
+            }
+            (None, None) => return Ok(Some("files differ only in trailing bytes".to_string())),
+        }
+    }
+}
+
+/// Renders the ledger at `path` as a JSON array of record objects (the
+/// `/ledger` endpoint body). The embedded provenance stays an escaped
+/// string, exactly as on disk.
+///
+/// # Errors
+///
+/// Returns I/O failures and malformed lines as strings.
+pub fn render_json(path: &Path) -> Result<String, String> {
+    // Parse each line first so a corrupt ledger cannot serve broken JSON.
+    let records = read(path)?;
+    let mut out = String::from("[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&r.to_line());
+    }
+    out.push_str("]\n");
+    Ok(out)
+}
+
+static GLOBAL_PATH: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Registers (or clears, with `None`) the ledger file the `/ledger`
+/// HTTP route serves. Process-global, like the metrics registry.
+pub fn set_global_path(path: Option<PathBuf>) {
+    *GLOBAL_PATH.lock().expect("ledger path lock") = path;
+}
+
+/// The ledger file registered for the `/ledger` route, if any.
+pub fn global_path() -> Option<PathBuf> {
+    GLOBAL_PATH.lock().expect("ledger path lock").clone()
+}
+
+/// The short git revision of the working tree, or `"unknown"` when git
+/// or the checkout is unavailable. Stamped into ledger records and the
+/// `ebda_build_info` gauge.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &str, verdict: &str) -> LedgerRecord {
+        LedgerRecord {
+            index: 0,
+            source: "oracle".to_string(),
+            name: name.to_string(),
+            git_rev: "abc1234".to_string(),
+            seed: 7,
+            verdict: verdict.to_string(),
+            evidence: if verdict == "deadlock-free" {
+                "certificate"
+            } else {
+                "witness"
+            }
+            .to_string(),
+            hash: "499b374294581b24".to_string(),
+            gfp_sweeps: 3,
+            wait_pairs: 68,
+            provenance: "{\"format\":1,\"hash\":\"499b374294581b24\"}".to_string(),
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ebda-ledger-test-{tag}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips_and_appends_in_index_order() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+
+        let r = record("#0 partitioning on 3x3", "deadlock-free");
+        let line = r.to_line();
+        assert!(!line.contains('\n'), "records must be single-line");
+        assert_eq!(LedgerRecord::from_line(&line).unwrap(), r);
+
+        let base = append(
+            &path,
+            &[r.clone(), record("#1 random-turns", "deadlocking")],
+        )
+        .unwrap();
+        assert_eq!(base, 0);
+        let base = append(&path, &[record("#2 ordering", "deadlock-free")]).unwrap();
+        assert_eq!(base, 2);
+
+        let records = read(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(
+            records.iter().map(|r| r.index).collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "append assigns consecutive indices"
+        );
+        let last = tail(&path, 2).unwrap();
+        assert_eq!(last.len(), 2);
+        assert_eq!(last[0].index, 1);
+
+        let body = render_json(&path).unwrap();
+        assert!(body.starts_with('[') && body.ends_with("]\n"));
+        crate::json::Value::parse(&body).expect("endpoint body is valid JSON");
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn diff_reports_first_divergence() {
+        let a = temp_path("diff-a");
+        let b = temp_path("diff-b");
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
+        append(&a, &[record("same", "deadlock-free")]).unwrap();
+        append(&b, &[record("same", "deadlock-free")]).unwrap();
+        assert_eq!(diff(&a, &b).unwrap(), None);
+        append(&b, &[record("extra", "deadlocking")]).unwrap();
+        let d = diff(&a, &b).unwrap().expect("lengths differ");
+        assert!(d.contains("ends at"), "{d}");
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
+    }
+
+    #[test]
+    fn rejects_malformed_and_future_format_lines() {
+        assert!(LedgerRecord::from_line("{\"format\":99}").is_err());
+        assert!(LedgerRecord::from_line("not json").is_err());
+        let mut r = record("x", "deadlocking");
+        r.name = "quotes \" and \\ backslashes".to_string();
+        let line = r.to_line();
+        assert_eq!(LedgerRecord::from_line(&line).unwrap().name, r.name);
+    }
+}

@@ -46,6 +46,7 @@ pub mod event;
 pub mod http;
 pub mod journey;
 pub mod json;
+pub mod ledger;
 pub mod metrics;
 pub mod prof;
 pub mod recorder;
@@ -57,6 +58,7 @@ pub use chrome::{TraceBuilder, TraceSummary};
 pub use event::{Event, EventKind};
 pub use http::{http_get, MetricsServer};
 pub use journey::{ChannelId, Journey, JourneyConfig, JourneyEnd, JourneyTracer};
+pub use ledger::LedgerRecord;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use prof::{PhaseStat, ProfSnapshot, WorkerSegment};
 pub use recorder::{Recorder, RecorderConfig, Sample};

@@ -224,8 +224,10 @@ pub struct MetricsRegistry {
 /// Rendering switches for [`MetricsRegistry::render`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RenderOptions {
-    /// Omit wall-clock families (name ending in `_ns`), leaving only
-    /// families that are byte-identical across identical-seed runs.
+    /// Omit families that vary across identical-seed runs — wall-clock
+    /// families (name ending in `_ns`) and the build-stamped
+    /// `ebda_build_info` gauge — leaving only families that are
+    /// byte-identical across identical-seed runs.
     pub deterministic: bool,
 }
 
@@ -303,7 +305,8 @@ impl MetricsRegistry {
     pub fn render(&self, opts: RenderOptions) -> String {
         let inner = self.lock();
         let mut out = String::new();
-        let skip = |name: &str| opts.deterministic && name.ends_with("_ns");
+        let skip =
+            |name: &str| opts.deterministic && (name.ends_with("_ns") || name == "ebda_build_info");
 
         let mut last_family = String::new();
         for ((name, labels), value) in &inner.counters {

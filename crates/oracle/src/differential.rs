@@ -11,6 +11,7 @@
 
 use crate::artifact::{Artifact, ArtifactKind, Generator};
 use crate::brute::BruteChannel;
+use crate::provenance::Provenance;
 use crate::shrink::{shrink_with_threads, DEFAULT_SHRINK_BUDGET};
 use crate::verdict::{cross_check, evaluate, Disagreement, Mutation};
 use ebda_obs::{JourneyConfig, Rng64, TraceBuilder};
@@ -43,6 +44,11 @@ pub struct CampaignConfig {
     /// Worker threads for artifact checking and shrinking; 0 resolves via
     /// [`ebda_par::threads`] (`--threads` / `EBDA_THREADS` / hardware).
     pub threads: usize,
+    /// When set, append one [`ebda_obs::ledger`] record per verdict —
+    /// in stream order, so ledger bytes are identical at any thread
+    /// count. Speculative evaluations past a first disagreement are
+    /// discarded, exactly like the tallies.
+    pub ledger: Option<std::path::PathBuf>,
 }
 
 impl Default for CampaignConfig {
@@ -56,6 +62,7 @@ impl Default for CampaignConfig {
             mutation: Mutation::None,
             journey_sample_rate: 1.0,
             threads: 0,
+            ledger: None,
         }
     }
 }
@@ -202,6 +209,8 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     const BATCH: usize = 16;
     let mut generator = Generator::with_max_nodes(cfg.seed, cfg.max_nodes);
     let mut report = CampaignReport::default();
+    let git_rev = cfg.ledger.as_ref().map(|_| ebda_obs::ledger::git_rev());
+    let mut records: Vec<ebda_obs::LedgerRecord> = Vec::new();
     'campaign: while (start.elapsed() < cfg.budget || report.configs < cfg.min_configs)
         && report.configs < cfg.max_configs
     {
@@ -217,8 +226,13 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
             ebda_obs::prof::work("oracle/generate", "artifacts", n as u64);
             (0..n).map(|_| generator.next_artifact()).collect()
         };
-        let batch = ebda_par::parallel_map(threads, &artifacts, |_, a| evaluate(a, cfg.mutation));
-        for (artifact, verdicts) in artifacts.iter().zip(&batch) {
+        let with_provenance = cfg.ledger.is_some();
+        let batch = ebda_par::parallel_map(threads, &artifacts, |_, a| {
+            let v = evaluate(a, cfg.mutation);
+            let prov = with_provenance.then(|| Provenance::from_artifact(a, &v));
+            (v, prov)
+        });
+        for (artifact, (verdicts, prov)) in artifacts.iter().zip(&batch) {
             report.configs += 1;
             ebda_obs::counter_add("oracle.configs", 1);
             ebda_obs::metrics::counter_add("ebda_oracle_artifacts_checked_total", &[], 1);
@@ -239,6 +253,28 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
             if verdicts.duato.escape_connected {
                 report.duato_connected += 1;
             }
+            if let Some(prov) = prov {
+                // Records are assembled in stream order so the ledger's
+                // bytes never depend on the thread count; `index` is
+                // stamped by `ledger::append`.
+                records.push(ebda_obs::LedgerRecord {
+                    index: 0,
+                    source: "oracle".into(),
+                    name: artifact.summary(),
+                    git_rev: git_rev.clone().unwrap_or_default(),
+                    seed: cfg.seed,
+                    verdict: prov.verdict_str().into(),
+                    evidence: if prov.deadlock_free {
+                        "certificate".into()
+                    } else {
+                        "witness".into()
+                    },
+                    hash: prov.hash_hex(),
+                    gfp_sweeps: verdicts.brute.sweeps as u64,
+                    wait_pairs: verdicts.brute.pairs as u64,
+                    provenance: prov.to_json(),
+                });
+            }
             if cross_check(artifact, verdicts).is_some() {
                 ebda_obs::counter_add("oracle.disagreements", 1);
                 ebda_obs::metrics::counter_add("ebda_oracle_disagreements_total", &[], 1);
@@ -247,6 +283,13 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
                 // they are not tallied, exactly as if never generated.
                 break 'campaign;
             }
+        }
+    }
+    if let Some(path) = &cfg.ledger {
+        // The break-on-disagreement path lands here too: everything tallied
+        // before the disagreement is persisted.
+        if let Err(e) = ebda_obs::ledger::append(path, &records) {
+            eprintln!("oracle: ledger append failed: {e}");
         }
     }
     report.elapsed_ms = start.elapsed().as_millis();
@@ -513,6 +556,7 @@ mod tests {
             mutation,
             journey_sample_rate: 1.0,
             threads: 0,
+            ledger: None,
         }
     }
 

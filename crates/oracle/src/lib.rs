@@ -15,6 +15,9 @@
 //!   the cross-checking rules, plus mutation hooks that deliberately break
 //!   a checker to prove the oracle notices.
 //! * [`shrink`] — greedy 1-minimal counterexample reduction.
+//! * [`provenance`] — the full proof evidence behind one verdict
+//!   (certificates, orderings, witnesses) in canonical JSON, plus the
+//!   independent checker `ebda check-cert` runs.
 //! * [`differential`] — the campaign entry point shared by the `oracle`
 //!   binary, the integration tests and CI.
 //!
@@ -37,11 +40,13 @@
 pub mod artifact;
 pub mod brute;
 pub mod differential;
+pub mod provenance;
 pub mod shrink;
 pub mod verdict;
 
 pub use artifact::{Artifact, ArtifactKind, Generator};
 pub use brute::{search as brute_search, BruteReport};
 pub use differential::{run_campaign, CampaignConfig, CampaignReport};
+pub use provenance::{CheckReport, Provenance};
 pub use shrink::shrink;
 pub use verdict::{cross_check, evaluate, Disagreement, Mutation, Verdicts};

@@ -36,9 +36,22 @@ const USAGE: &str = "usage:
   ebda options  --vcs <a,b[,c...]>           enumerate Algorithm 2 derivations
   ebda turns    \"<design>\" [--dot]            extract all allowable turns
                                              (--dot: Graphviz output)
-  ebda verify   \"<design>\" [--mesh AxB[xC]] [--torus AxB[xC]]
+  ebda verify   \"<design>\" [--mesh AxB[xC]] [--torus AxB[xC]] [--ledger FILE]
+                                             (--ledger: run all four verdict
+                                             paths and append one provenance-
+                                             carrying run-ledger record)
   ebda certify  --turns \"X1+>Y1+,Y1->X1-,...\"  reconstruct a partitioning
                                              certificate from raw turns
+  ebda check-cert FILE                       independently re-validate every
+                                             certificate / witness in a run
+                                             ledger (or a single provenance
+                                             JSON document) without re-running
+                                             any prover
+  ebda ledger   list FILE                    one summary line per ledger record
+  ebda ledger   show FILE [HASH]             canonical JSON of the records
+  ebda ledger   diff FILE1 FILE2             byte-compare two run ledgers
+  ebda explain  HASH --ledger FILE           human narrative of one verdict's
+                                             proof evidence
   ebda report   \"<design>\"                    markdown design review
   ebda simulate \"<design>\" [--mesh AxB] [--rate R] [--traffic uniform|transpose|bitcomp]
                  [--policy multi|single] [--switching wh|vct|saf]
@@ -69,15 +82,18 @@ const USAGE: &str = "usage:
                                              generation time)
   ebda corpus   run DIR [--archive-to DIR] [--mutate NAME] [--inject-mismatch]
                  [--expect-mismatch] [--shrink-budget N] [--threads N]
+                 [--ledger FILE]
                                              regression campaign: check every
                                              entry against all four verdict
                                              paths; mismatches are shrunk and
                                              archived as labeled witnesses
   ebda corpus   stats DIR                    deterministic corpus statistics
   ebda monitor  --addr HOST:PORT [--once] [--interval SECS] [--interval-ms N]
-                                             poll a /metrics endpoint and render
+                 [--ledger FILE]             poll a /metrics endpoint and render
                                              a compact terminal snapshot;
-                                             --interval re-renders in place
+                                             --interval re-renders in place;
+                                             --ledger adds a recent-verdicts
+                                             section from the run-ledger tail
   ebda profile  FILE [--counters|--flame]    render a --profile-out report:
                                              default is the phase table with
                                              self/total times; --counters prints
@@ -101,6 +117,9 @@ fn run(args: &[String]) -> Result<(), String> {
         "turns" => cmd_turns(rest),
         "verify" => cmd_verify(rest),
         "certify" => cmd_certify(rest),
+        "check-cert" => cmd_check_cert(rest),
+        "ledger" => cmd_ledger(rest),
+        "explain" => cmd_explain(rest),
         "report" => cmd_report(rest),
         "simulate" => cmd_simulate(rest),
         "corpus" => match ebda::bench::corpus_cli::run(rest.to_vec()) {
@@ -266,11 +285,242 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
     }
     let report = verify_design(&topo, &seq).map_err(|e| e.to_string())?;
     println!("{report}");
+    if let Some(path) = flag_value(args, "--ledger") {
+        // The ledger record carries full provenance, so the honest
+        // four-path evaluation (including brute force) runs here — the
+        // Dally verdict above is untouched.
+        let universe = seq.channels();
+        let dims = topo.dims();
+        let ex = extract_turns(&seq).map_err(|e| e.to_string())?;
+        let artifact = ebda::oracle::artifact::Artifact {
+            id: 0,
+            kind: ebda::oracle::artifact::ArtifactKind::Partitioning,
+            radix: topo.radix().to_vec(),
+            wrap: (0..dims)
+                .map(|d| topo.wraps(Dimension::new(d as u8)))
+                .collect(),
+            vcs: ebda::cdg::dally::infer_vcs(&universe, dims),
+            universe,
+            turns: ex.turn_set().clone(),
+            design: Some(seq.clone()),
+        };
+        let verdicts =
+            ebda::oracle::verdict::evaluate(&artifact, ebda::oracle::verdict::Mutation::None);
+        let prov = ebda::oracle::Provenance::from_artifact(&artifact, &verdicts);
+        let record = ebda_obs::LedgerRecord {
+            index: 0,
+            source: "cli".into(),
+            name: artifact.summary(),
+            git_rev: ebda_obs::ledger::git_rev(),
+            seed: 0,
+            verdict: prov.verdict_str().into(),
+            evidence: if prov.deadlock_free {
+                "certificate".into()
+            } else {
+                "witness".into()
+            },
+            hash: prov.hash_hex(),
+            gfp_sweeps: verdicts.brute.sweeps as u64,
+            wait_pairs: verdicts.brute.pairs as u64,
+            provenance: prov.to_json(),
+        };
+        let path = std::path::PathBuf::from(path);
+        ebda_obs::ledger::append(&path, &[record]).map_err(|e| format!("ledger append: {e}"))?;
+        println!(
+            "ledger: verdict {} recorded as {} in {}",
+            prov.verdict_str(),
+            prov.hash_hex(),
+            path.display()
+        );
+    }
     if report.is_deadlock_free() {
         Ok(())
     } else {
         Err("design is NOT deadlock-free on this topology".into())
     }
+}
+
+/// Positional (non-flag) arguments, skipping every `--flag value` pair.
+/// Only valid for subcommands whose flags all take a value.
+fn positionals(args: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2;
+        } else {
+            out.push(args[i].as_str());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// `ebda check-cert FILE`: the independent certificate checker. Walks a
+/// run-ledger JSONL file (or a file of bare provenance documents) and
+/// re-validates every record's evidence — certificate obligations or
+/// witness cycle — without calling any prover.
+fn cmd_check_cert(args: &[String]) -> Result<(), String> {
+    let path = positionals(args)
+        .first()
+        .copied()
+        .ok_or("missing ledger or provenance file")?
+        .to_string();
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut checked = 0usize;
+    let mut failed = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        checked += 1;
+        let mut fail = |msg: String| {
+            failed += 1;
+            println!("FAIL line {}: {msg}", lineno + 1);
+        };
+        // A line is either one ledger record (provenance embedded) or one
+        // bare provenance document.
+        let (label, prov) = match ebda_obs::LedgerRecord::from_line(line) {
+            Ok(rec) => match ebda::oracle::Provenance::from_json(&rec.provenance) {
+                Ok(prov) => {
+                    if rec.hash != prov.hash_hex() {
+                        fail(format!(
+                            "record #{} declares hash {} but its provenance hashes to {}",
+                            rec.index,
+                            rec.hash,
+                            prov.hash_hex()
+                        ));
+                        continue;
+                    }
+                    if rec.verdict != prov.verdict_str() {
+                        fail(format!(
+                            "record #{} declares verdict {} but its provenance says {}",
+                            rec.index,
+                            rec.verdict,
+                            prov.verdict_str()
+                        ));
+                        continue;
+                    }
+                    (format!("#{} {}", rec.index, rec.hash), prov)
+                }
+                Err(e) => {
+                    fail(format!("embedded provenance: {e}"));
+                    continue;
+                }
+            },
+            Err(_) => match ebda::oracle::Provenance::from_json(line) {
+                Ok(prov) => (prov.hash_hex(), prov),
+                Err(e) => {
+                    fail(format!(
+                        "neither a ledger record nor a provenance document: {e}"
+                    ));
+                    continue;
+                }
+            },
+        };
+        match prov.check() {
+            Ok(report) => println!(
+                "PASS {label} {} via {} ({} obligations)",
+                prov.verdict_str(),
+                report.methods.join("+"),
+                report.obligations
+            ),
+            Err(e) => fail(format!("{label}: {e}")),
+        }
+    }
+    println!(
+        "checked {checked} record(s): {} passed, {failed} failed",
+        checked - failed
+    );
+    if checked == 0 {
+        return Err(format!("{path} holds no records"));
+    }
+    if failed > 0 {
+        return Err(format!("{failed} record(s) failed the certificate check"));
+    }
+    Ok(())
+}
+
+/// `ebda ledger <list|show|diff>`: inspect append-only run ledgers.
+fn cmd_ledger(args: &[String]) -> Result<(), String> {
+    let Some(action) = args.first() else {
+        return Err("missing ledger action (list, show, diff)".into());
+    };
+    let rest = positionals(&args[1..]);
+    match action.as_str() {
+        "list" => {
+            let path = rest.first().ok_or("ledger list needs a FILE")?;
+            let records = ebda_obs::ledger::read(std::path::Path::new(path))?;
+            for r in &records {
+                println!("{}", r.summary());
+            }
+            println!("{} record(s) in {path}", records.len());
+            Ok(())
+        }
+        "show" => {
+            let path = rest.first().ok_or("ledger show needs a FILE")?;
+            let hash = rest.get(1);
+            let records = ebda_obs::ledger::read(std::path::Path::new(path))?;
+            let mut shown = 0;
+            for r in &records {
+                if hash.is_none_or(|h| r.hash.starts_with(h)) {
+                    println!("{}", r.to_line());
+                    shown += 1;
+                }
+            }
+            match (shown, hash) {
+                (0, Some(h)) => Err(format!("no record matches hash {h}")),
+                _ => Ok(()),
+            }
+        }
+        "diff" => {
+            let (Some(a), Some(b)) = (rest.first(), rest.get(1)) else {
+                return Err("ledger diff needs two FILEs".into());
+            };
+            match ebda_obs::ledger::diff(std::path::Path::new(a), std::path::Path::new(b))? {
+                None => {
+                    let n = ebda_obs::ledger::read(std::path::Path::new(a))?.len();
+                    println!("ledgers are byte-identical ({n} record(s))");
+                    Ok(())
+                }
+                Some(delta) => Err(format!("ledgers differ: {delta}")),
+            }
+        }
+        other => Err(format!(
+            "unknown ledger action {other:?} (try list, show, diff)"
+        )),
+    }
+}
+
+/// `ebda explain HASH --ledger FILE`: render the proof narrative of one
+/// recorded verdict.
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let ledger = flag_value(args, "--ledger").ok_or("missing --ledger FILE")?;
+    let hash = positionals(args)
+        .first()
+        .copied()
+        .ok_or("missing HASH (see `ebda ledger list`)")?
+        .to_string();
+    let records = ebda_obs::ledger::read(std::path::Path::new(ledger))?;
+    // Prefix match, latest record wins — hashes are content addresses, so
+    // duplicates describe the same problem.
+    let record = records
+        .iter()
+        .rev()
+        .find(|r| r.hash.starts_with(&hash))
+        .ok_or_else(|| format!("no record in {ledger} matches hash {hash}"))?;
+    let prov = ebda::oracle::Provenance::from_json(&record.provenance)?;
+    println!(
+        "record #{} ({}, seed {}, git {}, {} GFP sweeps over {} wait pairs)",
+        record.index,
+        record.source,
+        record.seed,
+        record.git_rev,
+        record.gfp_sweeps,
+        record.wait_pairs
+    );
+    println!("{}", prov.narrative());
+    Ok(())
 }
 
 fn cmd_certify(args: &[String]) -> Result<(), String> {
@@ -411,6 +661,7 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
         Some(v) => v.parse().map_err(|e| format!("bad --interval-ms: {e}"))?,
         None => watch_secs.map_or(2_000, |s| s.max(1) * 1_000),
     };
+    let ledger = flag_value(args, "--ledger");
     let in_place = watch_secs.is_some() && !once;
     loop {
         let body =
@@ -421,6 +672,20 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
             print!("\x1b[2J\x1b[H");
         }
         println!("{}", monitor_snapshot(addr, &samples));
+        if let Some(path) = ledger {
+            match ebda_obs::ledger::tail(std::path::Path::new(path), 5) {
+                Ok(records) if records.is_empty() => {
+                    println!("recent verdicts ({path}): none yet");
+                }
+                Ok(records) => {
+                    println!("recent verdicts ({path}):");
+                    for r in &records {
+                        println!("  {}", r.summary());
+                    }
+                }
+                Err(e) => println!("recent verdicts: unavailable ({e})"),
+            }
+        }
         if once {
             return Ok(());
         }
@@ -771,6 +1036,73 @@ mod tests {
             "soon",
         ]));
         assert!(r.unwrap_err().contains("bad --interval"));
+    }
+
+    #[test]
+    fn verify_ledger_check_cert_explain_roundtrip() {
+        let path =
+            std::env::temp_dir().join(format!("ebda-cli-ledger-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let p = path.to_str().unwrap().to_string();
+        run(&s(&[
+            "verify",
+            "X- | X+ Y+ Y-",
+            "--mesh",
+            "4x4",
+            "--ledger",
+            &p,
+        ]))
+        .unwrap();
+        // A deadlocking design still gets its verdict recorded, even
+        // though verify itself exits non-zero.
+        assert!(run(&s(&["verify", "xy", "--torus", "4x4", "--ledger", &p])).is_err());
+
+        run(&s(&["check-cert", &p])).unwrap();
+        run(&s(&["ledger", "list", &p])).unwrap();
+        run(&s(&["ledger", "show", &p])).unwrap();
+        run(&s(&["ledger", "diff", &p, &p])).unwrap();
+
+        let records = ebda_obs::ledger::read(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].index, 0);
+        assert_eq!(records[0].source, "cli");
+        assert_eq!(records[0].verdict, "deadlock-free");
+        assert_eq!(records[0].evidence, "certificate");
+        assert_eq!(records[1].verdict, "deadlocking");
+        assert_eq!(records[1].evidence, "witness");
+
+        run(&s(&["explain", &records[1].hash, "--ledger", &p])).unwrap();
+        assert!(run(&s(&["explain", "ffffffffffffffff", "--ledger", &p])).is_err());
+        assert!(run(&s(&["ledger", "show", &p, "ffff"])).is_err());
+
+        // Tampering with a record's verdict must trip the independent
+        // checker (the outer verdict no longer matches the provenance).
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tampered = text.replacen(
+            "\"verdict\":\"deadlock-free\"",
+            "\"verdict\":\"deadlocking\"",
+            1,
+        );
+        assert_ne!(text, tampered, "tamper target not found");
+        let bad = path.with_extension("tampered.jsonl");
+        std::fs::write(&bad, tampered).unwrap();
+        let err = run(&s(&["check-cert", bad.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("failed the certificate check"), "{err}");
+        assert!(run(&s(&["ledger", "diff", &p, bad.to_str().unwrap()])).is_err());
+
+        std::fs::remove_file(&bad).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn check_cert_and_ledger_usage_errors() {
+        assert!(run(&s(&["check-cert"])).is_err());
+        assert!(run(&s(&["check-cert", "/nonexistent/ledger.jsonl"])).is_err());
+        assert!(run(&s(&["ledger"])).is_err());
+        assert!(run(&s(&["ledger", "frobnicate"])).is_err());
+        assert!(run(&s(&["ledger", "list"])).is_err());
+        assert!(run(&s(&["ledger", "diff", "/tmp/only-one"])).is_err());
+        assert!(run(&s(&["explain", "abcd"])).is_err());
     }
 
     #[test]

@@ -16,6 +16,7 @@ fn quick(mutation: Mutation) -> CampaignConfig {
         mutation,
         journey_sample_rate: 1.0,
         threads: 0,
+        ledger: None,
     }
 }
 
