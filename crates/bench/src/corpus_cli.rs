@@ -7,7 +7,7 @@
 //! |---|---|
 //! | `generate --out <dir>` | generate every family, prove each label, write the corpus |
 //! | `run <dir> [flags]` | check every entry against all four verdict paths |
-//! | `stats <dir>` | print deterministic corpus statistics |
+//! | `stats <dir> [--json]` | print deterministic corpus statistics (`--json`: one canonical JSON document) |
 //!
 //! `run` flags:
 //!
@@ -20,6 +20,7 @@
 //! | `--shrink-budget <n>` | 400 | predicate evaluations spent shrinking each mismatch |
 //! | `--threads <n>` | hardware | worker threads (`EBDA_THREADS`); report is byte-identical at every value |
 //! | `--ledger <path>` | off | append one provenance-carrying run-ledger record per entry (`EBDA_LEDGER`); bytes are identical at every thread count |
+//! | `--coverage-out <path>` | off | write the campaign's merged design-space coverage map as canonical JSON; bytes are identical at every thread count |
 //!
 //! All campaign and stats output is deterministic: wall-clock timings go
 //! to stderr only, so CI can diff stdout across thread counts. Exit code
@@ -128,10 +129,15 @@ fn campaign(mut args: Vec<String>) -> i32 {
     let ledger = take::<String>(&mut args, "--ledger")
         .or_else(|| std::env::var("EBDA_LEDGER").ok().filter(|v| !v.is_empty()))
         .map(PathBuf::from);
+    let coverage: Option<PathBuf> = take(&mut args, "--coverage-out");
     if let Some(path) = &ledger {
         // Register the ledger with the /ledger route of a live
         // --metrics-addr endpoint.
         ebda_obs::ledger::set_global_path(Some(path.clone()));
+    }
+    if let Some(path) = &coverage {
+        // Same deal for the /coverage route.
+        ebda_obs::coverage::set_global_path(Some(path.clone()));
     }
     let dir = match positional(&mut args) {
         Ok(dir) => dir,
@@ -170,6 +176,7 @@ fn campaign(mut args: Vec<String>) -> i32 {
         shrink_budget,
         archive_dir,
         ledger: ledger.clone(),
+        coverage: coverage.clone(),
     };
     let report = ebda_corpus::run_corpus_campaign(&entries, &cfg);
     print!("{report}");
@@ -180,6 +187,14 @@ fn campaign(mut args: Vec<String>) -> i32 {
             report.entries,
             path.display(),
             obs.threads
+        );
+    }
+    if let (Some(path), Some(map)) = (&coverage, &report.coverage) {
+        eprintln!(
+            "coverage: {} points written to {} (digest {})",
+            map.total_points(),
+            path.display(),
+            map.digest()
         );
     }
     if let Some(path) = &obs.trace {
@@ -204,15 +219,21 @@ fn campaign(mut args: Vec<String>) -> i32 {
     }
 }
 
-/// `ebda corpus stats <dir>`: deterministic statistics for a corpus.
+/// `ebda corpus stats <dir> [--json]`: deterministic statistics for a
+/// corpus, as human-readable text or one canonical JSON document.
 fn stats(mut args: Vec<String>) -> i32 {
+    let json = take_switch(&mut args, "--json");
     let dir = match positional(&mut args) {
         Ok(dir) => dir,
         Err(code) => return code,
     };
     match store::load_dir(&dir) {
         Ok(entries) => {
-            print!("{}", store::render_stats(&entries));
+            if json {
+                print!("{}", store::render_stats_json(&entries));
+            } else {
+                print!("{}", store::render_stats(&entries));
+            }
             0
         }
         Err(e) => {
@@ -271,6 +292,25 @@ mod tests {
         let archived = store::load_dir(&archive).unwrap();
         assert_eq!(archived.len(), 1);
         assert_eq!(archived[0].family, "witness");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_json_mode_and_coverage_out_produce_canonical_files() {
+        let dir = seeded_dir("json-cov");
+        assert_eq!(run(argv(&format!("stats {} --json", dir.display()))), 0);
+        let cov = dir.join("coverage.json");
+        assert_eq!(
+            run(argv(&format!(
+                "run {} --coverage-out {}",
+                dir.display(),
+                cov.display()
+            ))),
+            0
+        );
+        let map = ebda_obs::CoverageMap::read_file(&cov).unwrap();
+        assert!(map.covered("design_bin") > 0);
+        assert!(map.key().starts_with("corpus-"), "{}", map.key());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

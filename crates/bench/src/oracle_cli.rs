@@ -19,6 +19,8 @@
 //! | `--metrics-linger <secs>` | 0 | keep the metrics endpoint up that long after the campaign |
 //! | `--threads <n>` | hardware | worker threads for artifact checking and shrinking (`EBDA_THREADS`); results are identical at every value |
 //! | `--ledger <path>` | off | append one provenance-carrying run-ledger record per verdict (`EBDA_LEDGER`); bytes are identical at every thread count |
+//! | `--coverage-out <path>` | off | write the campaign's merged design-space coverage map as canonical JSON; bytes are identical at every thread count |
+//! | `--coverage-guided` | off | bias generation toward uncovered design-space bins (seed-deterministic rejection sampling) |
 //!
 //! The exit code is 0 when the outcome matches the expectation — clean by
 //! default, caught-disagreement under `--expect-disagreement` — and 1
@@ -83,6 +85,8 @@ pub fn run(mut args: Vec<String>) -> i32 {
     let ledger = take::<String>(&mut args, "--ledger")
         .or_else(|| std::env::var("EBDA_LEDGER").ok().filter(|v| !v.is_empty()))
         .map(std::path::PathBuf::from);
+    let coverage = take::<String>(&mut args, "--coverage-out").map(std::path::PathBuf::from);
+    let coverage_guided = take_switch(&mut args, "--coverage-guided");
     if !args.is_empty() {
         eprintln!("unknown arguments: {args:?}");
         return 2;
@@ -91,6 +95,10 @@ pub fn run(mut args: Vec<String>) -> i32 {
         // Register the ledger with the /ledger route of a live
         // --metrics-addr endpoint.
         ebda_obs::ledger::set_global_path(Some(path.clone()));
+    }
+    if let Some(path) = &coverage {
+        // Same deal for the /coverage route.
+        ebda_obs::coverage::set_global_path(Some(path.clone()));
     }
 
     let cfg = CampaignConfig {
@@ -103,6 +111,8 @@ pub fn run(mut args: Vec<String>) -> i32 {
         journey_sample_rate: obs.journey_sample_rate,
         threads: obs.threads,
         ledger: ledger.clone(),
+        coverage: coverage.clone(),
+        coverage_guided,
     };
     if mutation != Mutation::None {
         println!("running with mutated checker: {mutation}");
@@ -115,6 +125,15 @@ pub fn run(mut args: Vec<String>) -> i32 {
             report.configs,
             path.display(),
             obs.threads
+        );
+    }
+    if let (Some(path), Some(map)) = (&coverage, &report.coverage) {
+        eprintln!(
+            "coverage: {} points across {} families written to {} (digest {})",
+            map.total_points(),
+            ebda_obs::coverage::FAMILIES.len(),
+            path.display(),
+            map.digest()
         );
     }
 
@@ -182,6 +201,25 @@ mod tests {
         let args = "--budget 0 --min-configs 400 --max-configs 400 --max-nodes 16 \
                     --mutate dally-ignores-wrap --expect-disagreement";
         assert_eq!(run(argv(args)), 0);
+    }
+
+    #[test]
+    fn coverage_flags_produce_a_canonical_map_file() {
+        let path = std::env::temp_dir().join(format!(
+            "ebda-oracle-cli-cov-{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let code = run(argv(&format!(
+            "--budget 0 --min-configs 20 --max-configs 20 --max-nodes 16 \
+             --coverage-guided --coverage-out {}",
+            path.display()
+        )));
+        assert_eq!(code, 0);
+        let map = ebda_obs::CoverageMap::read_file(&path).unwrap();
+        assert!(map.total_points() > 0);
+        assert!(map.key().starts_with("oracle-seed-7-"), "{}", map.key());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

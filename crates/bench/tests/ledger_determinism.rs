@@ -53,6 +53,8 @@ fn oracle_campaign_ledger_is_byte_identical_across_thread_counts() {
         journey_sample_rate: 1.0,
         threads,
         ledger: Some(ledger),
+        coverage: None,
+        coverage_guided: false,
     };
     let serial = tmp("oracle-1");
     let report = run_campaign(&cfg(1, serial.clone()));
@@ -125,6 +127,8 @@ fn appends_accumulate_across_campaigns() {
         journey_sample_rate: 1.0,
         threads: 0,
         ledger: Some(path.clone()),
+        coverage: None,
+        coverage_guided: false,
     });
     let entries: Vec<CorpusEntry> = families::generate_family("mesh-xy")
         .into_iter()

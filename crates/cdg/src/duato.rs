@@ -35,6 +35,21 @@ impl DuatoReport {
     pub fn is_deadlock_free(&self) -> bool {
         self.escape_acyclic && self.escape_connected
     }
+
+    /// The escape channel classes this report proves drainable, as
+    /// sorted display labels: when the escape CDG is acyclic, Duato's
+    /// drain argument applies to *every* escape class; when it is
+    /// cyclic nothing is proven drained and the list is empty. Fed to
+    /// the `escape_drain` coverage family.
+    pub fn drained_classes(&self, escape_universe: &[Channel]) -> Vec<String> {
+        if !self.escape_acyclic {
+            return Vec::new();
+        }
+        let mut out: Vec<String> = escape_universe.iter().map(ToString::to_string).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
 }
 
 impl fmt::Display for DuatoReport {
@@ -204,6 +219,27 @@ mod tests {
         assert!(report.escape_acyclic);
         assert!(!report.escape_connected);
         assert!(report.unreachable.is_some());
+    }
+
+    #[test]
+    fn drained_classes_cover_the_universe_only_when_acyclic() {
+        let (universe, turns) = xy_escape();
+        let report = verify_escape(&Topology::mesh(&[4, 4]), &[1, 1], &universe, &turns);
+        let drained = report.drained_classes(&universe);
+        assert_eq!(drained.len(), universe.len());
+        assert!(drained.windows(2).all(|w| w[0] < w[1]), "{drained:?}");
+
+        let cyclic_universe = ebda_core::parse_channels("X+ X- Y+ Y-").unwrap();
+        let mut all = TurnSet::new();
+        for &a in &cyclic_universe {
+            for &b in &cyclic_universe {
+                if a != b {
+                    all.insert(ebda_core::Turn::new(a, b));
+                }
+            }
+        }
+        let cyclic = verify_escape(&Topology::mesh(&[4, 4]), &[1, 1], &cyclic_universe, &all);
+        assert!(cyclic.drained_classes(&cyclic_universe).is_empty());
     }
 
     #[test]

@@ -25,6 +25,16 @@ pub struct ConcreteChannel {
     pub vc: u8,
 }
 
+impl ConcreteChannel {
+    /// The class-level label of this channel — dimension, VC and
+    /// direction (e.g. `X1+`), dropping the node coordinates. Coverage
+    /// maps key CDG edges at this granularity so maps stay comparable
+    /// across topology sizes.
+    pub fn class_label(&self) -> String {
+        format!("{}{}{}", self.dim, self.vc, self.dir)
+    }
+}
+
 impl fmt::Display for ConcreteChannel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -226,6 +236,25 @@ impl Cdg {
         (order.len() == n).then_some(order)
     }
 
+    /// The class-level edge labels present in the graph, deduplicated
+    /// and sorted: `"X1+>Y1+"` records that some concrete `X1+` channel
+    /// depends on some concrete `Y1+` channel. This is what the
+    /// coverage subsystem records as the `cdg_edge` family — class
+    /// granularity keeps maps comparable across topology sizes.
+    pub fn class_edges(&self) -> Vec<String> {
+        let mut set = std::collections::BTreeSet::new();
+        for (ai, succs) in self.edges.iter().enumerate() {
+            for &bi in succs {
+                set.insert(format!(
+                    "{}>{}",
+                    self.channels[ai].class_label(),
+                    self.channels[bi as usize].class_label()
+                ));
+            }
+        }
+        set.into_iter().collect()
+    }
+
     /// Renders the concrete CDG in Graphviz DOT form (one node per
     /// concrete channel, one edge per dependency). Intended for small
     /// verification topologies; the output grows with links × VCs.
@@ -334,6 +363,25 @@ mod tests {
         assert!(dot.starts_with("digraph cdg"));
         assert_eq!(dot.matches("label=").count(), cdg.node_count());
         assert_eq!(dot.matches(" -> ").count(), cdg.edge_count());
+    }
+
+    #[test]
+    fn class_edges_are_sorted_deduplicated_class_labels() {
+        let seq = PartitionSeq::parse("X+ X- Y- | Y+").unwrap();
+        let ex = extract_turns(&seq).unwrap();
+        let topo = Topology::mesh(&[3, 3]);
+        let cdg = Cdg::from_turn_set(&topo, &[1, 1], &design_universe(&seq), ex.turn_set());
+        let edges = cdg.class_edges();
+        assert!(!edges.is_empty());
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "labels sorted and deduplicated: {edges:?}"
+        );
+        // Straight-through along X+ exists on any 3x3 mesh route set
+        // that allows X+ at all.
+        assert!(edges.contains(&"X1+>X1+".to_string()), "{edges:?}");
+        // Class labels carry no node coordinates.
+        assert!(edges.iter().all(|e| !e.contains('(')), "{edges:?}");
     }
 
     #[test]

@@ -42,6 +42,19 @@ pub enum Justification {
     },
 }
 
+impl Justification {
+    /// Coverage-map label of the proof obligation this justification
+    /// discharges: `theorem1/p0`, `theorem2/p1`, `theorem3/p0>p2`.
+    /// Recorded under the `obligation` coverage family.
+    pub fn coverage_key(&self) -> String {
+        match self {
+            Justification::Theorem1 { partition } => format!("theorem1/p{partition}"),
+            Justification::Theorem2 { partition } => format!("theorem2/p{partition}"),
+            Justification::Theorem3 { from, to } => format!("theorem3/p{from}>p{to}"),
+        }
+    }
+}
+
 /// The full result of turn extraction: every allowed turn plus the theorem
 /// that justifies it.
 #[derive(Debug, Clone, Default)]
@@ -75,6 +88,20 @@ impl Extraction {
             .filter(|(_, jj)| *jj == j)
             .map(|(t, _)| *t)
             .collect()
+    }
+
+    /// The distinct theorem obligations this extraction discharged, as
+    /// sorted, deduplicated [`Justification::coverage_key`] labels —
+    /// what campaigns feed the `obligation` coverage family.
+    pub fn obligation_keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .justified
+            .iter()
+            .map(|(_, j)| j.coverage_key())
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys
     }
 
     fn record(&mut self, t: Turn, j: Justification) {
@@ -188,6 +215,21 @@ mod tests {
 
     fn turn(a: &str, b: &str) -> Turn {
         Turn::new(ch(a), ch(b))
+    }
+
+    #[test]
+    fn obligation_keys_name_each_discharged_theorem() {
+        // North-last: Theorem 1/2 inside p0, Theorem 3 into p1.
+        let seq = PartitionSeq::parse("X+ X- Y- | Y+").unwrap();
+        let ex = extract_turns(&seq).unwrap();
+        let keys = ex.obligation_keys();
+        assert!(keys.contains(&"theorem1/p0".to_string()), "{keys:?}");
+        assert!(keys.contains(&"theorem3/p0>p1".to_string()), "{keys:?}");
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "sorted: {keys:?}");
+        assert_eq!(
+            Justification::Theorem2 { partition: 3 }.coverage_key(),
+            "theorem2/p3"
+        );
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub struct CorpusCampaignConfig {
     /// When set, append one [`ebda_obs::ledger`] record per entry, in
     /// entry order — so ledger bytes are identical at any thread count.
     pub ledger: Option<PathBuf>,
+    /// When set, accumulate an obligation-level [`ebda_obs::CoverageMap`]
+    /// over every entry (merged in entry order) and write it to this path
+    /// as canonical JSON.
+    pub coverage: Option<PathBuf>,
 }
 
 impl Default for CorpusCampaignConfig {
@@ -52,6 +56,7 @@ impl Default for CorpusCampaignConfig {
             shrink_budget: DEFAULT_SHRINK_BUDGET,
             archive_dir: None,
             ledger: None,
+            coverage: None,
         }
     }
 }
@@ -87,6 +92,10 @@ pub struct CorpusCampaignReport {
     pub mismatches: Vec<CorpusMismatch>,
     /// File names of newly archived witness entries, in entry order.
     pub archived: Vec<String>,
+    /// The merged coverage map, when [`CorpusCampaignConfig::coverage`]
+    /// was set. Keyed by a content hash over the entry list, so the same
+    /// corpus always yields the same key.
+    pub coverage: Option<ebda_obs::CoverageMap>,
     /// Wall-clock duration — excluded from [`fmt::Display`] so campaign
     /// output stays byte-comparable across runs and thread counts.
     pub elapsed_ms: u128,
@@ -120,6 +129,15 @@ impl fmt::Display for CorpusCampaignReport {
                 Some(file) => writeln!(f, "    archived as: {file}")?,
                 None => writeln!(f, "    archived as: (not archived)")?,
             }
+        }
+        if let Some(map) = &self.coverage {
+            writeln!(
+                f,
+                "coverage: {} design-space bins, {} points total, digest {}",
+                map.covered("design_bin"),
+                map.total_points(),
+                map.digest()
+            )?;
         }
         Ok(())
     }
@@ -197,7 +215,9 @@ pub fn run_corpus_campaign(
     let _campaign = prof::phase("corpus/campaign");
 
     let with_ledger = cfg.ledger.is_some();
-    let checks: Vec<(Option<String>, Option<Provenance>)> = {
+    let with_coverage = cfg.coverage.is_some();
+    #[allow(clippy::type_complexity)]
+    let checks: Vec<(Option<String>, Option<Provenance>, Option<ebda_obs::CoverageMap>)> = {
         let _check = prof::phase("corpus/check");
         prof::work("corpus/check", "entries", entries.len() as u64);
         ebda_par::parallel_map(cfg.threads, entries, |i, entry| {
@@ -210,9 +230,28 @@ pub fn run_corpus_campaign(
                 &verdicts,
             );
             let prov = with_ledger.then(|| Provenance::from_artifact(&artifact, &verdicts));
-            (reason, prov)
+            let cov = with_coverage.then(|| ebda_oracle::artifact_coverage(&artifact, &verdicts));
+            (reason, prov, cov)
         })
     };
+
+    // Per-entry coverage was computed in parallel above; the merge runs
+    // here on the coordinator, in entry order, so the merged map — and
+    // its digest — is byte-identical at every thread count. The map key
+    // is a content hash over the entry list: same corpus, same key.
+    let coverage_map = with_coverage.then(|| {
+        let joined: String = entries.iter().map(|e| e.hash_hex()).collect();
+        let mut map = ebda_obs::CoverageMap::new(format!(
+            "corpus-{}",
+            ebda_obs::coverage::fnv1a_hex(joined.as_bytes())
+        ));
+        for (_, _, cov) in &checks {
+            if let Some(cov) = cov {
+                map.merge(cov);
+            }
+        }
+        map
+    });
 
     let mut report = CorpusCampaignReport {
         entries: entries.len(),
@@ -221,6 +260,7 @@ pub fn run_corpus_campaign(
         families: BTreeMap::new(),
         mismatches: Vec::new(),
         archived: Vec::new(),
+        coverage: None,
         elapsed_ms: 0,
     };
     for entry in entries {
@@ -246,8 +286,8 @@ pub fn run_corpus_campaign(
         let records: Vec<ebda_obs::LedgerRecord> = entries
             .iter()
             .zip(&checks)
-            .filter_map(|(entry, (_, prov))| prov.as_ref().map(|p| (entry, p)))
-            .map(|(entry, prov)| ebda_obs::LedgerRecord {
+            .filter_map(|(entry, (_, prov, cov))| prov.as_ref().map(|p| (entry, p, cov)))
+            .map(|(entry, prov, cov)| ebda_obs::LedgerRecord {
                 index: 0,
                 source: "corpus".into(),
                 name: entry.name.clone(),
@@ -262,6 +302,7 @@ pub fn run_corpus_campaign(
                 hash: prov.hash_hex(),
                 gfp_sweeps: prov.brute.sweeps as u64,
                 wait_pairs: prov.brute.pairs as u64,
+                coverage: cov.as_ref().map(|c| c.digest()).unwrap_or_default(),
                 provenance: prov.to_json(),
             })
             .collect();
@@ -270,7 +311,7 @@ pub fn run_corpus_campaign(
         }
     }
 
-    for (i, (reason, _)) in checks.into_iter().enumerate() {
+    for (i, (reason, _, _)) in checks.into_iter().enumerate() {
         let Some(reason) = reason else { continue };
         let entry = &entries[i];
         ebda_obs::metrics::counter_add("ebda_corpus_mismatches_total", &[], 1);
@@ -311,6 +352,16 @@ pub fn run_corpus_campaign(
             shrunk: shrunk.summary(),
             archived,
         });
+    }
+
+    if let Some(map) = coverage_map {
+        map.publish_metrics();
+        if let Some(path) = &cfg.coverage {
+            if let Err(e) = map.write_file(path) {
+                eprintln!("warning: corpus coverage write failed: {e}");
+            }
+        }
+        report.coverage = Some(map);
     }
 
     report.elapsed_ms = started.elapsed().as_millis();
@@ -402,6 +453,42 @@ mod tests {
             .to_string();
             assert_eq!(base, other, "threads {threads}");
         }
+    }
+
+    #[test]
+    fn coverage_map_is_keyed_merged_in_entry_order_and_thread_invariant() {
+        let entries = small_corpus();
+        let dir = std::env::temp_dir().join(format!("ebda-corpus-cov-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let run = |threads: usize, tag: &str| {
+            let path = dir.join(format!("cov-{tag}.json"));
+            let report = run_corpus_campaign(
+                &entries,
+                &CorpusCampaignConfig {
+                    threads,
+                    coverage: Some(path.clone()),
+                    ..CorpusCampaignConfig::default()
+                },
+            );
+            (report, std::fs::read_to_string(&path).unwrap())
+        };
+        let (serial, serial_bytes) = run(1, "1");
+        let (parallel, parallel_bytes) = run(8, "8");
+        assert_eq!(serial_bytes, parallel_bytes, "coverage depends on threads");
+        let map = serial.coverage.as_ref().expect("coverage accumulated");
+        assert!(map.key().starts_with("corpus-"), "key: {}", map.key());
+        // Every static family is fed by the four verdict paths; only the
+        // simulator family stays empty (the corpus campaign never replays).
+        for family in ["cdg_edge", "design_bin", "escape_drain", "gfp_pair", "turn_admitted"] {
+            assert!(map.covered(family) > 0, "family {family} uncovered");
+        }
+        assert_eq!(map.covered("sim_event"), 0);
+        assert_eq!(
+            map.digest(),
+            parallel.coverage.as_ref().unwrap().digest()
+        );
+        assert!(serial.to_string().contains("coverage:"), "{serial}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

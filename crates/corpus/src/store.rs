@@ -99,6 +99,59 @@ pub fn render_stats(entries: &[CorpusEntry]) -> String {
     out
 }
 
+/// The machine-readable sibling of [`render_stats`]: the same totals,
+/// per-family splits, and hash-ordered entry list as one canonical JSON
+/// document (single line, sorted keys, trailing newline). Deterministic
+/// for a fixed corpus, so dashboards and CI can diff it byte-for-byte.
+pub fn render_stats_json(entries: &[CorpusEntry]) -> String {
+    use ebda_obs::json::escape;
+    let free = entries.iter().filter(|e| e.expected.is_free()).count();
+    let mut families: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    for e in entries {
+        let slot = families.entry(&e.family).or_insert((0, 0));
+        if e.expected.is_free() {
+            slot.0 += 1;
+        } else {
+            slot.1 += 1;
+        }
+    }
+    let family_fields: Vec<String> = families
+        .iter()
+        .map(|(family, (f, d))| {
+            format!(
+                "{}:{{\"entries\":{},\"deadlock_free\":{f},\"deadlocking\":{d}}}",
+                escape(family),
+                f + d
+            )
+        })
+        .collect();
+    let mut by_hash: Vec<&CorpusEntry> = entries.iter().collect();
+    by_hash.sort_by_key(|e| e.content_hash());
+    let entry_fields: Vec<String> = by_hash
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"hash\":\"{}\",\"name\":{},\"family\":{},\"expected\":\"{}\"}}",
+                e.hash_hex(),
+                escape(&e.name),
+                escape(&e.family),
+                if e.expected.is_free() {
+                    "deadlock-free"
+                } else {
+                    "deadlocking"
+                }
+            )
+        })
+        .collect();
+    format!(
+        "{{\"deadlock_free\":{free},\"deadlocking\":{},\"entries\":{},\"families\":{{{}}},\"listing\":[{}]}}\n",
+        entries.len() - free,
+        entries.len(),
+        family_fields.join(","),
+        entry_fields.join(",")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,5 +208,23 @@ mod tests {
             a.contains("family mesh-xy: 5 entries (5 deadlock-free, 0 deadlocking)"),
             "{a}"
         );
+    }
+
+    #[test]
+    fn json_stats_parse_back_and_agree_with_the_text_renderer() {
+        let mut entries = families::generate_family("mesh-xy");
+        entries.extend(families::generate_family("merged-partitions"));
+        let text = render_stats_json(&entries);
+        assert_eq!(text, render_stats_json(&entries), "nondeterministic");
+        assert!(text.ends_with('\n'));
+        let doc = ebda_obs::json::Value::parse(&text).unwrap();
+        assert_eq!(doc.get("entries").and_then(|v| v.as_u64()), Some(10));
+        assert_eq!(doc.get("deadlock_free").and_then(|v| v.as_u64()), Some(5));
+        assert_eq!(doc.get("deadlocking").and_then(|v| v.as_u64()), Some(5));
+        let mesh = doc.get("families").and_then(|f| f.get("mesh-xy")).unwrap();
+        assert_eq!(mesh.get("entries").and_then(|v| v.as_u64()), Some(5));
+        let listing = doc.get("listing").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(listing.len(), 10);
+        assert!(listing[0].get("hash").and_then(|v| v.as_str()).is_some());
     }
 }

@@ -2,7 +2,7 @@
 //! plus the matching one-shot client used by `ebda monitor`, the
 //! loopback tests and the CI smoke job.
 //!
-//! The server handles exactly three routes:
+//! The server handles exactly four routes:
 //!
 //! * `GET /metrics` — the Prometheus text exposition from
 //!   [`crate::metrics::render_global`]
@@ -11,6 +11,9 @@
 //! * `GET /ledger` — the run ledger registered via
 //!   [`crate::ledger::set_global_path`] as a JSON array (404 when no
 //!   ledger is registered)
+//! * `GET /coverage` — the coverage map registered via
+//!   [`crate::coverage::set_global_path`] as canonical JSON (404 when
+//!   no map is registered)
 //!
 //! It is deliberately tiny: one detached thread, one connection at a
 //! time, HTTP/1.0-style `Connection: close` responses. Scrapes are rare
@@ -101,6 +104,25 @@ fn handle(stream: &mut TcpStream, started: Instant) -> std::io::Result<()> {
             "text/plain; charset=utf-8",
             format!("ok uptime_seconds={}\n", started.elapsed().as_secs()),
         ),
+        "/coverage" => match crate::coverage::global_path() {
+            Some(path) => match crate::coverage::CoverageMap::read_file(&path) {
+                Ok(map) => (
+                    "200 OK",
+                    "application/json; charset=utf-8",
+                    map.to_json() + "\n",
+                ),
+                Err(e) => (
+                    "500 Internal Server Error",
+                    "text/plain; charset=utf-8",
+                    format!("coverage map unreadable: {e}\n"),
+                ),
+            },
+            None => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no coverage map registered\n".to_string(),
+            ),
+        },
         "/ledger" => match crate::ledger::global_path() {
             Some(path) => match crate::ledger::render_json(&path) {
                 Ok(body) => ("200 OK", "application/json; charset=utf-8", body),
@@ -213,6 +235,7 @@ mod tests {
                 hash: "0000000000000000".into(),
                 gfp_sweeps: 1,
                 wait_pairs: 0,
+                coverage: String::new(),
                 provenance: "{}".into(),
             }],
         )
@@ -223,6 +246,21 @@ mod tests {
         assert_eq!(parsed.as_arr().map(<[_]>::len), Some(1));
         crate::ledger::set_global_path(None);
         let _ = std::fs::remove_file(&ledger_path);
+
+        // /coverage: 404 until a map is registered, canonical JSON after.
+        assert!(http_get(&addr, "/coverage").is_err());
+        let mut coverage_path = std::env::temp_dir();
+        coverage_path.push(format!("ebda-http-coverage-{}", std::process::id()));
+        let mut map = crate::coverage::CoverageMap::new("http-test");
+        map.record("obligation", "theorem1/p0");
+        map.write_file(&coverage_path).unwrap();
+        crate::coverage::set_global_path(Some(coverage_path.clone()));
+        let body = http_get(&addr, "/coverage").expect("coverage route");
+        let served = crate::coverage::CoverageMap::from_json(body.trim_end())
+            .expect("coverage body parses");
+        assert_eq!(served, map);
+        crate::coverage::set_global_path(None);
+        let _ = std::fs::remove_file(&coverage_path);
 
         server.shutdown();
     }

@@ -62,6 +62,9 @@ pub struct LedgerRecord {
     /// Admissible hold/want pairs the brute path enumerated
     /// (deterministic work counter).
     pub wait_pairs: u64,
+    /// [`crate::coverage::CoverageMap::digest`] of the coverage this
+    /// verdict contributed, or `""` when the run did not track coverage.
+    pub coverage: String,
     /// The single-line provenance JSON document, embedded verbatim.
     pub provenance: String,
 }
@@ -72,7 +75,7 @@ impl LedgerRecord {
     /// byte-exactly.
     pub fn to_line(&self) -> String {
         format!(
-            "{{\"format\":{},\"index\":{},\"source\":{},\"name\":{},\"git_rev\":{},\"seed\":{},\"verdict\":{},\"evidence\":{},\"hash\":{},\"gfp_sweeps\":{},\"wait_pairs\":{},\"provenance\":{}}}",
+            "{{\"format\":{},\"index\":{},\"source\":{},\"name\":{},\"git_rev\":{},\"seed\":{},\"verdict\":{},\"evidence\":{},\"hash\":{},\"gfp_sweeps\":{},\"wait_pairs\":{},\"coverage\":{},\"provenance\":{}}}",
             LEDGER_FORMAT,
             self.index,
             crate::json::escape(&self.source),
@@ -84,6 +87,7 @@ impl LedgerRecord {
             crate::json::escape(&self.hash),
             self.gfp_sweeps,
             self.wait_pairs,
+            crate::json::escape(&self.coverage),
             crate::json::escape(&self.provenance),
         )
     }
@@ -127,6 +131,15 @@ impl LedgerRecord {
             hash: str_field("hash")?,
             gfp_sweeps: u64_field("gfp_sweeps")?,
             wait_pairs: u64_field("wait_pairs")?,
+            // Records from before the coverage subsystem carry no
+            // coverage digest; default to empty rather than rejecting.
+            coverage: match v.get("coverage") {
+                Some(x) => x
+                    .as_str()
+                    .map(str::to_string)
+                    .ok_or("field coverage is not a string")?,
+                None => String::new(),
+            },
             provenance: str_field("provenance")?,
         })
     }
@@ -333,6 +346,7 @@ mod tests {
             hash: "499b374294581b24".to_string(),
             gfp_sweeps: 3,
             wait_pairs: 68,
+            coverage: "feedfacecafebeef".to_string(),
             provenance: "{\"format\":1,\"hash\":\"499b374294581b24\"}".to_string(),
         }
     }
@@ -404,5 +418,16 @@ mod tests {
         r.name = "quotes \" and \\ backslashes".to_string();
         let line = r.to_line();
         assert_eq!(LedgerRecord::from_line(&line).unwrap().name, r.name);
+    }
+
+    #[test]
+    fn reads_pre_coverage_records_with_empty_digest() {
+        // Ledgers written before the coverage subsystem lack the
+        // `coverage` key; they must still parse (as digest "").
+        let legacy = record("legacy", "deadlock-free")
+            .to_line()
+            .replace(",\"coverage\":\"feedfacecafebeef\"", "");
+        let parsed = LedgerRecord::from_line(&legacy).expect("legacy line parses");
+        assert_eq!(parsed.coverage, "");
     }
 }

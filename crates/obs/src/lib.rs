@@ -27,6 +27,10 @@
 //!   environment has no registry access).
 //! * [`rng::Rng64`] — a splitmix64 PRNG giving the workspace deterministic
 //!   randomness without the `rand` crate.
+//! * [`coverage`] — deterministic, mergeable **design-space coverage
+//!   maps** fed by the verdict paths and the simulator: obligations
+//!   discharged, turn pairs admitted/denied, CDG edges visited, escape
+//!   channels drained, GFP pairs enumerated and design-space bins hit.
 //! * [`journey`] — **per-packet journey tracing**: a deterministic
 //!   splitmix64 sampler picks packets whose full causal span tree
 //!   (injection → per-hop VC allocation → channel hold → ejection/drop)
@@ -41,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod coverage;
 pub mod csv;
 pub mod event;
 pub mod http;
@@ -55,6 +60,7 @@ pub mod rng;
 pub mod telemetry;
 
 pub use chrome::{TraceBuilder, TraceSummary};
+pub use coverage::CoverageMap;
 pub use event::{Event, EventKind};
 pub use http::{http_get, MetricsServer};
 pub use journey::{ChannelId, Journey, JourneyConfig, JourneyEnd, JourneyTracer};

@@ -64,6 +64,11 @@ pub struct BruteReport {
     pub surviving: usize,
     /// Pruning sweeps needed to converge.
     pub sweeps: usize,
+    /// The distinct class-level `(hold, want)` combinations realized by
+    /// at least one admissible concrete pair, as sorted index pairs
+    /// into the search's universe — what campaigns feed the `gfp_pair`
+    /// coverage family.
+    pub pair_classes: Vec<(u16, u16)>,
     /// A circular wait read off the fixed point, or `None` when empty.
     pub witness: Option<Vec<BruteChannel>>,
 }
@@ -181,6 +186,7 @@ pub fn search(topo: &Topology, vcs: &[u8], universe: &[Channel], turns: &TurnSet
     // `want`, i.e. some hold-class row of `allow` intersects `want`'s mask.
     let mut pair_hold: Vec<u32> = Vec::new();
     let mut pair_want: Vec<u32> = Vec::new();
+    let mut class_pairs: std::collections::BTreeSet<(u16, u16)> = std::collections::BTreeSet::new();
     for hold in 0..n {
         let hm = &match_mask[hold * uw..(hold + 1) * uw];
         for &want in &by_source[channels[hold].to] {
@@ -200,6 +206,26 @@ pub fn search(topo: &Topology, vcs: &[u8], universe: &[Channel], turns: &TurnSet
             if admissible {
                 pair_hold.push(hold as u32);
                 pair_want.push(want as u32);
+                // Record every class-level (hold, want) combination this
+                // concrete pair realizes — the gfp_pair coverage family.
+                // The class sets are tiny, so this second walk stays off
+                // the admissibility fast path above.
+                for (wi, &hword) in hm.iter().enumerate() {
+                    let mut bits = hword;
+                    while bits != 0 {
+                        let ca = wi * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let row = &allow[ca * uw..(ca + 1) * uw];
+                        for (wj, (&r, &w)) in row.iter().zip(wm).enumerate() {
+                            let mut both = r & w;
+                            while both != 0 {
+                                let cb = wj * 64 + both.trailing_zeros() as usize;
+                                both &= both - 1;
+                                class_pairs.insert((ca as u16, cb as u16));
+                            }
+                        }
+                    }
+                }
             }
         }
     }
@@ -281,6 +307,7 @@ pub fn search(topo: &Topology, vcs: &[u8], universe: &[Channel], turns: &TurnSet
         pairs: pair_count,
         surviving,
         sweeps,
+        pair_classes: class_pairs.into_iter().collect(),
         witness,
     }
 }
@@ -409,6 +436,36 @@ mod tests {
             (128, 428, 0, 14)
         );
         assert!(r.is_deadlock_free());
+    }
+
+    #[test]
+    fn pair_classes_enumerate_realized_class_combinations() {
+        // All-turns-allowed on a mesh: every (a, b) class pair with an
+        // adjacent concrete realization appears; straight-through (a, a)
+        // included. Sorted and deduplicated by construction.
+        let u = parse_channels("X+ X- Y+ Y-").unwrap();
+        let mut all = TurnSet::new();
+        for &a in &u {
+            for &b in &u {
+                if a != b {
+                    all.insert(Turn::new(a, b));
+                }
+            }
+        }
+        let r = search(&Topology::mesh(&[3, 3]), &[1, 1], &u, &all);
+        assert!(r.pair_classes.contains(&(0, 0)), "straight-through X+");
+        assert!(
+            r.pair_classes.windows(2).all(|w| w[0] < w[1]),
+            "sorted and deduplicated: {:?}",
+            r.pair_classes
+        );
+        // A hairpin X+ -> X- is adjacent on a mesh and allowed here.
+        assert!(r.pair_classes.contains(&(0, 1)), "{:?}", r.pair_classes);
+
+        // Straight-through only: exactly the diagonal pairs survive the
+        // admissibility filter.
+        let straight = search(&Topology::torus(&[4, 4]), &[1, 1], &u, &TurnSet::new());
+        assert_eq!(straight.pair_classes, vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Per-artifact **coverage extraction**: what one evaluated artifact
+//! contributes to a campaign's [`ebda_obs::CoverageMap`].
+//!
+//! Each verdict path already computes the raw material — the CDG's
+//! edges, the extraction's theorem justifications, Duato's drained
+//! escape classes, the brute searcher's realized class pairs. This
+//! module translates those into the canonical coverage families (see
+//! [`ebda_obs::coverage`]) plus the design-space bin of the artifact
+//! itself: a coarse label over (dims, max radix, wrap, max VCs,
+//! turn-set density, verdict) that coverage-guided generation steers
+//! toward unseen values of.
+//!
+//! Everything here is a pure function of the artifact and its verdicts,
+//! so workers can extract coverage in parallel and the coordinator can
+//! merge the per-artifact maps in stream order — the byte-determinism
+//! contract the campaigns guarantee.
+
+use crate::artifact::Artifact;
+use crate::verdict::Verdicts;
+use ebda_cdg::Cdg;
+use ebda_core::extract_turns;
+use ebda_obs::CoverageMap;
+
+/// Buckets a turn-set density (allowed off-diagonal class pairs over
+/// all off-diagonal class pairs) into the coarse labels used in
+/// design-space bins: `z` (no turns), `lo` (< 0.25), `mid` (< 0.6),
+/// `hi` (≥ 0.6).
+pub fn density_bucket(allowed: usize, possible: usize) -> &'static str {
+    if allowed == 0 || possible == 0 {
+        return "z";
+    }
+    let d = allowed as f64 / possible as f64;
+    if d < 0.25 {
+        "lo"
+    } else if d < 0.6 {
+        "mid"
+    } else {
+        "hi"
+    }
+}
+
+fn turn_density(artifact: &Artifact) -> (usize, usize) {
+    let mut allowed = 0usize;
+    let mut possible = 0usize;
+    for &a in &artifact.universe {
+        for &b in &artifact.universe {
+            if a == b {
+                continue;
+            }
+            possible += 1;
+            if artifact.turns.allows(a, b) {
+                allowed += 1;
+            }
+        }
+    }
+    (allowed, possible)
+}
+
+/// The verdict-free **shape bin** of an artifact:
+/// `d{dims}.r{max radix}.w{0|1}.v{max vcs}.t{density}`. This is what
+/// coverage-guided generation can see *before* running the verdict
+/// paths, so it steers on shape alone.
+pub fn shape_bin(artifact: &Artifact) -> String {
+    let (allowed, possible) = turn_density(artifact);
+    format!(
+        "d{}.r{}.w{}.v{}.t{}",
+        artifact.radix.len(),
+        artifact.radix.iter().copied().max().unwrap_or(0),
+        u8::from(artifact.wraps()),
+        artifact.vcs.iter().copied().max().unwrap_or(0),
+        density_bucket(allowed, possible)
+    )
+}
+
+/// The full **design-space bin**: the shape bin suffixed with the
+/// ground-truth verdict (`free` or `deadlock`, from the brute path).
+pub fn design_bin(artifact: &Artifact, verdicts: &Verdicts) -> String {
+    let verdict = if verdicts.brute.is_deadlock_free() {
+        "free"
+    } else {
+        "deadlock"
+    };
+    format!("{}.{verdict}", shape_bin(artifact))
+}
+
+/// Extracts the coverage contribution of one evaluated artifact as an
+/// unkeyed [`CoverageMap`] (campaigns merge these in stream order and
+/// key the merged map themselves):
+///
+/// * `cdg_edge` — class-level edge labels of the CDG the Dally path
+///   checks, via [`Cdg::class_edges`]
+/// * `turn_admitted` / `turn_denied` — each off-diagonal class pair,
+///   split by whether the routing relation allows the turn
+/// * `obligation` — theorem obligations the EbDa extraction discharges
+///   (partitioning artifacts with a valid design only)
+/// * `escape_drain` — escape classes Duato's report proves drainable
+/// * `gfp_pair` — class-level hold/want pairs the brute search realized
+/// * `design_bin` — the artifact's design-space bin, once
+pub fn artifact_coverage(artifact: &Artifact, verdicts: &Verdicts) -> CoverageMap {
+    let mut map = CoverageMap::new("");
+
+    let cdg = Cdg::from_turn_set(
+        &artifact.topology(),
+        &artifact.vcs,
+        &artifact.universe,
+        &artifact.turns,
+    );
+    for edge in cdg.class_edges() {
+        map.record("cdg_edge", edge);
+    }
+
+    for &a in &artifact.universe {
+        for &b in &artifact.universe {
+            if a == b {
+                continue;
+            }
+            let family = if artifact.turns.allows(a, b) {
+                "turn_admitted"
+            } else {
+                "turn_denied"
+            };
+            map.record(family, format!("{a}>{b}"));
+        }
+    }
+
+    if let Some(extraction) = artifact.design.as_ref().and_then(|seq| extract_turns(seq).ok()) {
+        for key in extraction.obligation_keys() {
+            map.record("obligation", key);
+        }
+    }
+
+    for class in verdicts.duato.drained_classes(&artifact.universe) {
+        map.record("escape_drain", class);
+    }
+
+    for &(ca, cb) in &verdicts.brute.pair_classes {
+        map.record(
+            "gfp_pair",
+            format!(
+                "{}>{}",
+                artifact.universe[ca as usize], artifact.universe[cb as usize]
+            ),
+        );
+    }
+
+    map.record("design_bin", design_bin(artifact, verdicts));
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::Generator;
+    use crate::verdict::{evaluate, Mutation};
+
+    #[test]
+    fn every_family_is_fed_by_a_small_generated_stream() {
+        let mut g = Generator::with_max_nodes(7, 16);
+        let mut map = CoverageMap::new("test");
+        for _ in 0..24 {
+            let a = g.next_artifact();
+            let v = evaluate(&a, Mutation::None);
+            map.merge(&artifact_coverage(&a, &v));
+        }
+        for family in [
+            "cdg_edge",
+            "turn_admitted",
+            "turn_denied",
+            "obligation",
+            "escape_drain",
+            "gfp_pair",
+            "design_bin",
+        ] {
+            assert!(map.covered(family) > 0, "family {family} never fed:\n{}", map.report());
+        }
+    }
+
+    #[test]
+    fn extraction_is_deterministic_per_artifact() {
+        let mut g1 = Generator::with_max_nodes(11, 16);
+        let mut g2 = Generator::with_max_nodes(11, 16);
+        for _ in 0..8 {
+            let (a1, a2) = (g1.next_artifact(), g2.next_artifact());
+            let c1 = artifact_coverage(&a1, &evaluate(&a1, Mutation::None));
+            let c2 = artifact_coverage(&a2, &evaluate(&a2, Mutation::None));
+            assert_eq!(c1.to_json(), c2.to_json());
+        }
+    }
+
+    #[test]
+    fn bins_compose_shape_and_verdict() {
+        let mut g = Generator::with_max_nodes(3, 12);
+        let a = g.next_artifact();
+        let v = evaluate(&a, Mutation::None);
+        let bin = design_bin(&a, &v);
+        assert!(bin.starts_with(&shape_bin(&a)), "{bin}");
+        assert!(
+            bin.ends_with(".free") || bin.ends_with(".deadlock"),
+            "{bin}"
+        );
+        assert_eq!(density_bucket(0, 10), "z");
+        assert_eq!(density_bucket(1, 10), "lo");
+        assert_eq!(density_bucket(5, 10), "mid");
+        assert_eq!(density_bucket(9, 10), "hi");
+    }
+}

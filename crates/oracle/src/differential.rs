@@ -49,6 +49,19 @@ pub struct CampaignConfig {
     /// count. Speculative evaluations past a first disagreement are
     /// discarded, exactly like the tallies.
     pub ledger: Option<std::path::PathBuf>,
+    /// When set, write the campaign's merged coverage map (see
+    /// [`ebda_obs::coverage`]) to this file as canonical JSON. Workers
+    /// extract per-artifact coverage in parallel; the coordinator
+    /// merges in stream order, so the map bytes are identical at any
+    /// thread count.
+    pub coverage: Option<std::path::PathBuf>,
+    /// Bias the artifact generator toward unseen design-space shape
+    /// bins: for each stream slot, up to a fixed number of candidates
+    /// are drawn and the first whose [`crate::coverage::shape_bin`] is
+    /// new this campaign is kept. Fully seed-deterministic — the extra
+    /// draws come from the same stream. Implies coverage tracking (the
+    /// report carries the map) even without a `coverage` path.
+    pub coverage_guided: bool,
 }
 
 impl Default for CampaignConfig {
@@ -63,6 +76,8 @@ impl Default for CampaignConfig {
             journey_sample_rate: 1.0,
             threads: 0,
             ledger: None,
+            coverage: None,
+            coverage_guided: false,
         }
     }
 }
@@ -92,6 +107,10 @@ pub struct Replay {
     pub journey_json: String,
     /// The full recorder document (events + samples + totals) as JSON.
     pub trace_json: String,
+    /// The replay's `sim_event` coverage contribution (see
+    /// [`noc_sim::replay_coverage`]), merged into the campaign map when
+    /// coverage tracking is on.
+    pub sim_coverage: ebda_obs::CoverageMap,
 }
 
 /// A disagreement, its shrunk form, and the replay evidence.
@@ -128,6 +147,12 @@ pub struct CampaignReport {
     pub duato_connected: usize,
     /// Wall-clock milliseconds spent.
     pub elapsed_ms: u128,
+    /// Artifacts whose design-space bin was new to this campaign —
+    /// new-coverage-per-artifact. Zero when coverage tracking is off.
+    pub bin_opening_artifacts: usize,
+    /// The merged coverage map, when the campaign tracked coverage
+    /// (`coverage` path set or `coverage_guided` on).
+    pub coverage: Option<ebda_obs::CoverageMap>,
     /// The first cross-check violation, if any.
     pub caught: Option<CaughtDisagreement>,
 }
@@ -151,6 +176,16 @@ impl fmt::Display for CampaignReport {
             "verdicts: {} deadlock-free, {} deadlocking; {} EbDa-accepted, {} Duato-connected",
             self.deadlock_free, self.deadlocking, self.ebda_accepted, self.duato_connected
         )?;
+        if let Some(map) = &self.coverage {
+            write!(
+                f,
+                "\ncoverage: {} design-space bins ({} bin-opening artifacts), {} points total, digest {}",
+                map.covered("design_bin"),
+                self.bin_opening_artifacts,
+                map.total_points(),
+                map.digest()
+            )?;
+        }
         match &self.caught {
             None => write!(f, "\nall verdict paths agreed on every configuration"),
             Some(c) => {
@@ -211,6 +246,20 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     let mut report = CampaignReport::default();
     let git_rev = cfg.ledger.as_ref().map(|_| ebda_obs::ledger::git_rev());
     let mut records: Vec<ebda_obs::LedgerRecord> = Vec::new();
+    let with_coverage = cfg.coverage.is_some() || cfg.coverage_guided;
+    let mut coverage_map = with_coverage.then(|| {
+        ebda_obs::CoverageMap::new(format!(
+            "oracle-seed-{}-mutation-{}",
+            cfg.seed, cfg.mutation
+        ))
+    });
+    // Shape bins seen at *generation* time (guided mode steers by these)
+    // and design bins seen at *tally* time (new-coverage-per-artifact).
+    let mut seen_shapes: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut seen_bins: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    // How many candidates a guided slot may draw before settling: enough
+    // to skip well-trodden shapes, bounded so generation stays cheap.
+    const GUIDED_DRAWS: usize = 6;
     'campaign: while (start.elapsed() < cfg.budget || report.configs < cfg.min_configs)
         && report.configs < cfg.max_configs
     {
@@ -224,15 +273,36 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         let artifacts: Vec<Artifact> = {
             let _p = ebda_obs::prof::phase("oracle/generate");
             ebda_obs::prof::work("oracle/generate", "artifacts", n as u64);
-            (0..n).map(|_| generator.next_artifact()).collect()
+            (0..n)
+                .map(|_| {
+                    if !cfg.coverage_guided {
+                        return generator.next_artifact();
+                    }
+                    // Guided: rejection-sample the stream toward unseen
+                    // shape bins. Generation stays sequential on the
+                    // coordinator, so this is seed-deterministic and
+                    // thread-count-independent.
+                    let mut pick = generator.next_artifact();
+                    let mut draws = 1;
+                    while draws < GUIDED_DRAWS
+                        && seen_shapes.contains(&crate::coverage::shape_bin(&pick))
+                    {
+                        pick = generator.next_artifact();
+                        draws += 1;
+                    }
+                    seen_shapes.insert(crate::coverage::shape_bin(&pick));
+                    pick
+                })
+                .collect()
         };
         let with_provenance = cfg.ledger.is_some();
         let batch = ebda_par::parallel_map(threads, &artifacts, |_, a| {
             let v = evaluate(a, cfg.mutation);
             let prov = with_provenance.then(|| Provenance::from_artifact(a, &v));
-            (v, prov)
+            let cov = with_coverage.then(|| crate::coverage::artifact_coverage(a, &v));
+            (v, prov, cov)
         });
-        for (artifact, (verdicts, prov)) in artifacts.iter().zip(&batch) {
+        for (artifact, (verdicts, prov, cov)) in artifacts.iter().zip(&batch) {
             report.configs += 1;
             ebda_obs::counter_add("oracle.configs", 1);
             ebda_obs::metrics::counter_add("ebda_oracle_artifacts_checked_total", &[], 1);
@@ -253,6 +323,14 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
             if verdicts.duato.escape_connected {
                 report.duato_connected += 1;
             }
+            if let (Some(map), Some(cov)) = (coverage_map.as_mut(), cov) {
+                // Merged in stream order on the coordinator, so the map
+                // is byte-identical at any thread count.
+                map.merge(cov);
+                if seen_bins.insert(crate::coverage::design_bin(artifact, verdicts)) {
+                    report.bin_opening_artifacts += 1;
+                }
+            }
             if let Some(prov) = prov {
                 // Records are assembled in stream order so the ledger's
                 // bytes never depend on the thread count; `index` is
@@ -272,6 +350,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
                     hash: prov.hash_hex(),
                     gfp_sweeps: verdicts.brute.sweeps as u64,
                     wait_pairs: verdicts.brute.pairs as u64,
+                    coverage: cov.as_ref().map(|c| c.digest()).unwrap_or_default(),
                     provenance: prov.to_json(),
                 });
             }
@@ -291,6 +370,20 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         if let Err(e) = ebda_obs::ledger::append(path, &records) {
             eprintln!("oracle: ledger append failed: {e}");
         }
+    }
+    if let Some(map) = &mut coverage_map {
+        // A caught disagreement was replayed through the simulator: its
+        // sim_event coverage belongs to the campaign map too.
+        if let Some(replay) = report.caught.as_ref().and_then(|c| c.replay.as_ref()) {
+            map.merge(&replay.sim_coverage);
+        }
+        map.publish_metrics();
+        if let Some(path) = &cfg.coverage {
+            if let Err(e) = map.write_file(path) {
+                eprintln!("oracle: coverage write failed: {e}");
+            }
+        }
+        report.coverage = coverage_map;
     }
     report.elapsed_ms = start.elapsed().as_millis();
     report
@@ -489,6 +582,7 @@ pub fn replay_artifact(artifact: &Artifact, seed: u64, journeys: JourneyConfig) 
         ..SimConfig::default()
     };
     let (result, recorder) = replay_traced(&topo, relation.as_ref(), &sim_cfg, Some(journeys));
+    let sim_coverage = noc_sim::replay_coverage(&result, &recorder);
     let watchdog_agrees = witness
         .as_ref()
         .filter(|_| !result.suspected_cycle.is_empty())
@@ -512,6 +606,7 @@ pub fn replay_artifact(artifact: &Artifact, seed: u64, journeys: JourneyConfig) 
         deadlocked,
         wait_cycle,
         wait_edges: wait_edge_count(&recorder),
+        sim_coverage,
         watchdog_trips: result.watchdog_trips,
         suspected_cycle: result
             .suspected_cycle
@@ -557,6 +652,8 @@ mod tests {
             journey_sample_rate: 1.0,
             threads: 0,
             ledger: None,
+            coverage: None,
+            coverage_guided: false,
         }
     }
 
@@ -581,6 +678,101 @@ mod tests {
         assert_eq!(serial.ebda_accepted, parallel.ebda_accepted);
         assert_eq!(serial.duato_connected, parallel.duato_connected);
         assert!(serial.is_clean() && parallel.is_clean());
+    }
+
+    #[test]
+    fn coverage_map_is_byte_identical_across_thread_counts() {
+        // The tentpole determinism claim: per-artifact maps are
+        // extracted in parallel but merged in stream order, so the
+        // campaign map's canonical JSON is identical at --threads 1/8.
+        let with_coverage = |threads| {
+            let mut path = std::env::temp_dir();
+            path.push(format!(
+                "ebda-oracle-cov-t{threads}-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_file(&path);
+            let report = run_campaign(&CampaignConfig {
+                threads,
+                coverage: Some(path.clone()),
+                ..quick(Mutation::None)
+            });
+            let on_disk = std::fs::read_to_string(&path).expect("map written");
+            let _ = std::fs::remove_file(&path);
+            (report, on_disk)
+        };
+        let (serial, serial_bytes) = with_coverage(1);
+        let (parallel, parallel_bytes) = with_coverage(8);
+        assert_eq!(serial_bytes, parallel_bytes, "coverage files must match");
+        let (sm, pm) = (serial.coverage.unwrap(), parallel.coverage.unwrap());
+        assert_eq!(sm.to_json(), pm.to_json());
+        assert_eq!(sm.diff(&pm), None);
+        assert_eq!(
+            serial.bin_opening_artifacts,
+            parallel.bin_opening_artifacts
+        );
+        // The written file is the report's map plus a newline.
+        assert_eq!(serial_bytes, sm.to_json() + "\n");
+        // Every non-sim family is fed even by a 30-artifact campaign.
+        for family in [
+            "cdg_edge",
+            "turn_admitted",
+            "turn_denied",
+            "obligation",
+            "escape_drain",
+            "gfp_pair",
+            "design_bin",
+        ] {
+            assert!(sm.covered(family) > 0, "family {family} empty");
+        }
+    }
+
+    #[test]
+    fn guided_campaign_reaches_more_bins_at_equal_budget() {
+        // The acceptance claim: at the same checked-artifact budget, the
+        // coverage-guided stream must reach strictly more design-space
+        // bins than blind sampling from the same seed.
+        let base = CampaignConfig {
+            min_configs: 60,
+            max_configs: 60,
+            ..quick(Mutation::None)
+        };
+        let blind = run_campaign(&CampaignConfig {
+            coverage_guided: false,
+            coverage: Some(std::env::temp_dir().join(format!(
+                "ebda-oracle-blind-{}",
+                std::process::id()
+            ))),
+            ..base.clone()
+        });
+        let guided = run_campaign(&CampaignConfig {
+            coverage_guided: true,
+            ..base
+        });
+        let _ = std::fs::remove_file(
+            std::env::temp_dir().join(format!("ebda-oracle-blind-{}", std::process::id())),
+        );
+        assert_eq!(blind.configs, guided.configs, "equal artifact budget");
+        let blind_bins = blind.coverage.as_ref().unwrap().covered("design_bin");
+        let guided_bins = guided.coverage.as_ref().unwrap().covered("design_bin");
+        assert!(
+            guided_bins > blind_bins,
+            "guided must beat blind: {guided_bins} vs {blind_bins}"
+        );
+        // Guided runs track coverage even with no output path, and the
+        // report narrates it.
+        assert!(guided.to_string().contains("design-space bins"));
+        // Determinism: the guided stream is a pure function of the seed.
+        let again = run_campaign(&CampaignConfig {
+            coverage_guided: true,
+            min_configs: 60,
+            max_configs: 60,
+            ..quick(Mutation::None)
+        });
+        assert_eq!(
+            again.coverage.as_ref().unwrap().to_json(),
+            guided.coverage.as_ref().unwrap().to_json()
+        );
     }
 
     #[test]

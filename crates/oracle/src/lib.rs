@@ -20,6 +20,9 @@
 //!   independent checker `ebda check-cert` runs.
 //! * [`differential`] — the campaign entry point shared by the `oracle`
 //!   binary, the integration tests and CI.
+//! * [`coverage`] — per-artifact coverage extraction feeding the
+//!   design-space coverage maps of [`ebda_obs::coverage`], plus the
+//!   design-space bin labels coverage-guided generation steers by.
 //!
 //! ```
 //! use ebda_oracle::differential::{run_campaign, CampaignConfig};
@@ -39,6 +42,7 @@
 
 pub mod artifact;
 pub mod brute;
+pub mod coverage;
 pub mod differential;
 pub mod provenance;
 pub mod shrink;
@@ -46,6 +50,7 @@ pub mod verdict;
 
 pub use artifact::{Artifact, ArtifactKind, Generator};
 pub use brute::{search as brute_search, BruteReport};
+pub use coverage::{artifact_coverage, design_bin, shape_bin};
 pub use differential::{run_campaign, CampaignConfig, CampaignReport};
 pub use provenance::{CheckReport, Provenance};
 pub use shrink::shrink;

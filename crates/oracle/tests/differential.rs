@@ -17,6 +17,8 @@ fn base(mutation: Mutation) -> CampaignConfig {
         journey_sample_rate: 1.0,
         threads: 0,
         ledger: None,
+        coverage: None,
+        coverage_guided: false,
     }
 }
 

@@ -114,6 +114,7 @@ fn ledger_record_lines_are_pinned() {
             hash: prov.hash_hex(),
             gfp_sweeps: prov.brute.sweeps as u64,
             wait_pairs: prov.brute.pairs as u64,
+            coverage: String::new(),
             provenance: prov.to_json(),
         })
         .collect();

@@ -41,6 +41,6 @@ pub use config::{BufferPolicy, ConfigError, Selection, SimConfig, Switching};
 pub use ebda_routing::Topology;
 pub use engine::{channel_heatmap_csv, simulate, simulate_traced};
 pub use metrics::{ChannelCoord, EnergyModel, Outcome, SimResult, SuspectedEdge};
-pub use replay::{replay_traced, replay_with_recorder, wait_edge_count};
+pub use replay::{replay_coverage, replay_traced, replay_with_recorder, wait_edge_count};
 pub use sweep::{latency_curve, saturation_rate, SweepPoint};
 pub use traffic::TrafficPattern;

@@ -66,6 +66,28 @@ pub fn wait_edge_count(rec: &Recorder) -> usize {
     count
 }
 
+/// The coverage contribution of one recorded replay, under the
+/// `sim_event` family: per-kind event totals plus the run's outcome
+/// (`outcome/completed` or `outcome/deadlocked`). Campaigns merge this
+/// into their design-space coverage map when a counterexample replay
+/// runs, so the map also records which simulator behaviors the witness
+/// actually exercised.
+pub fn replay_coverage(result: &SimResult, rec: &Recorder) -> ebda_obs::CoverageMap {
+    let mut map = ebda_obs::CoverageMap::new("");
+    for kind in EventKind::ALL {
+        map.record_n("sim_event", kind.name(), rec.total(kind));
+    }
+    map.record(
+        "sim_event",
+        if result.outcome.is_deadlock_free() {
+            "outcome/completed"
+        } else {
+            "outcome/deadlocked"
+        },
+    );
+    map
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +170,20 @@ mod tests {
         assert!(
             !tracer.wait_notes().is_empty(),
             "watchdog edges must reach the journey tracer"
+        );
+    }
+
+    #[test]
+    fn replay_coverage_reports_event_kinds_and_outcome() {
+        let topo = Topology::mesh(&[4, 4]);
+        let (result, rec) = replay_with_recorder(&topo, &cyclic_relation(), &pressure());
+        let map = replay_coverage(&result, &rec);
+        assert!(map.hits("sim_event", "inject") > 0);
+        assert_eq!(map.hits("sim_event", "outcome/deadlocked"), 1);
+        assert_eq!(map.hits("sim_event", "outcome/completed"), 0);
+        assert_eq!(
+            map.hits("sim_event", "wait_for"),
+            rec.total(EventKind::WaitFor)
         );
     }
 

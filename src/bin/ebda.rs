@@ -47,9 +47,17 @@ const USAGE: &str = "usage:
                                              ledger (or a single provenance
                                              JSON document) without re-running
                                              any prover
-  ebda ledger   list FILE                    one summary line per ledger record
+  ebda ledger   list FILE [--json]           one summary line per ledger record
+                                             (--json: one canonical JSON array)
   ebda ledger   show FILE [HASH]             canonical JSON of the records
   ebda ledger   diff FILE1 FILE2             byte-compare two run ledgers
+  ebda coverage report FILE                  per-family table of a design-space
+                                             coverage map (written by campaigns
+                                             run with --coverage-out)
+  ebda coverage diff FILE1 FILE2             compare two coverage maps; exit 0
+                                             iff they are identical
+  ebda coverage merge OUT FILE...            merge coverage maps (associative,
+                                             commutative) into OUT
   ebda explain  HASH --ledger FILE           human narrative of one verdict's
                                              proof evidence
   ebda report   \"<design>\"                    markdown design review
@@ -82,12 +90,12 @@ const USAGE: &str = "usage:
                                              generation time)
   ebda corpus   run DIR [--archive-to DIR] [--mutate NAME] [--inject-mismatch]
                  [--expect-mismatch] [--shrink-budget N] [--threads N]
-                 [--ledger FILE]
+                 [--ledger FILE] [--coverage-out FILE]
                                              regression campaign: check every
                                              entry against all four verdict
                                              paths; mismatches are shrunk and
                                              archived as labeled witnesses
-  ebda corpus   stats DIR                    deterministic corpus statistics
+  ebda corpus   stats DIR [--json]           deterministic corpus statistics
   ebda monitor  --addr HOST:PORT [--once] [--interval SECS] [--interval-ms N]
                  [--ledger FILE]             poll a /metrics endpoint and render
                                              a compact terminal snapshot;
@@ -119,6 +127,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "certify" => cmd_certify(rest),
         "check-cert" => cmd_check_cert(rest),
         "ledger" => cmd_ledger(rest),
+        "coverage" => cmd_coverage(rest),
         "explain" => cmd_explain(rest),
         "report" => cmd_report(rest),
         "simulate" => cmd_simulate(rest),
@@ -307,6 +316,7 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
         let verdicts =
             ebda::oracle::verdict::evaluate(&artifact, ebda::oracle::verdict::Mutation::None);
         let prov = ebda::oracle::Provenance::from_artifact(&artifact, &verdicts);
+        let coverage = ebda::oracle::artifact_coverage(&artifact, &verdicts);
         let record = ebda_obs::LedgerRecord {
             index: 0,
             source: "cli".into(),
@@ -322,6 +332,7 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
             hash: prov.hash_hex(),
             gfp_sweeps: verdicts.brute.sweeps as u64,
             wait_pairs: verdicts.brute.pairs as u64,
+            coverage: coverage.digest(),
             provenance: prov.to_json(),
         };
         let path = std::path::PathBuf::from(path);
@@ -446,10 +457,25 @@ fn cmd_ledger(args: &[String]) -> Result<(), String> {
     let Some(action) = args.first() else {
         return Err("missing ledger action (list, show, diff)".into());
     };
-    let rest = positionals(&args[1..]);
+    // --json is a bare switch: strip it before positional extraction,
+    // which assumes every flag takes a value.
+    let json = args.iter().any(|a| a == "--json");
+    let filtered: Vec<String> = args[1..]
+        .iter()
+        .filter(|a| *a != "--json")
+        .cloned()
+        .collect();
+    let rest = positionals(&filtered);
     match action.as_str() {
         "list" => {
             let path = rest.first().ok_or("ledger list needs a FILE")?;
+            if json {
+                print!(
+                    "{}",
+                    ebda_obs::ledger::render_json(std::path::Path::new(path))?
+                );
+                return Ok(());
+            }
             let records = ebda_obs::ledger::read(std::path::Path::new(path))?;
             for r in &records {
                 println!("{}", r.summary());
@@ -488,6 +514,67 @@ fn cmd_ledger(args: &[String]) -> Result<(), String> {
         }
         other => Err(format!(
             "unknown ledger action {other:?} (try list, show, diff)"
+        )),
+    }
+}
+
+/// `ebda coverage <report|diff|merge>`: inspect and combine design-space
+/// coverage maps written by `--coverage-out` campaigns.
+fn cmd_coverage(args: &[String]) -> Result<(), String> {
+    let Some(action) = args.first() else {
+        return Err("missing coverage action (report, diff, merge)".into());
+    };
+    let rest = positionals(&args[1..]);
+    match action.as_str() {
+        "report" => {
+            let path = rest.first().ok_or("coverage report needs a FILE")?;
+            let map = ebda_obs::CoverageMap::read_file(std::path::Path::new(path))?;
+            print!("{}", map.report());
+            Ok(())
+        }
+        "diff" => {
+            let (Some(a), Some(b)) = (rest.first(), rest.get(1)) else {
+                return Err("coverage diff needs two FILEs".into());
+            };
+            let left = ebda_obs::CoverageMap::read_file(std::path::Path::new(a))?;
+            let right = ebda_obs::CoverageMap::read_file(std::path::Path::new(b))?;
+            match left.diff(&right) {
+                None => {
+                    println!(
+                        "coverage maps are identical ({} points, digest {})",
+                        left.total_points(),
+                        left.digest()
+                    );
+                    Ok(())
+                }
+                Some(delta) => Err(format!("coverage maps differ: {delta}")),
+            }
+        }
+        "merge" => {
+            let Some((out, inputs)) = rest.split_first() else {
+                return Err("coverage merge needs OUT FILE...".into());
+            };
+            if inputs.is_empty() {
+                return Err("coverage merge needs at least one input FILE".into());
+            }
+            let mut maps = inputs.iter().map(|p| {
+                ebda_obs::CoverageMap::read_file(std::path::Path::new(p))
+            });
+            let mut merged = maps.next().expect("non-empty inputs")?;
+            for map in maps {
+                merged.merge(&map?);
+            }
+            merged.write_file(std::path::Path::new(out))?;
+            println!(
+                "merged {} map(s) into {out}: {} points, digest {}",
+                inputs.len(),
+                merged.total_points(),
+                merged.digest()
+            );
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown coverage action {other:?} (try report, diff, merge)"
         )),
     }
 }
@@ -664,8 +751,10 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
     let ledger = flag_value(args, "--ledger");
     let in_place = watch_secs.is_some() && !once;
     loop {
-        let body =
-            ebda_obs::http_get(addr, "/metrics").map_err(|e| format!("scrape {addr}: {e}"))?;
+        // A dead endpoint is an expected condition, not a parse bug:
+        // report it as one clean line instead of the raw io error.
+        let body = ebda_obs::http_get(addr, "/metrics")
+            .map_err(|_| format!("endpoint unreachable: {addr}"))?;
         let samples = ebda_obs::metrics::parse_exposition(&body)
             .map_err(|e| format!("malformed exposition from {addr}: {e}"))?;
         if in_place {
@@ -1027,6 +1116,47 @@ mod tests {
     }
 
     #[test]
+    fn monitor_reports_a_dead_endpoint_cleanly() {
+        // Nothing listens on a freshly bound-then-dropped port; the error
+        // must be the clean one-liner, not a raw io error string.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        };
+        let err = run(&s(&["monitor", "--addr", &addr, "--once"])).unwrap_err();
+        assert_eq!(err, format!("endpoint unreachable: {addr}"));
+    }
+
+    #[test]
+    fn coverage_report_diff_merge_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("ebda-cli-cov-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut a = ebda_obs::CoverageMap::new("cli-a");
+        a.record("design_bin", "d2.r4.w0.v1.tlo.free");
+        a.record("obligation", "theorem1/p0");
+        let mut b = ebda_obs::CoverageMap::new("cli-b");
+        b.record("design_bin", "d2.r4.w0.v1.tlo.free");
+        b.record("gfp_pair", "X1+>Y1+");
+        let pa = dir.join("a.json");
+        let pb = dir.join("b.json");
+        let pm = dir.join("m.json");
+        a.write_file(&pa).unwrap();
+        b.write_file(&pb).unwrap();
+        let arg = |p: &std::path::Path| p.to_str().unwrap().to_string();
+        run(&s(&["coverage", "report", &arg(&pa)])).unwrap();
+        run(&s(&["coverage", "diff", &arg(&pa), &arg(&pa)])).unwrap();
+        assert!(run(&s(&["coverage", "diff", &arg(&pa), &arg(&pb)])).is_err());
+        run(&s(&["coverage", "merge", &arg(&pm), &arg(&pa), &arg(&pb)])).unwrap();
+        let merged = ebda_obs::CoverageMap::read_file(&pm).unwrap();
+        assert_eq!(merged.hits("design_bin", "d2.r4.w0.v1.tlo.free"), 2);
+        assert_eq!(merged.hits("gfp_pair", "X1+>Y1+"), 1);
+        assert!(run(&s(&["coverage"])).is_err());
+        assert!(run(&s(&["coverage", "frobnicate"])).is_err());
+        assert!(run(&s(&["coverage", "merge", &arg(&pm)])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn monitor_rejects_a_bad_interval() {
         let r = run(&s(&[
             "monitor",
@@ -1059,8 +1189,18 @@ mod tests {
 
         run(&s(&["check-cert", &p])).unwrap();
         run(&s(&["ledger", "list", &p])).unwrap();
+        run(&s(&["ledger", "list", &p, "--json"])).unwrap();
         run(&s(&["ledger", "show", &p])).unwrap();
         run(&s(&["ledger", "diff", &p, &p])).unwrap();
+
+        // The --json body is one parseable array with a coverage digest
+        // per record (cmd_verify computes per-artifact coverage).
+        let body = ebda_obs::ledger::render_json(&path).unwrap();
+        let doc = ebda_obs::json::Value::parse(&body).unwrap();
+        let arr = doc.as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        let digest = arr[0].get("coverage").and_then(|v| v.as_str()).unwrap();
+        assert_eq!(digest.len(), 16, "digest: {digest}");
 
         let records = ebda_obs::ledger::read(&path).unwrap();
         assert_eq!(records.len(), 2);
