@@ -39,6 +39,7 @@ use ebda_obs::ledger::git_rev;
 use ebda_oracle::artifact::{Artifact, ArtifactKind};
 use ebda_oracle::brute;
 use ebda_oracle::differential::{run_campaign, CampaignConfig};
+use ebda_oracle::incr;
 use ebda_oracle::shrink::{shrink, DEFAULT_SHRINK_BUDGET};
 use ebda_routing::classic::DimensionOrder;
 use ebda_routing::Topology;
@@ -279,6 +280,34 @@ fn main() -> ExitCode {
     let deadlocks = |a: &Artifact| {
         !brute::search(&a.topology(), &a.vcs, &a.universe, &a.turns).is_deadlock_free()
     };
+    // The CDG-bound shrink workload: a near-1-minimal turn-cycle on a
+    // 3D mesh, shrunk while its Dally CDG stays cyclic. The 2x2x2
+    // radix is already at the structural floor (no unwrap/shave/VC
+    // candidates) and the six turns form one class-level ring, so every
+    // candidate is a channel or turn drop that *breaks* the cycle: the
+    // shrinker scans them all and keeps none. Full-rebuild mode pays a
+    // CDG build plus a whole-graph cycle search per candidate;
+    // incremental mode answers each from the parent's CSR, rechecking
+    // only the one dirty SCC.
+    let u3 = ebda_core::parse_channels("X+ X- Y+ Y- Z+ Z-").unwrap();
+    let ring = ["X+", "Y+", "Z+", "X-", "Y-", "Z-"];
+    let mut ring_turns = ebda_core::TurnSet::new();
+    for w in ring.windows(2).chain(std::iter::once(&["Z-", "X+"][..])) {
+        ring_turns.insert(ebda_core::Turn::new(
+            w[0].parse().unwrap(),
+            w[1].parse().unwrap(),
+        ));
+    }
+    let cdg_start = Artifact {
+        id: 0,
+        kind: ArtifactKind::RandomTurns,
+        radix: vec![2, 2, 2],
+        wrap: vec![false, false, false],
+        vcs: vec![1, 1, 1],
+        universe: u3,
+        turns: ring_turns,
+        design: None,
+    };
 
     // Work-unit capture: one profiled execution per workload, before any
     // timing, then the profiler goes back off so the timed passes run the
@@ -305,6 +334,14 @@ fn main() -> ExitCode {
     let work_shrink = counted_run(|| {
         let small = shrink(&start, deadlocks, DEFAULT_SHRINK_BUDGET);
         assert_eq!(small.universe.len(), 1);
+    });
+    // Captured at threads=1: parallel shrink waves evaluate speculative
+    // candidates past the accepted one, which would make the incremental
+    // counters depend on the worker count; serial evaluation is the
+    // deterministic reference (verdicts are identical at every count).
+    let work_cdg_shrink = counted_run(|| {
+        let small = incr::shrink_while_cyclic(&cdg_start, DEFAULT_SHRINK_BUDGET, 1);
+        assert_eq!(small, cdg_start, "the turn ring is already 1-minimal");
     });
     let work_sweep = counted_run(|| {
         sweep_workload();
@@ -363,6 +400,16 @@ fn main() -> ExitCode {
         ns: m.mean_ns,
         mode: "harness",
         work: work_shrink,
+    });
+
+    let m = bench("shrink/turn-ring-cdg", || {
+        incr::shrink_while_cyclic(&cdg_start, DEFAULT_SHRINK_BUDGET, 1)
+    });
+    entries.push(Entry {
+        name: "shrink/turn-ring-cdg",
+        ns: m.mean_ns,
+        mode: "harness",
+        work: work_cdg_shrink,
     });
 
     // Macro workloads, timed once.

@@ -21,6 +21,7 @@
 //! | `--ledger <path>` | off | append one provenance-carrying run-ledger record per verdict (`EBDA_LEDGER`); bytes are identical at every thread count |
 //! | `--coverage-out <path>` | off | write the campaign's merged design-space coverage map as canonical JSON; bytes are identical at every thread count |
 //! | `--coverage-guided` | off | bias generation toward uncovered design-space bins (seed-deterministic rejection sampling) |
+//! | `--incremental <on\|off>` | on | dirty-SCC incremental re-verification in the shrinker (`EBDA_INCREMENTAL`); verdicts, ledger and coverage bytes are identical either way |
 //!
 //! The exit code is 0 when the outcome matches the expectation — clean by
 //! default, caught-disagreement under `--expect-disagreement` — and 1
@@ -87,6 +88,15 @@ pub fn run(mut args: Vec<String>) -> i32 {
         .map(std::path::PathBuf::from);
     let coverage = take::<String>(&mut args, "--coverage-out").map(std::path::PathBuf::from);
     let coverage_guided = take_switch(&mut args, "--coverage-guided");
+    match take::<String>(&mut args, "--incremental").as_deref() {
+        Some("on") => ebda_oracle::incr::set_enabled(true),
+        Some("off") => ebda_oracle::incr::set_enabled(false),
+        Some(other) => {
+            eprintln!("--incremental: expected on|off, got {other:?}");
+            return 2;
+        }
+        None => {}
+    }
     if !args.is_empty() {
         eprintln!("unknown arguments: {args:?}");
         return 2;
@@ -205,10 +215,8 @@ mod tests {
 
     #[test]
     fn coverage_flags_produce_a_canonical_map_file() {
-        let path = std::env::temp_dir().join(format!(
-            "ebda-oracle-cli-cov-{}.json",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("ebda-oracle-cli-cov-{}.json", std::process::id()));
         let _ = std::fs::remove_file(&path);
         let code = run(argv(&format!(
             "--budget 0 --min-configs 20 --max-configs 20 --max-nodes 16 \
@@ -226,5 +234,8 @@ mod tests {
     fn unknown_flags_are_rejected() {
         assert_eq!(run(argv("--frobnicate")), 2);
         assert_eq!(run(argv("--mutate nonsense")), 2);
+        // Rejected before any global-mode change, so this cannot leak
+        // into the other tests in this process.
+        assert_eq!(run(argv("--incremental sideways")), 2);
     }
 }

@@ -1,0 +1,555 @@
+//! Flat CSR/bitset adjacency — the unified graph representation behind
+//! every CDG verdict path.
+//!
+//! A [`Csr`] stores a channel-indexed dependency graph as two flat
+//! arrays (`row_start`, `col`) plus, for graphs small enough, u64
+//! bitset rows for O(1) edge membership. Dally cycle detection
+//! ([`find_cycle`]), the iterative Tarjan SCC pass ([`tarjan`]) and the
+//! Duato escape check (via [`crate::dally::verify_turn_set`]) all walk
+//! this one structure; the incremental engine
+//! ([`crate::incremental::IncrementalVerifier`]) additionally masks
+//! individual edge slots with an [`EdgeMask`] to answer what-if queries
+//! without rebuilding anything.
+//!
+//! All traversals share one thread-local visitation scratch buffer
+//! (colors, parents, DFS stack, in-degrees, ready-heap), so repeated
+//! queries on same-sized graphs perform zero allocations in steady
+//! state — the same discipline as the allocation-free engine cycle
+//! loop (see `crates/cdg/tests/scratch_allocs.rs`).
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Bitset rows are materialized only while `nodes * words_per_row`
+/// stays under this many u64 words (16 MiB) — verification CDGs are
+/// hundreds of nodes, but the cap keeps pathological topologies from
+/// allocating quadratic memory for a linear-time algorithm.
+const BITSET_WORD_CAP: usize = 1 << 21;
+
+/// Compressed-sparse-row adjacency over `u32` node indices, with
+/// optional u64 bitset rows for O(1) `has_edge` queries.
+///
+/// Construction invariant (documented, relied upon for byte-identical
+/// witnesses): rows are laid out in node-index order and every row's
+/// successor list ascends. [`crate::Cdg::build`] guarantees this by
+/// enumerating candidate successors in channel-enumeration order.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    n: usize,
+    /// `row_start[i]..row_start[i + 1]` indexes `col` for node `i`.
+    row_start: Vec<u32>,
+    /// Successor node indices, ascending within each row.
+    col: Vec<u32>,
+    /// Words per bitset row; 0 when bitset rows are not materialized.
+    words_per_row: usize,
+    /// Row-major adjacency bitset (`bits[u * words_per_row + v / 64]`).
+    bits: Vec<u64>,
+}
+
+impl Csr {
+    /// Wraps prebuilt CSR arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row_start` is not a monotone prefix over `col` with
+    /// `n + 1` entries.
+    pub fn new(n: usize, row_start: Vec<u32>, col: Vec<u32>) -> Csr {
+        assert_eq!(row_start.len(), n + 1, "row_start needs n + 1 entries");
+        assert_eq!(*row_start.last().unwrap() as usize, col.len());
+        assert!(row_start.windows(2).all(|w| w[0] <= w[1]));
+        let words_per_row = n.div_ceil(64);
+        let mut csr = Csr {
+            n,
+            row_start,
+            col,
+            words_per_row: 0,
+            bits: Vec::new(),
+        };
+        if n > 0 && n.saturating_mul(words_per_row) <= BITSET_WORD_CAP {
+            let mut bits = vec![0u64; n * words_per_row];
+            for u in 0..n {
+                for &v in csr.row(u) {
+                    bits[u * words_per_row + v as usize / 64] |= 1 << (v % 64);
+                }
+            }
+            csr.words_per_row = words_per_row;
+            csr.bits = bits;
+        }
+        csr
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.col.len()
+    }
+
+    /// Successors of node `u`, ascending.
+    pub fn row(&self, u: usize) -> &[u32] {
+        &self.col[self.row_start[u] as usize..self.row_start[u + 1] as usize]
+    }
+
+    /// The flat edge-slot index of the first edge of node `u` — edge
+    /// `k` of `u`'s row occupies slot `edge_base(u) + k`, the indexing
+    /// an [`EdgeMask`] uses.
+    pub fn edge_base(&self, u: usize) -> usize {
+        self.row_start[u] as usize
+    }
+
+    /// The edge-slot index of `u -> v`, or `None` when absent. Rows
+    /// ascend, so this is a binary search.
+    pub fn edge_index(&self, u: usize, v: u32) -> Option<usize> {
+        let row = self.row(u);
+        row.binary_search(&v).ok().map(|k| self.edge_base(u) + k)
+    }
+
+    /// Whether the edge `u -> v` exists — O(1) via the bitset rows when
+    /// they are materialized, binary search otherwise.
+    pub fn has_edge(&self, u: usize, v: u32) -> bool {
+        if self.words_per_row > 0 {
+            let w = self.bits[u * self.words_per_row + v as usize / 64];
+            w >> (v % 64) & 1 == 1
+        } else {
+            self.row(u).binary_search(&v).is_ok()
+        }
+    }
+
+    /// Whether the bitset rows are materialized (size-capped).
+    pub fn has_bitset(&self) -> bool {
+        self.words_per_row > 0
+    }
+}
+
+/// A bitset over the edge *slots* of one [`Csr`] — the overlay the
+/// incremental engine uses to mark edges as removed without touching
+/// the shared arrays. Slot `k` is edge `k` in `col` order (see
+/// [`Csr::edge_base`]).
+#[derive(Debug, Clone)]
+pub struct EdgeMask {
+    words: Vec<u64>,
+    set: usize,
+}
+
+impl EdgeMask {
+    /// An all-clear mask over `edges` slots.
+    pub fn new(edges: usize) -> EdgeMask {
+        EdgeMask {
+            words: vec![0u64; edges.div_ceil(64)],
+            set: 0,
+        }
+    }
+
+    /// Marks slot `i`; returns `true` when it was newly set.
+    pub fn set(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        let fresh = self.words[w] >> b & 1 == 0;
+        self.words[w] |= 1 << b;
+        self.set += usize::from(fresh);
+        fresh
+    }
+
+    /// Whether slot `i` is marked.
+    pub fn get(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// How many slots are marked.
+    pub fn count(&self) -> usize {
+        self.set
+    }
+}
+
+/// Strongly-connected-component structure of a [`Csr`], from [`tarjan`].
+/// Components are numbered in discovery (reverse topological) order.
+#[derive(Debug, Clone)]
+pub struct SccInfo {
+    /// Component id per node.
+    pub comp_of: Vec<u32>,
+    /// Member nodes per component, in Tarjan pop order.
+    pub comp_nodes: Vec<Vec<u32>>,
+    /// Whether the component can carry a cycle (more than one node, or
+    /// a self-loop).
+    pub cyclic: Vec<bool>,
+}
+
+impl SccInfo {
+    /// Whether the whole graph is acyclic (no cyclic component).
+    pub fn acyclic(&self) -> bool {
+        !self.cyclic.iter().any(|&c| c)
+    }
+}
+
+/// Shared visitation scratch: every traversal borrows this per-thread
+/// buffer instead of allocating its own, so steady-state queries on
+/// same-sized graphs never touch the allocator.
+struct Scratch {
+    color: Vec<u8>,
+    parent: Vec<u32>,
+    stack: Vec<(u32, u32)>,
+    indeg: Vec<u32>,
+    heap: BinaryHeap<Reverse<u32>>,
+    low: Vec<u32>,
+    index: Vec<u32>,
+    on_stack: Vec<bool>,
+    scc_stack: Vec<u32>,
+}
+
+const WHITE: u8 = 0;
+const GRAY: u8 = 1;
+const BLACK: u8 = 2;
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = const {
+        RefCell::new(Scratch {
+            color: Vec::new(),
+            parent: Vec::new(),
+            stack: Vec::new(),
+            indeg: Vec::new(),
+            heap: BinaryHeap::new(),
+            low: Vec::new(),
+            index: Vec::new(),
+            on_stack: Vec::new(),
+            scc_stack: Vec::new(),
+        })
+    };
+}
+
+/// Finds a directed cycle, returning the node indices along it, or
+/// `None` for acyclic graphs. Same traversal (iterative three-colour
+/// DFS, parent back-walk) and same witness as
+/// [`crate::cycle::find_cycle`], but walking the flat CSR arrays with
+/// the shared scratch buffer instead of per-call allocations.
+pub fn find_cycle(csr: &Csr) -> Option<Vec<u32>> {
+    let _span = ebda_obs::span("cdg.cycle.find_cycle");
+    let n = csr.node_count();
+    let mut edges_visited = 0u64;
+    let found = SCRATCH.with(|s| {
+        let s = &mut *s.borrow_mut();
+        s.color.clear();
+        s.color.resize(n, WHITE);
+        s.parent.clear();
+        s.parent.resize(n, u32::MAX);
+        s.stack.clear();
+        for start in 0..n as u32 {
+            if s.color[start as usize] != WHITE {
+                continue;
+            }
+            s.color[start as usize] = GRAY;
+            s.stack.push((start, 0));
+            while let Some(&mut (node, ref mut next)) = s.stack.last_mut() {
+                let succs = csr.row(node as usize);
+                if (*next as usize) < succs.len() {
+                    let v = succs[*next as usize];
+                    *next += 1;
+                    edges_visited += 1;
+                    match s.color[v as usize] {
+                        WHITE => {
+                            s.parent[v as usize] = node;
+                            s.color[v as usize] = GRAY;
+                            s.stack.push((v, 0));
+                        }
+                        GRAY => {
+                            // Back edge node -> v: walk parents back.
+                            let mut cycle = vec![node];
+                            let mut cur = node;
+                            while cur != v {
+                                cur = s.parent[cur as usize];
+                                cycle.push(cur);
+                            }
+                            cycle.reverse();
+                            s.stack.clear();
+                            return Some(cycle);
+                        }
+                        _ => {}
+                    }
+                } else {
+                    s.color[node as usize] = BLACK;
+                    s.stack.pop();
+                }
+            }
+        }
+        None
+    });
+    ebda_obs::counter_add("cdg.cycle.edges_visited", edges_visited);
+    ebda_obs::prof::work("cdg/cycle", "edges_visited", edges_visited);
+    if found.is_some() {
+        ebda_obs::counter_add("cdg.cycle.cycles_found", 1);
+    }
+    found
+}
+
+/// A deterministic topological order of the node indices, or `None`
+/// when the graph is cyclic. Among ready nodes the lowest index goes
+/// first — identical output to the `BTreeSet`-based order the CDG used
+/// before, but via the scratch min-heap.
+pub fn topological_order(csr: &Csr) -> Option<Vec<u32>> {
+    let n = csr.node_count();
+    SCRATCH.with(|s| {
+        let s = &mut *s.borrow_mut();
+        s.indeg.clear();
+        s.indeg.resize(n, 0);
+        for u in 0..n {
+            for &v in csr.row(u) {
+                s.indeg[v as usize] += 1;
+            }
+        }
+        s.heap.clear();
+        for v in 0..n as u32 {
+            if s.indeg[v as usize] == 0 {
+                s.heap.push(Reverse(v));
+            }
+        }
+        let mut order = Vec::with_capacity(n);
+        while let Some(Reverse(v)) = s.heap.pop() {
+            order.push(v);
+            for &b in csr.row(v as usize) {
+                s.indeg[b as usize] -= 1;
+                if s.indeg[b as usize] == 0 {
+                    s.heap.push(Reverse(b));
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    })
+}
+
+/// Tarjan's strongly connected components (iterative) over the CSR,
+/// returning the dense [`SccInfo`] the incremental engine indexes by.
+/// Components come out in reverse topological order, exactly like
+/// [`crate::cycle::tarjan_scc`].
+pub fn tarjan(csr: &Csr) -> SccInfo {
+    let _span = ebda_obs::span("cdg.cycle.tarjan_scc");
+    let n = csr.node_count();
+    ebda_obs::prof::work("cdg/scc", "nodes", n as u64);
+    let mut comp_of = vec![u32::MAX; n];
+    let mut comp_nodes: Vec<Vec<u32>> = Vec::new();
+    let mut cyclic = Vec::new();
+    SCRATCH.with(|s| {
+        let s = &mut *s.borrow_mut();
+        s.index.clear();
+        s.index.resize(n, u32::MAX);
+        s.low.clear();
+        s.low.resize(n, 0);
+        s.on_stack.clear();
+        s.on_stack.resize(n, false);
+        s.scc_stack.clear();
+        s.stack.clear();
+        let mut next_index = 0u32;
+        for start in 0..n as u32 {
+            if s.index[start as usize] != u32::MAX {
+                continue;
+            }
+            s.stack.push((start, 0));
+            s.index[start as usize] = next_index;
+            s.low[start as usize] = next_index;
+            next_index += 1;
+            s.scc_stack.push(start);
+            s.on_stack[start as usize] = true;
+            while let Some(&mut (node, ref mut cursor)) = s.stack.last_mut() {
+                let succs = csr.row(node as usize);
+                if (*cursor as usize) < succs.len() {
+                    let v = succs[*cursor as usize];
+                    *cursor += 1;
+                    if s.index[v as usize] == u32::MAX {
+                        s.index[v as usize] = next_index;
+                        s.low[v as usize] = next_index;
+                        next_index += 1;
+                        s.scc_stack.push(v);
+                        s.on_stack[v as usize] = true;
+                        s.stack.push((v, 0));
+                    } else if s.on_stack[v as usize] {
+                        s.low[node as usize] = s.low[node as usize].min(s.index[v as usize]);
+                    }
+                } else {
+                    s.stack.pop();
+                    if let Some(&(parent, _)) = s.stack.last() {
+                        s.low[parent as usize] = s.low[parent as usize].min(s.low[node as usize]);
+                    }
+                    if s.low[node as usize] == s.index[node as usize] {
+                        let id = comp_nodes.len() as u32;
+                        let mut comp = Vec::new();
+                        loop {
+                            let v = s.scc_stack.pop().expect("tarjan stack underflow");
+                            s.on_stack[v as usize] = false;
+                            comp_of[v as usize] = id;
+                            comp.push(v);
+                            if v == node {
+                                break;
+                            }
+                        }
+                        cyclic.push(comp.len() > 1 || csr.has_edge(comp[0] as usize, comp[0]));
+                        comp_nodes.push(comp);
+                    }
+                }
+            }
+        }
+    });
+    ebda_obs::counter_add("cdg.cycle.scc_runs", 1);
+    ebda_obs::counter_add("cdg.cycle.scc_count", comp_nodes.len() as u64);
+    ebda_obs::counter_max(
+        "cdg.cycle.scc_max_size",
+        comp_nodes.iter().map(Vec::len).max().unwrap_or(0) as u64,
+    );
+    SccInfo {
+        comp_of,
+        comp_nodes,
+        cyclic,
+    }
+}
+
+/// Localized cycle recheck: whether the subgraph induced by one
+/// strongly connected component still has a cycle once the edges
+/// marked in `skip` are removed. Only edges staying inside the
+/// component are followed — a cycle of the reduced graph lies entirely
+/// within one SCC of the base graph, so this restriction loses
+/// nothing. Returns the verdict and the number of edges visited.
+pub fn has_cycle_within(
+    csr: &Csr,
+    nodes: &[u32],
+    comp_of: &[u32],
+    comp: u32,
+    skip: &EdgeMask,
+) -> (bool, u64) {
+    let mut edges_visited = 0u64;
+    let cyclic = SCRATCH.with(|s| {
+        let s = &mut *s.borrow_mut();
+        s.color.resize(csr.node_count(), BLACK);
+        for &v in nodes {
+            s.color[v as usize] = WHITE;
+        }
+        s.stack.clear();
+        for &start in nodes {
+            if s.color[start as usize] != WHITE {
+                continue;
+            }
+            s.color[start as usize] = GRAY;
+            s.stack.push((start, 0));
+            while let Some(&mut (node, ref mut next)) = s.stack.last_mut() {
+                let u = node as usize;
+                let succs = csr.row(u);
+                if (*next as usize) < succs.len() {
+                    let k = *next as usize;
+                    let v = succs[k];
+                    *next += 1;
+                    if comp_of[v as usize] != comp || skip.get(csr.edge_base(u) + k) {
+                        continue;
+                    }
+                    edges_visited += 1;
+                    match s.color[v as usize] {
+                        WHITE => {
+                            s.color[v as usize] = GRAY;
+                            s.stack.push((v, 0));
+                        }
+                        GRAY => {
+                            s.stack.clear();
+                            // Leave the touched colors consistent for
+                            // the next borrow (they are re-seeded per
+                            // call anyway).
+                            return true;
+                        }
+                        _ => {}
+                    }
+                } else {
+                    s.color[u] = BLACK;
+                    s.stack.pop();
+                }
+            }
+        }
+        false
+    });
+    (cyclic, edges_visited)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn csr_of(edges: &[Vec<u32>]) -> Csr {
+        let mut row_start = vec![0u32];
+        let mut col = Vec::new();
+        for row in edges {
+            col.extend_from_slice(row);
+            row_start.push(col.len() as u32);
+        }
+        Csr::new(edges.len(), row_start, col)
+    }
+
+    #[test]
+    fn matches_vec_backed_cycle_search() {
+        let graphs: Vec<Vec<Vec<u32>>> = vec![
+            vec![],
+            vec![vec![]],
+            vec![vec![0]],
+            vec![vec![1, 2], vec![3], vec![3], vec![]],
+            vec![vec![1], vec![2], vec![3], vec![1], vec![0]],
+            vec![vec![1], vec![0], vec![3], vec![2]],
+        ];
+        for g in &graphs {
+            assert_eq!(find_cycle(&csr_of(g)), crate::cycle::find_cycle(g), "{g:?}");
+            assert_eq!(
+                tarjan(&csr_of(g)).comp_nodes,
+                crate::cycle::tarjan_scc(g),
+                "{g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn has_edge_bitset_and_search_agree() {
+        let g = vec![vec![1, 3], vec![2], vec![0, 1, 3], vec![]];
+        let csr = csr_of(&g);
+        assert!(csr.has_bitset());
+        for (u, succs) in g.iter().enumerate() {
+            for v in 0..4u32 {
+                assert_eq!(csr.has_edge(u, v), succs.contains(&v), "edge {u}->{v}");
+                assert_eq!(csr.edge_index(u, v).is_some(), succs.contains(&v));
+            }
+        }
+        assert_eq!(csr.edge_index(2, 1), Some(csr.edge_base(2) + 1));
+    }
+
+    #[test]
+    fn topological_order_is_min_first() {
+        // Diamond: among ready nodes the lowest index goes first.
+        let g = vec![vec![1, 2], vec![3], vec![3], vec![]];
+        assert_eq!(topological_order(&csr_of(&g)), Some(vec![0, 1, 2, 3]));
+        assert_eq!(topological_order(&csr_of(&[vec![0u32]])), None);
+    }
+
+    #[test]
+    fn edge_mask_masks_a_cycle_away() {
+        // 0 -> 1 -> 2 -> 0 is one SCC; masking one edge breaks it.
+        let g = vec![vec![1], vec![2], vec![0]];
+        let csr = csr_of(&g);
+        let scc = tarjan(&csr);
+        assert_eq!(scc.comp_nodes.len(), 1);
+        assert!(scc.cyclic[0]);
+        let comp = scc.comp_of[0];
+        let clear = EdgeMask::new(csr.edge_count());
+        let (cyc, visited) = has_cycle_within(&csr, &scc.comp_nodes[0], &scc.comp_of, comp, &clear);
+        assert!(cyc);
+        assert!(visited >= 3);
+        let mut mask = EdgeMask::new(csr.edge_count());
+        assert!(mask.set(csr.edge_index(1, 2).unwrap()));
+        assert!(!mask.set(csr.edge_index(1, 2).unwrap()), "idempotent");
+        assert_eq!(mask.count(), 1);
+        let (cyc, _) = has_cycle_within(&csr, &scc.comp_nodes[0], &scc.comp_of, comp, &mask);
+        assert!(!cyc);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_scratch_dfs() {
+        let n = 100_000;
+        let mut g: Vec<Vec<u32>> = (0..n - 1).map(|i| vec![i as u32 + 1]).collect();
+        g.push(vec![]);
+        let csr = csr_of(&g);
+        assert!(find_cycle(&csr).is_none());
+        assert_eq!(tarjan(&csr).comp_nodes.len(), n);
+        assert_eq!(topological_order(&csr).unwrap().len(), n);
+    }
+}

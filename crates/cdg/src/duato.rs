@@ -95,6 +95,30 @@ pub fn verify_escape(
     }
 }
 
+/// Checks Duato's conditions reusing an already-computed Dally report
+/// for the *same* `(topology, vcs, universe, turns)` inputs.
+///
+/// The acyclicity half of [`verify_escape`] is literally
+/// [`verify_turn_set`] on the same CDG, so a caller that has already run
+/// Dally (the differential oracle's `evaluate`) can share that report
+/// and pay only for the connectivity BFS — halving the CDG build and
+/// cycle-search work per artifact. The returned report is byte-identical
+/// to what [`verify_escape`] would produce.
+pub fn verify_escape_given(
+    dally: &crate::dally::VerificationReport,
+    topo: &Topology,
+    escape_universe: &[Channel],
+    escape_turns: &TurnSet,
+) -> DuatoReport {
+    let (escape_connected, unreachable) = check_connectivity(topo, escape_universe, escape_turns);
+    DuatoReport {
+        escape_acyclic: dally.is_deadlock_free(),
+        escape_cycle: dally.cycle.clone(),
+        escape_connected,
+        unreachable,
+    }
+}
+
 /// BFS over `(node, last class)` states restricted to minimal moves.
 fn check_connectivity(
     topo: &Topology,
@@ -240,6 +264,37 @@ mod tests {
         }
         let cyclic = verify_escape(&Topology::mesh(&[4, 4]), &[1, 1], &cyclic_universe, &all);
         assert!(cyclic.drained_classes(&cyclic_universe).is_empty());
+    }
+
+    #[test]
+    fn given_report_matches_standalone_check() {
+        // Sharing the Dally report must not change any field of the
+        // Duato verdict — cyclic and acyclic cases both.
+        let cases = [xy_escape(), {
+            let universe = ebda_core::parse_channels("X+ X- Y+ Y-").unwrap();
+            let mut turns = TurnSet::new();
+            for &a in &universe {
+                for &b in &universe {
+                    if a != b {
+                        turns.insert(ebda_core::Turn::new(a, b));
+                    }
+                }
+            }
+            (universe, turns)
+        }];
+        for (universe, turns) in cases {
+            for topo in [Topology::mesh(&[4, 4]), Topology::torus(&[4, 4])] {
+                let standalone = verify_escape(&topo, &[1, 1], &universe, &turns);
+                let dally = verify_turn_set(&topo, &[1, 1], &universe, &turns);
+                let shared = verify_escape_given(&dally, &topo, &universe, &turns);
+                assert_eq!(standalone.escape_acyclic, shared.escape_acyclic);
+                assert_eq!(standalone.escape_connected, shared.escape_connected);
+                assert_eq!(standalone.unreachable, shared.unreachable);
+                let a = standalone.escape_cycle.map(|c| format!("{c:?}"));
+                let b = shared.escape_cycle.map(|c| format!("{c:?}"));
+                assert_eq!(a, b, "witness cycles must be byte-identical");
+            }
+        }
     }
 
     #[test]

@@ -5,9 +5,9 @@
 //! An edge `a → b` means a packet holding `a` may request `b` next; Dally's
 //! criterion says the network is deadlock-free iff this graph is acyclic.
 
+use crate::csr::Csr;
 use crate::topology::{NodeId, Topology};
 use ebda_core::{Channel, Dimension, Direction, TurnSet};
-use std::collections::HashMap;
 use std::fmt;
 
 /// A concrete channel instance: one virtual channel of one directed link.
@@ -45,13 +45,20 @@ impl fmt::Display for ConcreteChannel {
     }
 }
 
-/// A channel dependency graph over concrete channels.
+/// A channel dependency graph over concrete channels, stored as a flat
+/// [`Csr`] shared by Dally cycle detection, the Tarjan SCC pass, the
+/// Duato escape check and the incremental engine.
+///
+/// **Edge-order invariant:** adjacency rows are laid out in channel
+/// index order and every row's successor indices ascend — [`Cdg::build`]
+/// enumerates candidate successors in channel-enumeration order, never
+/// sorting after the fact. Cycle witnesses, topological orders and DOT
+/// output are byte-stable because of this, and the incremental engine's
+/// delta scans rely on it for binary-searchable rows.
 #[derive(Debug, Clone)]
 pub struct Cdg {
     channels: Vec<ConcreteChannel>,
-    /// Adjacency: indices into `channels`.
-    edges: Vec<Vec<u32>>,
-    edge_count: usize,
+    csr: Csr,
 }
 
 impl Cdg {
@@ -97,8 +104,27 @@ impl Cdg {
         turns: &TurnSet,
     ) -> Cdg {
         let channels = Cdg::channels_of(topo, vcs);
-        // Precompute class matches per concrete channel.
-        let matches: Vec<Vec<usize>> = channels
+        let matches = Cdg::class_matches(topo, &channels, universe);
+        Cdg::build(topo, channels, |ai, bi| {
+            matches[ai].iter().any(|&ca| {
+                matches[bi]
+                    .iter()
+                    .any(|&cb| turns.allows(universe[ca as usize], universe[cb as usize]))
+            })
+        })
+    }
+
+    /// Class matches per concrete channel: indices into `universe` whose
+    /// dimension, direction, VC and parity restriction cover the
+    /// channel's source node. Shared with the incremental engine
+    /// ([`crate::incremental`]) so both sides apply the exact same
+    /// dependency rule.
+    pub(crate) fn class_matches(
+        topo: &Topology,
+        channels: &[ConcreteChannel],
+        universe: &[Channel],
+    ) -> Vec<Vec<u32>> {
+        channels
             .iter()
             .map(|cc| {
                 let coords = topo.coords(cc.from);
@@ -111,17 +137,37 @@ impl Cdg {
                             && cl.vc == cc.vc
                             && cl.class.contains(&coords)
                     })
-                    .map(|(i, _)| i)
+                    .map(|(i, _)| i as u32)
                     .collect()
             })
-            .collect();
-        Cdg::build(topo, channels, |ai, bi| {
-            matches[ai].iter().any(|&ca| {
-                matches[bi]
-                    .iter()
-                    .any(|&cb| turns.allows(universe[ca], universe[cb]))
-            })
-        })
+            .collect()
+    }
+
+    /// Channel indices grouped by source node via counting sort — the
+    /// dense staging that replaced the `HashMap<NodeId, Vec<usize>>`
+    /// build path. Returns `(starts, idx)` where
+    /// `idx[starts[n]..starts[n + 1]]` lists the channels leaving node
+    /// `n`, ascending (channels are enumerated node-major, so the
+    /// stable fill preserves index order within each group).
+    pub(crate) fn by_source_node(
+        topo: &Topology,
+        channels: &[ConcreteChannel],
+    ) -> (Vec<u32>, Vec<u32>) {
+        let nodes = topo.node_count();
+        let mut starts = vec![0u32; nodes + 1];
+        for c in channels {
+            starts[c.from + 1] += 1;
+        }
+        for n in 0..nodes {
+            starts[n + 1] += starts[n];
+        }
+        let mut idx = vec![0u32; channels.len()];
+        let mut cursor: Vec<u32> = starts[..nodes].to_vec();
+        for (i, c) in channels.iter().enumerate() {
+            idx[cursor[c.from] as usize] = i as u32;
+            cursor[c.from] += 1;
+        }
+        (starts, idx)
     }
 
     /// Builds the CDG from an arbitrary dependency rule over adjacent
@@ -142,36 +188,38 @@ impl Cdg {
         F: Fn(usize, usize) -> bool,
     {
         let _span = ebda_obs::span("cdg.graph.build");
-        // Group channel indices by their source node for adjacency lookup.
-        let mut outgoing: HashMap<NodeId, Vec<usize>> = HashMap::new();
-        for (i, c) in channels.iter().enumerate() {
-            outgoing.entry(c.from).or_default().push(i);
-        }
-        let empty = Vec::new();
-        let mut edges = vec![Vec::new(); channels.len()];
-        let mut edge_count = 0usize;
+        // Dense per-node staging (no hashing); each group ascends, so
+        // the CSR rows ascend too — the documented edge-order invariant.
+        let (starts, idx) = Cdg::by_source_node(topo, &channels);
+        let mut row_start = Vec::with_capacity(channels.len() + 1);
+        row_start.push(0u32);
+        let mut col: Vec<u32> = Vec::new();
         for (ai, a) in channels.iter().enumerate() {
-            for &bi in outgoing.get(&a.to).unwrap_or(&empty) {
-                if allowed(ai, bi) {
-                    edges[ai].push(bi as u32);
-                    edge_count += 1;
+            let group = &idx[starts[a.to] as usize..starts[a.to + 1] as usize];
+            for &bi in group {
+                if allowed(ai, bi as usize) {
+                    col.push(bi);
                 }
             }
+            row_start.push(col.len() as u32);
         }
-        let _ = topo;
+        let edge_count = col.len();
         ebda_obs::counter_add("cdg.graph.builds", 1);
         ebda_obs::counter_add("cdg.graph.nodes", channels.len() as u64);
         ebda_obs::counter_add("cdg.graph.edges", edge_count as u64);
-        Cdg {
-            channels,
-            edges,
-            edge_count,
-        }
+        ebda_obs::prof::work("cdg/csr_build", "edges", edge_count as u64);
+        let csr = Csr::new(channels.len(), row_start, col);
+        Cdg { channels, csr }
     }
 
     /// The concrete channels (graph nodes).
     pub fn channels(&self) -> &[ConcreteChannel] {
         &self.channels
+    }
+
+    /// The flat CSR adjacency backing this graph.
+    pub fn csr(&self) -> &Csr {
+        &self.csr
     }
 
     /// Number of graph nodes.
@@ -181,18 +229,21 @@ impl Cdg {
 
     /// Number of dependency edges.
     pub fn edge_count(&self) -> usize {
-        self.edge_count
+        self.csr.edge_count()
     }
 
-    /// Successors of channel `i`.
+    /// Successors of channel `i`, ascending.
     pub fn successors(&self, i: usize) -> &[u32] {
-        &self.edges[i]
+        self.csr.row(i)
     }
 
     /// Finds a dependency cycle, or `None` when the graph is acyclic —
-    /// Dally's criterion. See [`crate::cycle`] for the algorithm.
+    /// Dally's criterion. Same traversal and witness as
+    /// [`crate::cycle::find_cycle`], over the shared CSR with the
+    /// thread-local scratch buffer (no per-call allocation beyond the
+    /// witness itself).
     pub fn find_cycle(&self) -> Option<Vec<ConcreteChannel>> {
-        crate::cycle::find_cycle(&self.edges).map(|idxs| {
+        crate::csr::find_cycle(&self.csr).map(|idxs| {
             idxs.into_iter()
                 .map(|i| self.channels[i as usize])
                 .collect()
@@ -213,27 +264,12 @@ impl Cdg {
     /// points from an earlier entry to a later one, which anyone can
     /// re-check without rebuilding the graph.
     pub fn topological_order(&self) -> Option<Vec<ConcreteChannel>> {
-        let n = self.channels.len();
-        let mut indeg = vec![0usize; n];
-        for out in &self.edges {
-            for &b in out {
-                indeg[b as usize] += 1;
-            }
-        }
-        let mut ready: std::collections::BTreeSet<usize> =
-            (0..n).filter(|&i| indeg[i] == 0).collect();
-        let mut order = Vec::with_capacity(n);
-        while let Some(&v) = ready.iter().next() {
-            ready.remove(&v);
-            order.push(self.channels[v]);
-            for &b in &self.edges[v] {
-                indeg[b as usize] -= 1;
-                if indeg[b as usize] == 0 {
-                    ready.insert(b as usize);
-                }
-            }
-        }
-        (order.len() == n).then_some(order)
+        crate::csr::topological_order(&self.csr).map(|order| {
+            order
+                .into_iter()
+                .map(|i| self.channels[i as usize])
+                .collect()
+        })
     }
 
     /// The class-level edge labels present in the graph, deduplicated
@@ -243,8 +279,8 @@ impl Cdg {
     /// granularity keeps maps comparable across topology sizes.
     pub fn class_edges(&self) -> Vec<String> {
         let mut set = std::collections::BTreeSet::new();
-        for (ai, succs) in self.edges.iter().enumerate() {
-            for &bi in succs {
+        for ai in 0..self.channels.len() {
+            for &bi in self.csr.row(ai) {
                 set.insert(format!(
                     "{}>{}",
                     self.channels[ai].class_label(),
@@ -264,8 +300,8 @@ impl Cdg {
         for (i, c) in self.channels.iter().enumerate() {
             let _ = writeln!(out, "  n{i} [label=\"{c}\"];");
         }
-        for (i, succs) in self.edges.iter().enumerate() {
-            for &j in succs {
+        for i in 0..self.channels.len() {
+            for &j in self.csr.row(i) {
                 let _ = writeln!(out, "  n{i} -> n{j};");
             }
         }
@@ -382,6 +418,29 @@ mod tests {
         assert!(edges.contains(&"X1+>X1+".to_string()), "{edges:?}");
         // Class labels carry no node coordinates.
         assert!(edges.iter().all(|e| !e.contains('(')), "{edges:?}");
+    }
+
+    #[test]
+    fn edge_order_invariant_rows_ascend() {
+        // The documented invariant: every adjacency row ascends (build
+        // enumerates successors in channel order, no sort involved).
+        let universe = parse_channels("X+ X- Y+ Y-").unwrap();
+        let mut turns = TurnSet::new();
+        for &a in &universe {
+            for &b in &universe {
+                if a != b {
+                    turns.insert(ebda_core::Turn::new(a, b));
+                }
+            }
+        }
+        for topo in [Topology::mesh(&[4, 4]), Topology::torus(&[4, 4])] {
+            let cdg = Cdg::from_turn_set(&topo, &[1, 1], &universe, &turns);
+            assert!(cdg.edge_count() > 0);
+            for i in 0..cdg.node_count() {
+                let row = cdg.successors(i);
+                assert!(row.windows(2).all(|w| w[0] < w[1]), "row {i}: {row:?}");
+            }
+        }
     }
 
     #[test]

@@ -28,14 +28,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod csr;
 pub mod cycle;
 pub mod dally;
 pub mod duato;
 pub mod graph;
+pub mod incremental;
 pub mod topology;
 pub mod turn_model;
 pub mod witness;
 
+pub use csr::{Csr, EdgeMask, SccInfo};
 pub use dally::{verify_design, verify_turn_set, VerificationReport};
 pub use graph::{Cdg, ConcreteChannel};
+pub use incremental::IncrementalVerifier;
 pub use topology::{Connectivity, NodeId, Topology};

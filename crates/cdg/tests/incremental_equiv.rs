@@ -1,0 +1,162 @@
+//! Seed-pinned property test: the incremental verifier must agree with a
+//! from-scratch CDG rebuild after *every* delta of a random add-turn /
+//! remove-turn / fail-link sequence — verdicts at each query, and the
+//! witness cycle byte-for-byte after each apply.
+//!
+//! Three topology shapes cover the interesting bases: an all-turns 4x4
+//! mesh (cyclic base, turn churn), the dateline 4x4 torus (acyclic base,
+//! VC-split classes, wrap links), and Table 5's partially connected
+//! 3x3x2 mesh (missing Z columns, so link and channel enumeration is
+//! non-uniform). Cross-check mode is switched on, so every incremental
+//! query also self-asserts against a full rebuild internally.
+
+use ebda_cdg::dally::{design_universe, infer_vcs};
+use ebda_cdg::{verify_turn_set, Cdg, IncrementalVerifier, Topology};
+use ebda_core::{
+    catalog, extract_turns, parse_channels, Channel, Dimension, Direction, Turn, TurnSet,
+};
+use ebda_obs::Rng64;
+
+struct Scenario {
+    name: &'static str,
+    topo: Topology,
+    vcs: Vec<u8>,
+    universe: Vec<Channel>,
+    turns: TurnSet,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let mut out = Vec::new();
+
+    // All class-to-class turns on a mesh: cyclic base.
+    let universe = parse_channels("X+ X- Y+ Y-").unwrap();
+    let mut all = TurnSet::new();
+    for &a in &universe {
+        for &b in &universe {
+            if a != b {
+                all.insert(Turn::new(a, b));
+            }
+        }
+    }
+    out.push(Scenario {
+        name: "mesh-all-turns",
+        topo: Topology::mesh(&[4, 4]),
+        vcs: vec![1, 1],
+        universe,
+        turns: all,
+    });
+
+    // The dateline torus: acyclic base with VC-split channel classes.
+    let seq = catalog::torus_dateline(&[4, 4]);
+    let universe = design_universe(&seq);
+    let topo = Topology::torus(&[4, 4]);
+    out.push(Scenario {
+        name: "torus-dateline",
+        vcs: infer_vcs(&universe, topo.dims()),
+        topo,
+        turns: extract_turns(&seq).unwrap().into_turn_set(),
+        universe,
+    });
+
+    // Table 5's partially connected 3D mesh: elevators only at (0,0)
+    // and (2,2), so the Z channel population is column-dependent.
+    let seq = catalog::table5_partial3d();
+    let universe = design_universe(&seq);
+    let topo = Topology::mesh(&[3, 3, 2]).with_partial_dim(Dimension::Z, [vec![0, 0], vec![2, 2]]);
+    out.push(Scenario {
+        name: "partial-3d",
+        vcs: infer_vcs(&universe, topo.dims()),
+        topo,
+        turns: extract_turns(&seq).unwrap().into_turn_set(),
+        universe,
+    });
+
+    out
+}
+
+#[test]
+fn random_delta_sequences_match_full_rebuild() {
+    for s in scenarios() {
+        for seed in 0..4u64 {
+            run_sequence(&s, seed);
+        }
+    }
+}
+
+fn run_sequence(s: &Scenario, seed: u64) {
+    let mut r = Rng64::new(seed * 1000 + 17);
+    let mut v = IncrementalVerifier::new(
+        s.topo.clone(),
+        s.vcs.clone(),
+        s.universe.clone(),
+        s.turns.clone(),
+    );
+    v.set_cross_check(true);
+
+    // Shadow state, rebuilt from scratch at every step.
+    let mut topo = s.topo.clone();
+    let mut turns = s.turns.clone();
+    let mut fails = 0u32;
+    let dims = topo.dims();
+    let nodes = topo.node_count();
+    let k = s.universe.len() as u64;
+
+    for step in 0..40 {
+        let ctx = format!("{} seed {seed} step {step}", s.name);
+        match r.next_u64() % 3 {
+            0 | 1 => {
+                // Turn churn: a random (from, to) class pair, removed
+                // when present, added when absent.
+                let from = s.universe[(r.next_u64() % k) as usize];
+                let to = s.universe[(r.next_u64() % k) as usize];
+                if from == to {
+                    continue;
+                }
+                let t = Turn::new(from, to);
+                if turns.contains(t) {
+                    let queried = v.query_remove_turn(t);
+                    turns.remove(t);
+                    let applied = v.apply_remove_turn(t);
+                    assert_eq!(queried, applied, "{ctx}: remove query vs apply");
+                } else {
+                    let queried = v.query_add_turn(t);
+                    turns.insert(t);
+                    let applied = v.apply_add_turn(t);
+                    assert_eq!(queried, applied, "{ctx}: add query vs apply");
+                }
+            }
+            _ => {
+                // Link failure (cumulative, capped so some topology is
+                // left); a nonexistent link is a legal no-op delta.
+                if fails >= 6 {
+                    continue;
+                }
+                let node = (r.next_u64() % nodes as u64) as usize;
+                let dim = Dimension::new((r.next_u64() % dims as u64) as u8);
+                let dir = if r.next_u64().is_multiple_of(2) {
+                    Direction::Plus
+                } else {
+                    Direction::Minus
+                };
+                fails += 1;
+                let queried = v.query_fail_link(node, dim, dir);
+                topo = topo.clone().with_failed_link(node, dim, dir);
+                let applied = v.apply_fail_link(node, dim, dir);
+                assert_eq!(queried, applied, "{ctx}: fail-link query vs apply");
+            }
+        }
+
+        let full = verify_turn_set(&topo, &s.vcs, &s.universe, &turns);
+        assert_eq!(
+            v.is_acyclic(),
+            full.is_deadlock_free(),
+            "{ctx}: verdict drifted from full rebuild"
+        );
+        let full_cycle = Cdg::from_turn_set(&topo, &s.vcs, &s.universe, &turns).find_cycle();
+        assert_eq!(
+            format!("{:?}", v.find_cycle()),
+            format!("{full_cycle:?}"),
+            "{ctx}: witness cycle drifted from full rebuild"
+        );
+    }
+}

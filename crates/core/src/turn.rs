@@ -107,6 +107,11 @@ impl TurnSet {
         self.turns.insert(t)
     }
 
+    /// Removes a turn; returns `true` if it was present.
+    pub fn remove(&mut self, t: Turn) -> bool {
+        self.turns.remove(&t)
+    }
+
     /// Returns `true` if the turn is allowed.
     pub fn contains(&self, t: Turn) -> bool {
         self.turns.contains(&t)

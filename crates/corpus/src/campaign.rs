@@ -20,9 +20,10 @@ use std::time::Instant;
 
 use ebda_obs::prof;
 use ebda_oracle::artifact::Artifact;
+use ebda_oracle::incr::IncrementalSession;
 use ebda_oracle::provenance::Provenance;
-use ebda_oracle::shrink::{shrink_with_threads, DEFAULT_SHRINK_BUDGET};
-use ebda_oracle::verdict::{cross_check, evaluate, Mutation, Verdicts};
+use ebda_oracle::shrink::{shrink_with_context, DEFAULT_SHRINK_BUDGET};
+use ebda_oracle::verdict::{cross_check, disagreement_rule, evaluate, Mutation, Verdicts};
 
 use crate::entry::{CorpusEntry, ExpectedVerdict};
 use crate::store;
@@ -217,7 +218,11 @@ pub fn run_corpus_campaign(
     let with_ledger = cfg.ledger.is_some();
     let with_coverage = cfg.coverage.is_some();
     #[allow(clippy::type_complexity)]
-    let checks: Vec<(Option<String>, Option<Provenance>, Option<ebda_obs::CoverageMap>)> = {
+    let checks: Vec<(
+        Option<String>,
+        Option<Provenance>,
+        Option<ebda_obs::CoverageMap>,
+    )> = {
         let _check = prof::phase("corpus/check");
         prof::work("corpus/check", "entries", entries.len() as u64);
         ebda_par::parallel_map(cfg.threads, entries, |i, entry| {
@@ -319,14 +324,36 @@ pub fn run_corpus_campaign(
             let _shrink = prof::phase("corpus/shrink");
             prof::work("corpus/shrink", "mismatches", 1);
             let artifact = entry.to_artifact(i as u64);
-            shrink_with_threads(
+            // Without a design the label check reduces to the four path
+            // booleans, so turn/channel-drop candidates are answered by
+            // the incremental session's dirty-SCC queries; structural
+            // candidates (and `EBDA_INCREMENTAL=0`) take the identical
+            // full-evaluate path.
+            let want_free = entry.expected.is_free();
+            shrink_with_context(
                 &artifact,
-                |candidate| {
-                    let verdicts = evaluate(candidate, cfg.mutation);
-                    mismatch_reason(candidate, entry.expected, None, &verdicts).is_some()
-                },
                 cfg.shrink_budget,
                 cfg.threads,
+                |parent| IncrementalSession::new(parent, cfg.mutation),
+                |session, candidate, delta| match session.path_verdicts(candidate, delta) {
+                    Some(p) => {
+                        disagreement_rule(
+                            candidate,
+                            p.ebda_free,
+                            p.dally_free,
+                            p.duato_acyclic,
+                            p.brute_free,
+                        )
+                        .is_some()
+                            || p.brute_free != want_free
+                            || p.dally_free != want_free
+                            || p.duato_acyclic != want_free
+                    }
+                    None => {
+                        let verdicts = evaluate(candidate, cfg.mutation);
+                        mismatch_reason(candidate, entry.expected, None, &verdicts).is_some()
+                    }
+                },
             )
         };
         let witness = witness_entry(entry, &reason, &shrunk);
@@ -479,14 +506,17 @@ mod tests {
         assert!(map.key().starts_with("corpus-"), "key: {}", map.key());
         // Every static family is fed by the four verdict paths; only the
         // simulator family stays empty (the corpus campaign never replays).
-        for family in ["cdg_edge", "design_bin", "escape_drain", "gfp_pair", "turn_admitted"] {
+        for family in [
+            "cdg_edge",
+            "design_bin",
+            "escape_drain",
+            "gfp_pair",
+            "turn_admitted",
+        ] {
             assert!(map.covered(family) > 0, "family {family} uncovered");
         }
         assert_eq!(map.covered("sim_event"), 0);
-        assert_eq!(
-            map.digest(),
-            parallel.coverage.as_ref().unwrap().digest()
-        );
+        assert_eq!(map.digest(), parallel.coverage.as_ref().unwrap().digest());
         assert!(serial.to_string().contains("coverage:"), "{serial}");
         std::fs::remove_dir_all(&dir).unwrap();
     }

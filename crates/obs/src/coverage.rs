@@ -141,9 +141,7 @@ impl CoverageMap {
 
     /// Total hits recorded under `family`.
     pub fn family_hits(&self, family: &str) -> u64 {
-        self.families
-            .get(family)
-            .map_or(0, |m| m.values().sum())
+        self.families.get(family).map_or(0, |m| m.values().sum())
     }
 
     /// Total distinct points across all families.
@@ -261,8 +259,7 @@ impl CoverageMap {
     ///
     /// Returns I/O failures as strings.
     pub fn write_file(&self, path: &Path) -> Result<(), String> {
-        std::fs::write(path, self.to_json() + "\n")
-            .map_err(|e| format!("{}: {e}", path.display()))
+        std::fs::write(path, self.to_json() + "\n").map_err(|e| format!("{}: {e}", path.display()))
     }
 
     /// Reads a map previously written with [`CoverageMap::write_file`].
@@ -271,8 +268,7 @@ impl CoverageMap {
     ///
     /// Returns I/O failures and parse errors as strings.
     pub fn read_file(path: &Path) -> Result<CoverageMap, String> {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
         CoverageMap::from_json(text.trim_end()).map_err(|e| format!("{}: {e}", path.display()))
     }
 
@@ -344,18 +340,18 @@ impl CoverageMap {
     pub fn publish_metrics(&self) {
         for family in FAMILIES {
             let labels = &[("family", (*family).to_string())];
-            crate::metrics::gauge_set(
-                "ebda_coverage_points",
-                labels,
-                self.covered(family) as f64,
-            );
+            crate::metrics::gauge_set("ebda_coverage_points", labels, self.covered(family) as f64);
             crate::metrics::gauge_set(
                 "ebda_coverage_hits",
                 labels,
                 self.family_hits(family) as f64,
             );
         }
-        crate::metrics::gauge_set("ebda_coverage_points_total", &[], self.total_points() as f64);
+        crate::metrics::gauge_set(
+            "ebda_coverage_points_total",
+            &[],
+            self.total_points() as f64,
+        );
     }
 }
 

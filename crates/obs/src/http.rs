@@ -256,8 +256,8 @@ mod tests {
         map.write_file(&coverage_path).unwrap();
         crate::coverage::set_global_path(Some(coverage_path.clone()));
         let body = http_get(&addr, "/coverage").expect("coverage route");
-        let served = crate::coverage::CoverageMap::from_json(body.trim_end())
-            .expect("coverage body parses");
+        let served =
+            crate::coverage::CoverageMap::from_json(body.trim_end()).expect("coverage body parses");
         assert_eq!(served, map);
         crate::coverage::set_global_path(None);
         let _ = std::fs::remove_file(&coverage_path);

@@ -123,7 +123,11 @@ pub fn artifact_coverage(artifact: &Artifact, verdicts: &Verdicts) -> CoverageMa
         }
     }
 
-    if let Some(extraction) = artifact.design.as_ref().and_then(|seq| extract_turns(seq).ok()) {
+    if let Some(extraction) = artifact
+        .design
+        .as_ref()
+        .and_then(|seq| extract_turns(seq).ok())
+    {
         for key in extraction.obligation_keys() {
             map.record("obligation", key);
         }
@@ -171,7 +175,11 @@ mod tests {
             "gfp_pair",
             "design_bin",
         ] {
-            assert!(map.covered(family) > 0, "family {family} never fed:\n{}", map.report());
+            assert!(
+                map.covered(family) > 0,
+                "family {family} never fed:\n{}",
+                map.report()
+            );
         }
     }
 

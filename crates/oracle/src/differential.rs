@@ -12,7 +12,7 @@
 use crate::artifact::{Artifact, ArtifactKind, Generator};
 use crate::brute::BruteChannel;
 use crate::provenance::Provenance;
-use crate::shrink::{shrink_with_threads, DEFAULT_SHRINK_BUDGET};
+use crate::shrink::DEFAULT_SHRINK_BUDGET;
 use crate::verdict::{cross_check, evaluate, Disagreement, Mutation};
 use ebda_obs::{JourneyConfig, Rng64, TraceBuilder};
 use ebda_routing::{PortVc, RouteChoice, RouteState, RoutingRelation, TurnRouting, INJECT};
@@ -391,13 +391,12 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
 
 /// Shrinks a disagreeing artifact and replays the result.
 fn investigate(artifact: &Artifact, cfg: &CampaignConfig, threads: usize) -> CaughtDisagreement {
-    let still_failing = |a: &Artifact| {
-        let v = evaluate(a, cfg.mutation);
-        cross_check(a, &v).is_some()
-    };
     let shrunk = {
         let _p = ebda_obs::prof::phase("oracle/shrink");
-        shrink_with_threads(artifact, still_failing, DEFAULT_SHRINK_BUDGET, threads)
+        // Turn/channel-drop candidates are answered by dirty-SCC queries
+        // on the parent's CDG; the accepted chain (and every byte
+        // downstream) is identical to the full-evaluate predicate.
+        crate::incr::shrink_disagreement(artifact, cfg.mutation, DEFAULT_SHRINK_BUDGET, threads)
     };
     ebda_obs::metrics::counter_add("ebda_oracle_artifacts_shrunk_total", &[], 1);
     let verdicts = evaluate(&shrunk, cfg.mutation);
@@ -687,10 +686,7 @@ mod tests {
         // campaign map's canonical JSON is identical at --threads 1/8.
         let with_coverage = |threads| {
             let mut path = std::env::temp_dir();
-            path.push(format!(
-                "ebda-oracle-cov-t{threads}-{}",
-                std::process::id()
-            ));
+            path.push(format!("ebda-oracle-cov-t{threads}-{}", std::process::id()));
             let _ = std::fs::remove_file(&path);
             let report = run_campaign(&CampaignConfig {
                 threads,
@@ -707,10 +703,7 @@ mod tests {
         let (sm, pm) = (serial.coverage.unwrap(), parallel.coverage.unwrap());
         assert_eq!(sm.to_json(), pm.to_json());
         assert_eq!(sm.diff(&pm), None);
-        assert_eq!(
-            serial.bin_opening_artifacts,
-            parallel.bin_opening_artifacts
-        );
+        assert_eq!(serial.bin_opening_artifacts, parallel.bin_opening_artifacts);
         // The written file is the report's map plus a newline.
         assert_eq!(serial_bytes, sm.to_json() + "\n");
         // Every non-sim family is fed even by a 30-artifact campaign.
@@ -739,10 +732,9 @@ mod tests {
         };
         let blind = run_campaign(&CampaignConfig {
             coverage_guided: false,
-            coverage: Some(std::env::temp_dir().join(format!(
-                "ebda-oracle-blind-{}",
-                std::process::id()
-            ))),
+            coverage: Some(
+                std::env::temp_dir().join(format!("ebda-oracle-blind-{}", std::process::id())),
+            ),
             ..base.clone()
         });
         let guided = run_campaign(&CampaignConfig {

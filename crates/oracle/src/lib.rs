@@ -15,6 +15,10 @@
 //!   the cross-checking rules, plus mutation hooks that deliberately break
 //!   a checker to prove the oracle notices.
 //! * [`shrink`] — greedy 1-minimal counterexample reduction.
+//! * [`incr`] — incremental re-verification sessions: turn/channel-drop
+//!   shrink candidates answered by dirty-SCC queries on a shared CSR CDG
+//!   instead of full rebuilds, with a byte-identical full-mode fallback
+//!   (`EBDA_INCREMENTAL=0`).
 //! * [`provenance`] — the full proof evidence behind one verdict
 //!   (certificates, orderings, witnesses) in canonical JSON, plus the
 //!   independent checker `ebda check-cert` runs.
@@ -44,6 +48,7 @@ pub mod artifact;
 pub mod brute;
 pub mod coverage;
 pub mod differential;
+pub mod incr;
 pub mod provenance;
 pub mod shrink;
 pub mod verdict;
@@ -52,6 +57,7 @@ pub use artifact::{Artifact, ArtifactKind, Generator};
 pub use brute::{search as brute_search, BruteReport};
 pub use coverage::{artifact_coverage, design_bin, shape_bin};
 pub use differential::{run_campaign, CampaignConfig, CampaignReport};
+pub use incr::{IncrementalSession, PathVerdicts};
 pub use provenance::{CheckReport, Provenance};
 pub use shrink::shrink;
 pub use verdict::{cross_check, evaluate, Disagreement, Mutation, Verdicts};

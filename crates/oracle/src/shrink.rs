@@ -11,11 +11,29 @@
 //! self-contained counterexample.
 
 use crate::artifact::Artifact;
-use ebda_core::{Channel, Partition, PartitionSeq, TurnSet};
+use ebda_core::{Channel, Partition, PartitionSeq, Turn, TurnSet};
 
 /// How many predicate evaluations a shrink run may spend before settling
 /// for the best artifact found so far.
 pub const DEFAULT_SHRINK_BUDGET: usize = 400;
+
+/// The one-step delta a shrink candidate applies to its parent.
+///
+/// Exposed to predicates via [`shrink_with_context`] so an incremental
+/// verifier session built on the parent can answer turn/channel drops by
+/// rechecking only the dirty strongly-connected region, instead of
+/// rebuilding the candidate's CDG from scratch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShrinkDelta {
+    /// A structural change (unwrap a dimension, shave a radix, drop a VC
+    /// level) that renumbers concrete channels — incremental sessions
+    /// fall back to a full evaluation for these.
+    Structural,
+    /// One turn dropped from the relation.
+    DropTurn(Turn),
+    /// One channel class dropped, with every turn touching it.
+    DropChannel(Channel),
+}
 
 /// Shrinks `artifact` while `still_failing` holds, spending at most
 /// `budget` predicate evaluations. Returns the smallest artifact reached —
@@ -50,12 +68,46 @@ pub fn shrink_with_threads<F>(
 where
     F: Fn(&Artifact) -> bool + Sync,
 {
+    shrink_with_context(
+        artifact,
+        budget,
+        threads,
+        |_| (),
+        |(), c, _| still_failing(c),
+    )
+}
+
+/// The general greedy loop behind [`shrink_with_threads`]: the caller
+/// builds a *context* from each accepted artifact (once per outer pass)
+/// and the predicate sees the candidate together with its
+/// [`ShrinkDelta`].
+///
+/// This is the incremental-verification hook: an
+/// [`crate::incr::IncrementalSession`] built on the current artifact
+/// answers `DropTurn`/`DropChannel` candidates via dirty-SCC queries
+/// against the shared base CDG, falling back to a full evaluation only
+/// for `Structural` candidates. Budget accounting and the accepted
+/// chain are the same as [`shrink_with_threads`] — byte-identical at
+/// any thread count.
+pub fn shrink_with_context<C, B, F>(
+    artifact: &Artifact,
+    budget: usize,
+    threads: usize,
+    build_context: B,
+    still_failing: F,
+) -> Artifact
+where
+    C: Sync,
+    B: Fn(&Artifact) -> C,
+    F: Fn(&C, &Artifact, &ShrinkDelta) -> bool + Sync,
+{
     let mut current = artifact.clone();
     let mut evals = 0usize;
     loop {
         if evals >= budget {
             return current;
         }
+        let context = build_context(&current);
         let mut cands = candidates(&current);
         // The serial loop would evaluate at most this many candidates
         // before the budget check stopped it.
@@ -65,8 +117,9 @@ where
         let mut offset = 0;
         while offset < scan && hit.is_none() {
             let end = (offset + wave).min(scan);
-            let fails =
-                ebda_par::parallel_map(threads, &cands[offset..end], |_, c| still_failing(c));
+            let fails = ebda_par::parallel_map(threads, &cands[offset..end], |_, (c, d)| {
+                still_failing(&context, c, d)
+            });
             hit = fails.iter().position(|&f| f).map(|j| offset + j);
             offset = end;
         }
@@ -78,7 +131,7 @@ where
                 evals += j + 1;
                 ebda_obs::metrics::counter_add("ebda_oracle_shrink_evals_total", &[], j as u64 + 1);
                 ebda_obs::prof::work("oracle/shrink", "shrink_evals", j as u64 + 1);
-                current = cands.swap_remove(j); // restart from the smaller artifact
+                current = cands.swap_remove(j).0; // restart from the smaller artifact
             }
             None => {
                 ebda_obs::metrics::counter_add("ebda_oracle_shrink_evals_total", &[], scan as u64);
@@ -91,15 +144,16 @@ where
     }
 }
 
-/// Proposes one-step reductions of an artifact, biggest first.
-fn candidates(a: &Artifact) -> Vec<Artifact> {
+/// Proposes one-step reductions of an artifact, biggest first, each
+/// tagged with the delta it applies.
+fn candidates(a: &Artifact) -> Vec<(Artifact, ShrinkDelta)> {
     let mut out = Vec::new();
     // 1. Unwrap a torus dimension.
     for d in 0..a.wrap.len() {
         if a.wrap[d] {
             let mut c = a.clone();
             c.wrap[d] = false;
-            out.push(c);
+            out.push((c, ShrinkDelta::Structural));
         }
     }
     // 2. Shave one off a radix (wrapped dimensions stay >= 3, unwrapped >= 2).
@@ -108,7 +162,7 @@ fn candidates(a: &Artifact) -> Vec<Artifact> {
         if a.radix[d] > floor {
             let mut c = a.clone();
             c.radix[d] -= 1;
-            out.push(c);
+            out.push((c, ShrinkDelta::Structural));
         }
     }
     // 3. Drop the top VC level of a dimension.
@@ -119,7 +173,7 @@ fn candidates(a: &Artifact) -> Vec<Artifact> {
             let mut c = keep_channels(a, |ch| ch.dim != dim || ch.vc < top);
             c.vcs[d] = top - 1;
             if !c.universe.is_empty() {
-                out.push(c);
+                out.push((c, ShrinkDelta::Structural));
             }
         }
     }
@@ -127,7 +181,10 @@ fn candidates(a: &Artifact) -> Vec<Artifact> {
     if a.universe.len() > 1 {
         for i in 0..a.universe.len() {
             let victim = a.universe[i];
-            out.push(keep_channels(a, |ch| *ch != victim));
+            out.push((
+                keep_channels(a, |ch| *ch != victim),
+                ShrinkDelta::DropChannel(victim),
+            ));
         }
     }
     // 5. Drop one turn.
@@ -138,7 +195,7 @@ fn candidates(a: &Artifact) -> Vec<Artifact> {
             turns.insert(keep);
         }
         c.turns = turns;
-        out.push(c);
+        out.push((c, ShrinkDelta::DropTurn(t)));
     }
     out
 }
@@ -250,6 +307,38 @@ mod tests {
                 let par = shrink_with_threads(&start, brute_deadlocks, budget, threads);
                 assert_eq!(par, serial, "budget {budget}, threads {threads}");
             }
+        }
+    }
+
+    #[test]
+    fn context_shrink_matches_plain_shrink() {
+        // The unit-context wrapper and an explicit context run must
+        // walk the identical accepted chain.
+        let start = torus_rings();
+        for budget in [3, 25, DEFAULT_SHRINK_BUDGET] {
+            let plain = shrink_with_threads(&start, brute_deadlocks, budget, 2);
+            let ctx = shrink_with_context(
+                &start,
+                budget,
+                2,
+                |parent| parent.clone(),
+                |parent, c, delta| {
+                    // Deltas must be consistent with the candidate.
+                    match delta {
+                        ShrinkDelta::DropTurn(t) => {
+                            assert!(parent.turns.contains(*t));
+                            assert!(!c.turns.contains(*t));
+                        }
+                        ShrinkDelta::DropChannel(ch) => {
+                            assert!(parent.universe.contains(ch));
+                            assert!(!c.universe.contains(ch));
+                        }
+                        ShrinkDelta::Structural => {}
+                    }
+                    brute_deadlocks(c)
+                },
+            );
+            assert_eq!(plain, ctx, "budget {budget}");
         }
     }
 

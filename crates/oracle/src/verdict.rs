@@ -19,7 +19,7 @@
 
 use crate::artifact::Artifact;
 use crate::brute::{self, BruteReport};
-use ebda_cdg::duato::{verify_escape, DuatoReport};
+use ebda_cdg::duato::{verify_escape, verify_escape_given, DuatoReport};
 use ebda_cdg::{verify_turn_set, Topology, VerificationReport};
 use ebda_core::{design_verdict, DesignVerdict};
 use std::fmt;
@@ -124,7 +124,15 @@ pub fn evaluate(artifact: &Artifact, mutation: Mutation) -> Verdicts {
     };
     let duato = {
         let _p = prof::phase("oracle/evaluate/duato");
-        verify_escape(&topo, &artifact.vcs, &artifact.universe, &artifact.turns)
+        if dally_topo == topo {
+            // The acyclicity half of Duato's check is Dally's check on
+            // the same inputs — share the report instead of rebuilding
+            // the identical CDG. Under a mutation that diverts the
+            // Dally topology, the paths must stay independent.
+            verify_escape_given(&dally, &topo, &artifact.universe, &artifact.turns)
+        } else {
+            verify_escape(&topo, &artifact.vcs, &artifact.universe, &artifact.turns)
+        }
     };
     let brute = {
         let _p = prof::phase("oracle/evaluate/brute");
@@ -156,42 +164,59 @@ pub fn evaluate(artifact: &Artifact, mutation: Mutation) -> Verdicts {
 ///   dateline classes), so on unwrapped topologies the brute searcher must
 ///   find it free.
 pub fn cross_check(artifact: &Artifact, verdicts: &Verdicts) -> Option<Disagreement> {
-    let dally_free = verdicts.dally.is_deadlock_free();
-    let brute_free = verdicts.brute.is_deadlock_free();
+    let rule = disagreement_rule(
+        artifact,
+        verdicts.ebda.as_ref().map(DesignVerdict::is_deadlock_free),
+        verdicts.dally.is_deadlock_free(),
+        verdicts.duato.escape_acyclic,
+        verdicts.brute.is_deadlock_free(),
+    )?;
+    let detail = match rule {
+        "dally-vs-brute" => format!(
+            "{}: dally says {} but brute says {}",
+            artifact.summary(),
+            verdicts.dally,
+            verdicts.brute
+        ),
+        "duato-vs-dally" => format!(
+            "{}: duato escape-acyclic={} but dally says {}",
+            artifact.summary(),
+            verdicts.duato.escape_acyclic,
+            verdicts.dally
+        ),
+        _ => format!(
+            "{}: EbDa accepts ({}) on a mesh but brute says {}",
+            artifact.summary(),
+            verdicts
+                .ebda
+                .as_ref()
+                .expect("ebda-vs-brute fires only with an EbDa verdict"),
+            verdicts.brute
+        ),
+    };
+    Some(Disagreement { rule, detail })
+}
+
+/// The boolean core of [`cross_check`]: which rule (if any) the four
+/// per-path verdicts violate. Shared with the incremental shrink paths
+/// ([`crate::incr`]), which compute the same booleans without full
+/// reports — keeping the disagreement predicate identical by
+/// construction between full and incremental modes.
+pub fn disagreement_rule(
+    artifact: &Artifact,
+    ebda_free: Option<bool>,
+    dally_free: bool,
+    duato_escape_acyclic: bool,
+    brute_free: bool,
+) -> Option<&'static str> {
     if dally_free != brute_free {
-        return Some(Disagreement {
-            rule: "dally-vs-brute",
-            detail: format!(
-                "{}: dally says {} but brute says {}",
-                artifact.summary(),
-                verdicts.dally,
-                verdicts.brute
-            ),
-        });
+        return Some("dally-vs-brute");
     }
-    if verdicts.duato.escape_acyclic != dally_free {
-        return Some(Disagreement {
-            rule: "duato-vs-dally",
-            detail: format!(
-                "{}: duato escape-acyclic={} but dally says {}",
-                artifact.summary(),
-                verdicts.duato.escape_acyclic,
-                verdicts.dally
-            ),
-        });
+    if duato_escape_acyclic != dally_free {
+        return Some("duato-vs-dally");
     }
-    if let Some(ebda) = &verdicts.ebda {
-        if ebda.is_deadlock_free() && !artifact.wraps() && !brute_free {
-            return Some(Disagreement {
-                rule: "ebda-vs-brute",
-                detail: format!(
-                    "{}: EbDa accepts ({}) on a mesh but brute says {}",
-                    artifact.summary(),
-                    ebda,
-                    verdicts.brute
-                ),
-            });
-        }
+    if ebda_free == Some(true) && !artifact.wraps() && !brute_free {
+        return Some("ebda-vs-brute");
     }
     None
 }
@@ -292,6 +317,54 @@ mod tests {
                 a.summary()
             );
         }
+    }
+
+    #[test]
+    fn duato_stays_independent_under_dally_mutation() {
+        // With DallyIgnoresWrap the Dally path sees the unwrapped mesh,
+        // so the shared-CDG fast path must NOT be taken: Duato has to
+        // keep verifying the real torus and still see the wrap cycle.
+        let a = design_artifact(
+            ebda_core::PartitionSeq::parse("X+ X- | Y+ Y-").unwrap(),
+            vec![4, 4],
+            vec![true, true],
+        );
+        let mutated = evaluate(&a, Mutation::DallyIgnoresWrap);
+        assert!(mutated.dally.is_deadlock_free(), "mutated dally is blind");
+        assert!(!mutated.duato.escape_acyclic, "duato sees the real torus");
+    }
+
+    #[test]
+    fn disagreement_rule_matches_cross_check() {
+        let a = design_artifact(catalog::fig7b_dyxy(), vec![4, 4], vec![false, false]);
+        let v = evaluate(&a, Mutation::None);
+        let booleans = disagreement_rule(
+            &a,
+            v.ebda.as_ref().map(DesignVerdict::is_deadlock_free),
+            v.dally.is_deadlock_free(),
+            v.duato.escape_acyclic,
+            v.brute.is_deadlock_free(),
+        );
+        assert_eq!(booleans, cross_check(&a, &v).map(|d| d.rule));
+        // And a violated case: a free dally against a deadlocked brute.
+        assert_eq!(
+            disagreement_rule(&a, None, true, true, false),
+            Some("dally-vs-brute")
+        );
+        assert_eq!(
+            disagreement_rule(&a, None, true, false, true),
+            Some("duato-vs-dally")
+        );
+        assert_eq!(
+            disagreement_rule(&a, Some(true), false, false, false),
+            Some("ebda-vs-brute"),
+            "EbDa accepting a brute-deadlocked mesh design is the EbDa rule"
+        );
+        assert_eq!(
+            disagreement_rule(&a, Some(false), false, false, false),
+            None,
+            "all paths agreeing on deadlock is consistent"
+        );
     }
 
     #[test]

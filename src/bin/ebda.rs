@@ -557,9 +557,9 @@ fn cmd_coverage(args: &[String]) -> Result<(), String> {
             if inputs.is_empty() {
                 return Err("coverage merge needs at least one input FILE".into());
             }
-            let mut maps = inputs.iter().map(|p| {
-                ebda_obs::CoverageMap::read_file(std::path::Path::new(p))
-            });
+            let mut maps = inputs
+                .iter()
+                .map(|p| ebda_obs::CoverageMap::read_file(std::path::Path::new(p)));
             let mut merged = maps.next().expect("non-empty inputs")?;
             for map in maps {
                 merged.merge(&map?);
